@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared plumbing for the reproduction benches.
+ *
+ * Every bench binary regenerates one of the paper's tables or
+ * figures.  The problem scale is selected with the CSR_SCALE
+ * environment variable: "test" (seconds, sanity), "small" (default;
+ * the calibrated scale used in EXPERIMENTS.md), or "full" (closest to
+ * the paper's trace lengths; minutes to hours).
+ */
+
+#ifndef CSR_BENCH_BENCHCOMMON_H
+#define CSR_BENCH_BENCHCOMMON_H
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "trace/SampledTrace.h"
+#include "trace/WorkloadFactory.h"
+#include "util/Table.h"
+
+namespace csr::bench
+{
+
+/** Scale from $CSR_SCALE (test|small|full), default small. */
+inline WorkloadScale
+scaleFromEnv()
+{
+    const char *env = std::getenv("CSR_SCALE");
+    if (!env)
+        return WorkloadScale::Small;
+    const std::string s(env);
+    if (s == "test")
+        return WorkloadScale::Test;
+    if (s == "full")
+        return WorkloadScale::Full;
+    return WorkloadScale::Small;
+}
+
+inline const char *
+scaleName(WorkloadScale scale)
+{
+    switch (scale) {
+      case WorkloadScale::Test:
+        return "test";
+      case WorkloadScale::Small:
+        return "small";
+      case WorkloadScale::Full:
+        return "full";
+    }
+    return "?";
+}
+
+/** Build the sampled trace of a benchmark (the paper samples one
+ *  slave process; we sample processor 1). */
+inline SampledTrace
+sampledTrace(BenchmarkId id, WorkloadScale scale)
+{
+    auto workload = makeWorkload(id, scale);
+    return buildSampledTrace(*workload, /*sampled=*/1);
+}
+
+/** Standard bench banner. */
+inline void
+banner(const std::string &what, WorkloadScale scale)
+{
+    std::cout << "### " << what << "\n"
+              << "### scale=" << scaleName(scale)
+              << "  (set CSR_SCALE=test|small|full)\n\n";
+}
+
+} // namespace csr::bench
+
+#endif // CSR_BENCH_BENCHCOMMON_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation C: cache associativity.
+ *
+ * Section 3.1 varies associativity from 2 to 8; reservations need
+ * victims to choose from, so higher associativity widens the
+ * opportunity (and the ETD grows with s-1 entries).  Sweeps s in
+ * {2, 4, 8} at a fixed 16 KB capacity for DCL under both cost
+ * mappings at r=4.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "BenchCommon.h"
+#include "cost/StaticCostModels.h"
+#include "sim/TraceStudy.h"
+
+using namespace csr;
+
+int
+main()
+{
+    const WorkloadScale scale = bench::scaleFromEnv();
+    bench::banner("Ablation: L2 associativity (DCL, r=4)", scale);
+
+    const std::vector<std::uint32_t> assocs = {2, 4, 8};
+
+    for (bool random_mapping : {true, false}) {
+        TextTable table(std::string("DCL savings over LRU (%) -- ") +
+                        (random_mapping ? "random mapping, HAF=0.3"
+                                        : "first-touch mapping"));
+        std::vector<std::string> header = {"Benchmark"};
+        for (std::uint32_t assoc : assocs)
+            header.push_back(std::to_string(assoc) + "-way");
+        table.setHeader(header);
+
+        for (BenchmarkId id : paperBenchmarks()) {
+            const SampledTrace trace = bench::sampledTrace(id, scale);
+            std::vector<std::string> row = {benchmarkName(id)};
+            for (std::uint32_t assoc : assocs) {
+                TraceSimConfig config;
+                config.l2Assoc = assoc;
+                const TraceStudy study(trace, config);
+                const RandomTwoCost random(CostRatio::finite(4), 0.3);
+                const FirstTouchTwoCost first_touch(
+                    CostRatio::finite(4), trace.homeOf,
+                    trace.sampledProc);
+                const CostModel &model =
+                    random_mapping
+                        ? static_cast<const CostModel &>(random)
+                        : static_cast<const CostModel &>(first_touch);
+                row.push_back(TextTable::num(
+                    study.savingsPct(PolicyKind::Dcl, model), 2));
+            }
+            table.addRow(row);
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation A: the cost-depreciation factor.
+ *
+ * The paper depreciates a reserved block's cost by *twice* the
+ * sacrificed block's cost, "a way to hedge against the bet" (Section
+ * 2.3).  This bench sweeps the factor {0.5, 1, 2, 4} for BCL and DCL
+ * under the first-touch mapping at r=4 to show the design point: a
+ * small factor chases reservations too long (losses on LU-like
+ * workloads grow), a large one gives up savings.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "BenchCommon.h"
+#include "cost/StaticCostModels.h"
+#include "sim/TraceStudy.h"
+
+using namespace csr;
+
+int
+main()
+{
+    const WorkloadScale scale = bench::scaleFromEnv();
+    bench::banner("Ablation: Acost depreciation factor (first touch, "
+                  "r=4)", scale);
+
+    const std::vector<double> factors = {0.5, 1.0, 2.0, 4.0};
+
+    for (PolicyKind kind : {PolicyKind::Bcl, PolicyKind::Dcl}) {
+        TextTable table(policyKindName(kind) +
+                        " -- savings over LRU (%) by depreciation "
+                        "factor");
+        std::vector<std::string> header = {"Benchmark"};
+        for (double factor : factors)
+            header.push_back("x" + TextTable::num(factor, 1));
+        table.setHeader(header);
+
+        for (BenchmarkId id : paperBenchmarks()) {
+            const SampledTrace trace = bench::sampledTrace(id, scale);
+            const TraceStudy study(trace);
+            const FirstTouchTwoCost model(CostRatio::finite(4),
+                                          trace.homeOf,
+                                          trace.sampledProc);
+            std::vector<std::string> row = {benchmarkName(id)};
+            for (double factor : factors) {
+                PolicyParams params;
+                params.depreciationFactor = factor;
+                row.push_back(TextTable::num(
+                    study.savingsPct(kind, model, params), 2));
+            }
+            table.addRow(row);
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation D: processor memory-level parallelism.
+ *
+ * The execution-time benefit of latency-sensitive replacement depends
+ * on how much miss latency the core can hide.  Sweeps the MSHR count
+ * and the store-buffer depth for the DCL policy (500 MHz, Raytrace
+ * and Ocean) to expose the regimes: a fully serialized core converts
+ * aggregate-latency savings directly into time; a deeply overlapped
+ * one hides them.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "BenchCommon.h"
+#include "numa/NumaSystem.h"
+
+using namespace csr;
+
+namespace
+{
+
+struct IlpPoint
+{
+    std::uint32_t mshrs;
+    std::uint32_t storeBuffer;
+};
+
+} // namespace
+
+int
+main()
+{
+    const WorkloadScale scale = bench::scaleFromEnv();
+    bench::banner("Ablation: MLP vs execution-time savings (DCL, "
+                  "500MHz)", scale);
+
+    const std::vector<IlpPoint> points = {
+        {1, 1}, {4, 1}, {8, 1}, {8, 8},
+    };
+
+    TextTable table("DCL execution-time reduction over LRU (%)");
+    std::vector<std::string> header = {"Benchmark"};
+    for (const IlpPoint &point : points)
+        header.push_back("mshr=" + std::to_string(point.mshrs) +
+                         ",sb=" + std::to_string(point.storeBuffer));
+    table.setHeader(header);
+
+    for (BenchmarkId id : {BenchmarkId::Raytrace, BenchmarkId::Ocean}) {
+        auto workload = makeWorkload(id, scale, /*numa_sized=*/true);
+        std::vector<std::string> row = {benchmarkName(id)};
+        for (const IlpPoint &point : points) {
+            NumaConfig config;
+            config.cycleNs = 2;
+            config.mshrs = point.mshrs;
+            config.storeBufferDepth = point.storeBuffer;
+            config.policy = PolicyKind::Lru;
+            NumaSystem lru(config, *workload);
+            const Tick lru_time = lru.run().execTimeNs;
+            config.policy = PolicyKind::Dcl;
+            NumaSystem dcl(config, *workload);
+            const Tick dcl_time = dcl.run().execTimeNs;
+            row.push_back(TextTable::num(
+                100.0 *
+                    (static_cast<double>(lru_time) -
+                     static_cast<double>(dcl_time)) /
+                    static_cast<double>(lru_time),
+                2));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    return 0;
+}

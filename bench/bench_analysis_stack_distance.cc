@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Analysis: per-set stack-distance profiles by cost class.
+ *
+ * Not a paper table -- this is the diagnostic behind all of them.
+ * Reservations can only save blocks whose reuse lands at per-set
+ * stack distances just past the associativity (the "reservation
+ * band", s+1 .. ~3s for a 4-way cache).  The table shows, per
+ * benchmark and cost class, the access mass at distances <= 4 (LRU
+ * hits), in the band, deeper, and cold -- which predicts where the
+ * Figure 3 / Table 2 savings come from (remote band mass) and where
+ * the losses come from (local band mass sacrificed + cold remote
+ * blocks pointlessly reserved).
+ */
+
+#include <iostream>
+
+#include "BenchCommon.h"
+#include "trace/StackDistance.h"
+
+using namespace csr;
+
+int
+main()
+{
+    const WorkloadScale scale = bench::scaleFromEnv();
+    bench::banner("Analysis: per-set stack distances by cost class "
+                  "(16KB 4-way L2 geometry)", scale);
+
+    const CacheGeometry geom(16 * 1024, 4, 64);
+
+    TextTable table("access mass (%) by per-set stack distance");
+    table.setHeader({"Benchmark", "Class", "1-4 (LRU hit)",
+                     "5-12 (band)", "13-64", "cold/deep"});
+
+    for (BenchmarkId id : paperBenchmarks()) {
+        const SampledTrace trace = bench::sampledTrace(id, scale);
+        const StackDistanceReport report =
+            profileStackDistances(trace, geom);
+        bool first = true;
+        for (const auto *profile : {&report.local, &report.remote}) {
+            const double hits = profile->hitFraction(4);
+            const double band = profile->fractionInBand(5, 12);
+            const double deep = profile->fractionInBand(13, 64);
+            const double cold =
+                profile->total
+                    ? 1.0 - hits - band - deep
+                    : 0.0;
+            table.addRow({first ? benchmarkName(id) : std::string(),
+                          first ? "local" : "remote",
+                          TextTable::num(100 * hits, 1),
+                          TextTable::num(100 * band, 1),
+                          TextTable::num(100 * deep, 1),
+                          TextTable::num(100 * cold, 1)});
+            first = false;
+        }
+        table.addSeparator();
+    }
+    table.print(std::cout);
+    std::cout << "\n(remote band mass is the raw material of "
+                 "reservations; local band mass is what failed "
+                 "reservations sacrifice)\n";
+    return 0;
+}

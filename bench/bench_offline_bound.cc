@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Extension: offline oracle bounds.
+ *
+ * The paper's companion work [Jeong & Dubois, SPAA'99] computes the
+ * optimal cost-sensitive schedule offline.  This bench runs Belady's
+ * OPT (miss-count-optimal) and a greedy cost-weighted oracle on the
+ * same traces to bound how much headroom the online algorithms leave.
+ * Offline policies need a policy-independent access stream, so these
+ * runs disable the L1 (see TraceStudy); LRU/DCL are re-run in the
+ * same L2-only configuration for a fair comparison.
+ */
+
+#include <iostream>
+
+#include "BenchCommon.h"
+#include "cost/StaticCostModels.h"
+#include "sim/TraceStudy.h"
+
+using namespace csr;
+
+int
+main()
+{
+    const WorkloadScale scale = bench::scaleFromEnv();
+    bench::banner("Offline bounds (L2-only hierarchy, first touch, "
+                  "r=4)", scale);
+
+    TextTable table("Savings over LRU (%), L2-only");
+    table.setHeader({"Benchmark", "DCL", "ACL", "OPT (miss count)",
+                     "CostOPT~ (greedy oracle)"});
+
+    for (BenchmarkId id : paperBenchmarks()) {
+        const SampledTrace trace = bench::sampledTrace(id, scale);
+        TraceSimConfig config;
+        config.useL1 = false;
+        const TraceStudy study(trace, config);
+        const FirstTouchTwoCost model(CostRatio::finite(4), trace.homeOf,
+                                      trace.sampledProc);
+        table.addRow({
+            benchmarkName(id),
+            TextTable::num(study.savingsPct(PolicyKind::Dcl, model), 2),
+            TextTable::num(study.savingsPct(PolicyKind::Acl, model), 2),
+            TextTable::num(study.savingsPct(PolicyKind::Opt, model), 2),
+            TextTable::num(study.savingsPct(PolicyKind::CostOpt, model),
+                           2),
+        });
+    }
+    table.print(std::cout);
+    std::cout << "\n(the oracles bound what any online policy could "
+                 "reach; CostOPT~ is a greedy heuristic, not the true "
+                 "CSOPT)\n";
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * BCL -- the Basic Cost-sensitive LRU algorithm (Section 2.3, Fig. 1).
+ */
+
+#ifndef CSR_CACHE_BCLPOLICY_H
+#define CSR_CACHE_BCLPOLICY_H
+
+#include "cache/CostSensitiveLruBase.h"
+
+namespace csr
+{
+
+/**
+ * Basic Cost-sensitive LRU.
+ *
+ * Victim selection follows Figure 1 exactly: scan from the second-LRU
+ * position toward the MRU for the first block whose cost is below
+ * Acost; sacrifice it and immediately depreciate Acost by twice its
+ * cost; otherwise evict the LRU block.  The depreciation is applied
+ * whenever a block is replaced in the reserved block's place,
+ * *regardless* of whether the replaced block is referenced again --
+ * the pessimistic assumption DCL later removes.
+ */
+class BclPolicy : public CostSensitiveLruBase
+{
+  public:
+    explicit BclPolicy(const CacheGeometry &geom,
+                       double depreciation_factor = 2.0)
+        : CostSensitiveLruBase(geom, depreciation_factor)
+    {
+    }
+
+    std::string name() const override { return "BCL"; }
+
+    int
+    selectVictim(std::uint32_t set) override
+    {
+        const int victim = findReservationVictim(set);
+        if (victim != lruWay(set)) {
+            // A non-LRU block is sacrificed: pay for the reservation
+            // up front by depreciating the reserved block's cost.
+            depreciate(set, costOf(set, victim));
+        }
+        return victim;
+    }
+};
+
+} // namespace csr
+
+#endif // CSR_CACHE_BCLPOLICY_H

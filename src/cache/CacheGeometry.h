@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Cache geometry: size / associativity / block size and the address
+ * decomposition (tag | set | block offset) derived from them.
+ */
+
+#ifndef CSR_CACHE_CACHEGEOMETRY_H
+#define CSR_CACHE_CACHEGEOMETRY_H
+
+#include <cstdint>
+#include <string>
+
+#include "util/Logging.h"
+#include "util/MathUtil.h"
+#include "util/Types.h"
+
+namespace csr
+{
+
+/**
+ * Geometry of a set-associative cache.
+ *
+ * All three quantities must be powers of two; a direct-mapped cache is
+ * expressed as assoc == 1 and a fully-associative cache as
+ * assoc == sizeBytes / blockBytes.
+ */
+class CacheGeometry
+{
+  public:
+    /**
+     * @param size_bytes  total capacity in bytes
+     * @param assoc       number of ways per set
+     * @param block_bytes line size in bytes (the paper uses 64 B)
+     */
+    CacheGeometry(std::uint64_t size_bytes, std::uint32_t assoc,
+                  std::uint32_t block_bytes)
+        : sizeBytes_(size_bytes), assoc_(assoc), blockBytes_(block_bytes)
+    {
+        csr_assert(isPow2(size_bytes) && isPow2(assoc) && isPow2(block_bytes),
+                   "cache geometry must be powers of two");
+        csr_assert(size_bytes >= static_cast<std::uint64_t>(assoc) *
+                   block_bytes, "cache smaller than one set");
+        numSets_ = static_cast<std::uint32_t>(
+            size_bytes / (static_cast<std::uint64_t>(assoc) * block_bytes));
+        blockBits_ = floorLog2(block_bytes);
+        setBits_ = floorLog2(numSets_);
+    }
+
+    std::uint64_t sizeBytes() const { return sizeBytes_; }
+    std::uint32_t assoc() const { return assoc_; }
+    std::uint32_t blockBytes() const { return blockBytes_; }
+    std::uint32_t numSets() const { return numSets_; }
+    int blockBits() const { return blockBits_; }
+    int setBits() const { return setBits_; }
+
+    /** Block-granular address (byte address with offset stripped). */
+    Addr blockAddr(Addr byte_addr) const { return byte_addr >> blockBits_; }
+
+    /** Set index of a byte address. */
+    std::uint32_t
+    setIndex(Addr byte_addr) const
+    {
+        return static_cast<std::uint32_t>(blockAddr(byte_addr) &
+                                          (numSets_ - 1));
+    }
+
+    /** Tag of a byte address (block address with set bits stripped). */
+    Addr tag(Addr byte_addr) const { return blockAddr(byte_addr) >> setBits_; }
+
+    /** Recompose a block address from (set, tag). */
+    Addr
+    blockAddrOf(std::uint32_t set, Addr tag_value) const
+    {
+        return (tag_value << setBits_) | set;
+    }
+
+    /** Human-readable description, e.g. "16KB 4-way 64B". */
+    std::string
+    describe() const
+    {
+        return std::to_string(sizeBytes_ / 1024) + "KB " +
+               std::to_string(assoc_) + "-way " +
+               std::to_string(blockBytes_) + "B";
+    }
+
+  private:
+    std::uint64_t sizeBytes_;
+    std::uint32_t assoc_;
+    std::uint32_t blockBytes_;
+    std::uint32_t numSets_;
+    int blockBits_;
+    int setBits_;
+};
+
+} // namespace csr
+
+#endif // CSR_CACHE_CACHEGEOMETRY_H

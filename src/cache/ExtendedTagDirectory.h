@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Extended Tag Directory (ETD) -- Section 2.4.
+ *
+ * The ETD remembers, per cache set, the s-1 most recently sacrificed
+ * blocks (tag + miss cost + valid bit).  DCL consults it on every
+ * access: a miss in the cache that hits in the ETD proves that a block
+ * replaced in the reserved block's place was re-referenced before the
+ * reserved block, i.e. that the reservation caused a real extra miss,
+ * and only then is the reserved block's cost depreciated.
+ *
+ * Section 2.4/4.3 also describe storing only a few low-order tag bits
+ * to shrink the ETD; the resulting aliasing causes false matches and
+ * hence overly aggressive depreciation but never affects correctness.
+ * alias_bits == 0 stores full tags.
+ */
+
+#ifndef CSR_CACHE_EXTENDEDTAGDIRECTORY_H
+#define CSR_CACHE_EXTENDEDTAGDIRECTORY_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/Logging.h"
+#include "util/Types.h"
+
+namespace csr
+{
+
+/**
+ * Per-set victim-tag directory with LRU allocation (invalid entries
+ * first), full-tag or aliased-tag matching.
+ */
+class ExtendedTagDirectory
+{
+  public:
+    /**
+     * @param num_sets        one directory slice per cache set
+     * @param entries_per_set s-1 for an s-way cache (Section 2.4 shows
+     *                        more entries can never be useful)
+     * @param alias_bits      number of low-order tag bits kept;
+     *                        0 keeps the full tag
+     */
+    ExtendedTagDirectory(std::uint32_t num_sets,
+                         std::uint32_t entries_per_set,
+                         unsigned alias_bits = 0)
+        : entriesPerSet_(entries_per_set), aliasBits_(alias_bits),
+          entries_(static_cast<std::size_t>(num_sets) * entries_per_set)
+    {
+        csr_assert(alias_bits <= 63, "alias_bits out of range");
+    }
+
+    /** Tag value as stored/compared (aliased to the low bits). */
+    Addr
+    maskTag(Addr tag) const
+    {
+        if (aliasBits_ == 0)
+            return tag;
+        return tag & ((Addr{1} << aliasBits_) - 1);
+    }
+
+    /**
+     * Record a sacrificed block.  Allocation picks an invalid entry
+     * first, otherwise the least-recently allocated one.  A duplicate
+     * (same masked tag) is refreshed in place rather than duplicated,
+     * preserving the cache/ETD tag-exclusivity invariant.
+     */
+    void
+    insert(std::uint32_t set, Addr tag, Cost cost)
+    {
+        const Addr masked = maskTag(tag);
+        Entry *slot = nullptr;
+        for (auto &entry : slice(set)) {
+            if (entry.valid && entry.tag == masked) {
+                slot = &entry;
+                break;
+            }
+            if (!entry.valid && !slot)
+                slot = &entry;
+        }
+        if (!slot) {
+            // All valid and no duplicate: replace the oldest.
+            slot = slice(set).begin();
+            for (auto &entry : slice(set)) {
+                if (entry.stamp < slot->stamp)
+                    slot = &entry;
+            }
+        }
+        slot->valid = true;
+        slot->tag = masked;
+        slot->cost = cost;
+        slot->stamp = ++clock_;
+    }
+
+    /**
+     * Look up a tag; on a hit the entry is invalidated (the paper
+     * invalidates the matching entry once its evidence is consumed)
+     * and its recorded cost returned.
+     */
+    std::optional<Cost>
+    lookupAndInvalidate(std::uint32_t set, Addr tag)
+    {
+        const Addr masked = maskTag(tag);
+        for (auto &entry : slice(set)) {
+            if (entry.valid && entry.tag == masked) {
+                entry.valid = false;
+                return entry.cost;
+            }
+        }
+        return std::nullopt;
+    }
+
+    /** Non-destructive probe (tests/stats). */
+    bool
+    contains(std::uint32_t set, Addr tag) const
+    {
+        const Addr masked = maskTag(tag);
+        for (const auto &entry : cslice(set)) {
+            if (entry.valid && entry.tag == masked)
+                return true;
+        }
+        return false;
+    }
+
+    /** Coherence invalidation of a block that may be recorded here. */
+    void
+    invalidateTag(std::uint32_t set, Addr tag)
+    {
+        const Addr masked = maskTag(tag);
+        for (auto &entry : slice(set)) {
+            if (entry.valid && entry.tag == masked)
+                entry.valid = false;
+        }
+    }
+
+    /** Drop every entry of a set (hit on the reserved LRU block). */
+    void
+    invalidateAll(std::uint32_t set)
+    {
+        for (auto &entry : slice(set))
+            entry.valid = false;
+    }
+
+    /** Number of valid entries in a set. */
+    std::uint32_t
+    validCount(std::uint32_t set) const
+    {
+        std::uint32_t n = 0;
+        for (const auto &entry : cslice(set))
+            n += entry.valid ? 1 : 0;
+        return n;
+    }
+
+    std::uint32_t entriesPerSet() const { return entriesPerSet_; }
+    unsigned aliasBits() const { return aliasBits_; }
+
+    void
+    reset()
+    {
+        for (auto &entry : entries_)
+            entry.valid = false;
+        clock_ = 0;
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        Cost cost = 0.0;
+        std::uint64_t stamp = 0;
+    };
+
+    struct Span
+    {
+        Entry *first;
+        Entry *last;
+        Entry *begin() const { return first; }
+        Entry *end() const { return last; }
+    };
+
+    struct CSpan
+    {
+        const Entry *first;
+        const Entry *last;
+        const Entry *begin() const { return first; }
+        const Entry *end() const { return last; }
+    };
+
+    Span
+    slice(std::uint32_t set)
+    {
+        Entry *base =
+            entries_.data() + static_cast<std::size_t>(set) * entriesPerSet_;
+        return {base, base + entriesPerSet_};
+    }
+
+    CSpan
+    cslice(std::uint32_t set) const
+    {
+        const Entry *base =
+            entries_.data() + static_cast<std::size_t>(set) * entriesPerSet_;
+        return {base, base + entriesPerSet_};
+    }
+
+    std::uint32_t entriesPerSet_;
+    unsigned aliasBits_;
+    std::vector<Entry> entries_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace csr
+
+#endif // CSR_CACHE_EXTENDEDTAGDIRECTORY_H

@@ -1,0 +1,54 @@
+#include "cache/HwOverhead.h"
+
+#include "util/Logging.h"
+
+namespace csr
+{
+
+std::uint64_t
+hwOverheadBitsPerSet(PolicyKind kind, const HwOverheadParams &p)
+{
+    const std::uint64_t s = p.assoc;
+    const std::uint64_t fixed = p.staticCostTable ? 0 : p.fixedCostBits;
+    const std::uint64_t computed = p.computedCostBits;
+    // Each ETD entry stores a (possibly aliased) tag plus a valid bit;
+    // its fixed cost field is accounted through the `fixed` terms.
+    const std::uint64_t etd_entry = p.etdTagBits + 1;
+
+    switch (kind) {
+      case PolicyKind::Lru:
+        return 0;
+      case PolicyKind::Bcl:
+        // s fixed cost fields in the cache + the computed Acost.
+        return s * fixed + computed;
+      case PolicyKind::GreedyDual:
+        // One fixed + one computed cost field per block.
+        return s * fixed + s * computed;
+      case PolicyKind::Dcl:
+        // s fixed + Acost in the cache, s-1 fixed in the ETD, plus
+        // s-1 ETD tag/valid fields.
+        return s * fixed + computed + (s - 1) * fixed +
+               (s - 1) * etd_entry;
+      case PolicyKind::Acl:
+        // DCL plus the two-bit counter and the reserved bit.
+        return hwOverheadBitsPerSet(PolicyKind::Dcl, p) + 3;
+      default:
+        csr_fatal("hardware overhead model only covers LRU/GD/BCL/DCL/ACL");
+    }
+}
+
+std::uint64_t
+hwBaselineBitsPerSet(const HwOverheadParams &p)
+{
+    return static_cast<std::uint64_t>(p.assoc) *
+           (8ull * p.blockBytes + p.tagBits);
+}
+
+double
+hwOverheadPercent(PolicyKind kind, const HwOverheadParams &p)
+{
+    return 100.0 * static_cast<double>(hwOverheadBitsPerSet(kind, p)) /
+           static_cast<double>(hwBaselineBitsPerSet(p));
+}
+
+} // namespace csr

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Hardware-overhead model of Section 5.
+ *
+ * Reproduces the paper's per-set storage accounting for the four
+ * cost-sensitive algorithms relative to plain LRU:
+ *
+ *   BCL needs s+1 cost fields (s fixed + the computed Acost);
+ *   GD  needs 2s cost fields (one fixed + one computed per block);
+ *   DCL needs 2s cost fields (s fixed + Acost in the cache, s-1 fixed
+ *       in the ETD) plus s-1 ETD tag+valid fields;
+ *   ACL adds a two-bit counter and a reserved bit to DCL.
+ *
+ * When the cost function is static and derivable from the address
+ * ("a simple table lookup can be used"), the fixed cost fields vanish
+ * and only computed fields plus ETD tag storage remain.
+ *
+ * The LRU baseline against which the percentage is computed is the
+ * per-set data + tag storage (s * (8*blockBytes + tagBits)); with the
+ * paper's example (4-way, 25-bit tags, 8-bit cost fields, 64-byte
+ * blocks) this model reproduces its 1.9% / 6.6% / 6.7% figures for
+ * BCL / DCL / ACL and the 11 / 20 / 32 / 35 bit counts of the
+ * quantized-latency example.
+ */
+
+#ifndef CSR_CACHE_HWOVERHEAD_H
+#define CSR_CACHE_HWOVERHEAD_H
+
+#include <cstdint>
+
+#include "cache/PolicyFactory.h"
+
+namespace csr
+{
+
+/** Storage parameters of the overhead model. */
+struct HwOverheadParams
+{
+    std::uint32_t assoc = 4;           ///< ways per set (s)
+    std::uint32_t tagBits = 25;        ///< cache tag width
+    std::uint32_t blockBytes = 64;     ///< line size (data bits = 8x)
+    std::uint32_t fixedCostBits = 8;   ///< width of a fixed cost field
+    std::uint32_t computedCostBits = 8;///< width of a computed field
+    std::uint32_t etdTagBits = 25;     ///< ETD tag width (aliasing < tagBits)
+    /** Static cost derivable from the address: drop fixed cost
+     *  fields (Section 5's second accounting). */
+    bool staticCostTable = false;
+};
+
+/** Extra bits per set required by @p kind over plain LRU.
+ *  Only GD/BCL/DCL/ACL are meaningful; LRU returns 0. */
+std::uint64_t hwOverheadBitsPerSet(PolicyKind kind,
+                                   const HwOverheadParams &params);
+
+/** Baseline per-set storage (data + tags) in bits. */
+std::uint64_t hwBaselineBitsPerSet(const HwOverheadParams &params);
+
+/** Overhead as a percentage of the baseline. */
+double hwOverheadPercent(PolicyKind kind, const HwOverheadParams &params);
+
+} // namespace csr
+
+#endif // CSR_CACHE_HWOVERHEAD_H

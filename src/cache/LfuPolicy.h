@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Least-frequently-used replacement (aging by eviction), a secondary
+ * cost-blind baseline used in the harness's extension experiments.
+ */
+
+#ifndef CSR_CACHE_LFUPOLICY_H
+#define CSR_CACHE_LFUPOLICY_H
+
+#include <vector>
+
+#include "cache/StackPolicyBase.h"
+
+namespace csr
+{
+
+/**
+ * LFU with per-line reference counters; ties are broken toward the
+ * LRU end of the stack so that LFU degenerates to LRU on a flat
+ * frequency profile.
+ */
+class LfuPolicy : public StackPolicyBase
+{
+  public:
+    explicit LfuPolicy(const CacheGeometry &geom)
+        : StackPolicyBase(geom),
+          refs_(static_cast<std::size_t>(geom.numSets()) * geom.assoc(), 0)
+    {
+    }
+
+    std::string name() const override { return "LFU"; }
+
+    int
+    selectVictim(std::uint32_t set) override
+    {
+        const int n = stackSize(set);
+        csr_assert(n > 0, "victim requested on empty set");
+        int victim = wayAt(set, n);
+        std::uint64_t best = refs_[idx(set, victim)];
+        // Scan from the LRU end so that equal counts prefer the
+        // least-recently-used line.
+        for (int pos = n; pos >= 1; --pos) {
+            const int way = wayAt(set, pos);
+            if (refs_[idx(set, way)] < best) {
+                best = refs_[idx(set, way)];
+                victim = way;
+            }
+        }
+        return victim;
+    }
+
+    void
+    fill(std::uint32_t set, int way, Addr tag, Cost cost) override
+    {
+        StackPolicyBase::fill(set, way, tag, cost);
+        refs_[idx(set, way)] = 1;
+    }
+
+    void
+    reset() override
+    {
+        StackPolicyBase::reset();
+        std::fill(refs_.begin(), refs_.end(), 0);
+    }
+
+  protected:
+    void
+    onHit(std::uint32_t set, int way, int old_pos) override
+    {
+        (void)old_pos;
+        ++refs_[idx(set, way)];
+    }
+
+  private:
+    std::vector<std::uint64_t> refs_;
+};
+
+} // namespace csr
+
+#endif // CSR_CACHE_LFUPOLICY_H

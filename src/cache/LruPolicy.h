@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Plain LRU replacement -- the paper's baseline.
+ */
+
+#ifndef CSR_CACHE_LRUPOLICY_H
+#define CSR_CACHE_LRUPOLICY_H
+
+#include "cache/StackPolicyBase.h"
+
+namespace csr
+{
+
+/**
+ * Least-recently-used replacement.  Cost-blind: the cost fields kept
+ * by the base class are ignored; the victim is always the stack
+ * bottom.
+ */
+class LruPolicy : public StackPolicyBase
+{
+  public:
+    explicit LruPolicy(const CacheGeometry &geom) : StackPolicyBase(geom) {}
+
+    std::string name() const override { return "LRU"; }
+
+    int
+    selectVictim(std::uint32_t set) override
+    {
+        const int victim = lruWay(set);
+        csr_assert(victim != kInvalidWay, "victim requested on empty set");
+        return victim;
+    }
+};
+
+} // namespace csr
+
+#endif // CSR_CACHE_LRUPOLICY_H

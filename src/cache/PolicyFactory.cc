@@ -1,0 +1,114 @@
+#include "cache/PolicyFactory.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "cache/AclPolicy.h"
+#include "cache/BclPolicy.h"
+#include "cache/BeladyPolicy.h"
+#include "cache/DclPolicy.h"
+#include "cache/GreedyDualPolicy.h"
+#include "cache/LfuPolicy.h"
+#include "cache/LruPolicy.h"
+#include "cache/RandomPolicy.h"
+#include "util/Logging.h"
+
+namespace csr
+{
+
+PolicyPtr
+makePolicy(PolicyKind kind, const CacheGeometry &geom,
+           const PolicyParams &params)
+{
+    switch (kind) {
+      case PolicyKind::Lru:
+        return std::make_unique<LruPolicy>(geom);
+      case PolicyKind::Random:
+        return std::make_unique<RandomPolicy>(geom, params.seed);
+      case PolicyKind::Lfu:
+        return std::make_unique<LfuPolicy>(geom);
+      case PolicyKind::GreedyDual:
+        return std::make_unique<GreedyDualPolicy>(geom);
+      case PolicyKind::Bcl:
+        return std::make_unique<BclPolicy>(geom,
+                                           params.depreciationFactor);
+      case PolicyKind::Dcl:
+        return std::make_unique<DclPolicy>(geom, params.etdAliasBits,
+                                           params.depreciationFactor);
+      case PolicyKind::Acl:
+        return std::make_unique<AclPolicy>(geom, params.etdAliasBits,
+                                           params.depreciationFactor);
+      case PolicyKind::Opt:
+        return std::make_unique<BeladyPolicy>(geom);
+      case PolicyKind::CostOpt:
+        return std::make_unique<CostAwareBeladyPolicy>(geom);
+    }
+    csr_panic("unhandled PolicyKind %d", static_cast<int>(kind));
+}
+
+PolicyKind
+parsePolicyKind(const std::string &name)
+{
+    std::string lower = name;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower == "lru")
+        return PolicyKind::Lru;
+    if (lower == "random" || lower == "rand")
+        return PolicyKind::Random;
+    if (lower == "lfu")
+        return PolicyKind::Lfu;
+    if (lower == "gd" || lower == "greedydual")
+        return PolicyKind::GreedyDual;
+    if (lower == "bcl")
+        return PolicyKind::Bcl;
+    if (lower == "dcl")
+        return PolicyKind::Dcl;
+    if (lower == "acl")
+        return PolicyKind::Acl;
+    if (lower == "opt" || lower == "belady")
+        return PolicyKind::Opt;
+    if (lower == "costopt" || lower == "csopt")
+        return PolicyKind::CostOpt;
+    csr_fatal("unknown replacement policy '%s'", name.c_str());
+}
+
+std::string
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Lru:
+        return "LRU";
+      case PolicyKind::Random:
+        return "Random";
+      case PolicyKind::Lfu:
+        return "LFU";
+      case PolicyKind::GreedyDual:
+        return "GD";
+      case PolicyKind::Bcl:
+        return "BCL";
+      case PolicyKind::Dcl:
+        return "DCL";
+      case PolicyKind::Acl:
+        return "ACL";
+      case PolicyKind::Opt:
+        return "OPT";
+      case PolicyKind::CostOpt:
+        return "CostOPT~";
+    }
+    return "?";
+}
+
+const std::vector<PolicyKind> &
+paperPolicies()
+{
+    static const std::vector<PolicyKind> kinds = {
+        PolicyKind::GreedyDual,
+        PolicyKind::Bcl,
+        PolicyKind::Dcl,
+        PolicyKind::Acl,
+    };
+    return kinds;
+}
+
+} // namespace csr

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Construction of replacement policies by symbolic kind, so that
+ * simulators, benches and examples can be configured with a string or
+ * enum instead of hard-wiring types.
+ */
+
+#ifndef CSR_CACHE_POLICYFACTORY_H
+#define CSR_CACHE_POLICYFACTORY_H
+
+#include <string>
+#include <vector>
+
+#include "cache/ReplacementPolicy.h"
+
+namespace csr
+{
+
+/** Policy selector. */
+enum class PolicyKind
+{
+    Lru,
+    Random,
+    Lfu,
+    GreedyDual,
+    Bcl,
+    Dcl,
+    Acl,
+    Opt,        ///< offline Belady (miss count)
+    CostOpt,    ///< offline greedy cost-weighted oracle
+};
+
+/** Tunables shared by the factory. */
+struct PolicyParams
+{
+    /** ETD tag aliasing for DCL/ACL (0 = full tags). */
+    unsigned etdAliasBits = 0;
+    /** Acost depreciation multiplier for BCL/DCL/ACL (paper: 2). */
+    double depreciationFactor = 2.0;
+    /** Seed for RandomPolicy. */
+    std::uint64_t seed = 0xC5CADAull;
+};
+
+/** Build a policy instance. */
+PolicyPtr makePolicy(PolicyKind kind, const CacheGeometry &geom,
+                     const PolicyParams &params = {});
+
+/** Parse "lru" / "gd" / "bcl" / "dcl" / "acl" / ... (case-insensitive);
+ *  fatal on unknown names. */
+PolicyKind parsePolicyKind(const std::string &name);
+
+/** Display name matching the paper's terminology. */
+std::string policyKindName(PolicyKind kind);
+
+/** The four cost-sensitive algorithms evaluated by the paper, in the
+ *  order its tables use: GD, BCL, DCL, ACL. */
+const std::vector<PolicyKind> &paperPolicies();
+
+} // namespace csr
+
+#endif // CSR_CACHE_POLICYFACTORY_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Random replacement -- a sanity baseline for the evaluation harness.
+ */
+
+#ifndef CSR_CACHE_RANDOMPOLICY_H
+#define CSR_CACHE_RANDOMPOLICY_H
+
+#include "cache/StackPolicyBase.h"
+#include "util/Random.h"
+
+namespace csr
+{
+
+/**
+ * Uniform-random victim selection among resident ways.  Deterministic
+ * under a fixed seed.
+ */
+class RandomPolicy : public StackPolicyBase
+{
+  public:
+    explicit RandomPolicy(const CacheGeometry &geom,
+                          std::uint64_t seed = 0xC5CADAull)
+        : StackPolicyBase(geom), rng_(seed)
+    {
+    }
+
+    std::string name() const override { return "Random"; }
+
+    int
+    selectVictim(std::uint32_t set) override
+    {
+        const int n = stackSize(set);
+        csr_assert(n > 0, "victim requested on empty set");
+        return wayAt(set, 1 + static_cast<int>(rng_.nextBelow(
+                                 static_cast<std::uint64_t>(n))));
+    }
+
+  private:
+    Rng rng_;
+};
+
+} // namespace csr
+
+#endif // CSR_CACHE_RANDOMPOLICY_H

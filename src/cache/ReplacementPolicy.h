@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Abstract interface for (cost-sensitive) replacement policies.
+ *
+ * The cache owner drives the policy through a fixed protocol for every
+ * access to a set:
+ *
+ *   1. access(set, tag, hit_way)  -- always, before any fill.  On a hit,
+ *      hit_way is the resident way; on a miss it is kInvalidWay.  This
+ *      is where recency updates, ETD lookups and cost depreciation
+ *      happen (the paper checks the ETD "upon every cache access").
+ *   2. on a miss that must evict, selectVictim(set) -- only when the
+ *      set has no invalid way.  Returns the way to evict.  The owner
+ *      evicts it, then the policy is told about the new block via
+ *   3. fill(set, way, tag, cost) -- the new block is installed with its
+ *      predicted next-miss cost.
+ *
+ * External invalidations (coherence) call invalidate(); this also
+ * scrubs any ETD record of the tag, per Section 2.4 of the paper.
+ * Costs of resident lines can be refreshed via updateCost() when a
+ * dynamic cost model produces a new prediction.
+ *
+ * Policies are stateful per set but know nothing about addresses
+ * beyond (set, tag) pairs, so the same objects serve the trace-driven
+ * L2 and the NUMA cache controller.
+ */
+
+#ifndef CSR_CACHE_REPLACEMENTPOLICY_H
+#define CSR_CACHE_REPLACEMENTPOLICY_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cache/CacheGeometry.h"
+#include "util/Stats.h"
+#include "util/Types.h"
+
+namespace csr
+{
+
+/**
+ * Base class of all replacement policies.
+ */
+class ReplacementPolicy
+{
+  public:
+    explicit ReplacementPolicy(const CacheGeometry &geom) : geom_(geom) {}
+    virtual ~ReplacementPolicy() = default;
+
+    ReplacementPolicy(const ReplacementPolicy &) = delete;
+    ReplacementPolicy &operator=(const ReplacementPolicy &) = delete;
+
+    /** Short identifier, e.g. "LRU", "BCL". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Notify the policy of an access to (set, tag).
+     *
+     * @param set     set index
+     * @param tag     tag of the accessed block
+     * @param hit_way resident way on a hit, kInvalidWay on a miss
+     */
+    virtual void access(std::uint32_t set, Addr tag, int hit_way) = 0;
+
+    /**
+     * Choose the way to evict from a full set.  Never returns
+     * kInvalidWay.  May mutate reservation state (e.g. depreciate the
+     * reserved block's cost in BCL).
+     */
+    virtual int selectVictim(std::uint32_t set) = 0;
+
+    /**
+     * A new block was installed.  @p way is either the victim returned
+     * by selectVictim() or a previously invalid way.
+     *
+     * @param cost predicted cost of the block's *next* miss
+     */
+    virtual void fill(std::uint32_t set, int way, Addr tag, Cost cost) = 0;
+
+    /**
+     * External invalidation.  @p way is the resident way being
+     * invalidated, or kInvalidWay when the block is not resident (the
+     * call is still made so the ETD entry, if any, can be scrubbed).
+     */
+    virtual void invalidate(std::uint32_t set, Addr tag, int way) = 0;
+
+    /** Refresh the predicted next-miss cost of a resident line.  The
+     *  default ignores the update (cost-blind policies). */
+    virtual void
+    updateCost(std::uint32_t set, int way, Cost cost)
+    {
+        (void)set;
+        (void)way;
+        (void)cost;
+    }
+
+    /** Reset all recency / reservation / ETD state. */
+    virtual void reset() = 0;
+
+    const CacheGeometry &geometry() const { return geom_; }
+
+    /** Policy-internal event counters (reservations, ETD hits, ...). */
+    const StatGroup &stats() const { return stats_; }
+    StatGroup &stats() { return stats_; }
+
+  protected:
+    CacheGeometry geom_;
+    StatGroup stats_;
+};
+
+/** Owning handle used throughout the simulators. */
+using PolicyPtr = std::unique_ptr<ReplacementPolicy>;
+
+} // namespace csr
+
+#endif // CSR_CACHE_REPLACEMENTPOLICY_H

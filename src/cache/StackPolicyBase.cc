@@ -1,0 +1,120 @@
+#include "cache/StackPolicyBase.h"
+
+#include <algorithm>
+
+#include "util/Logging.h"
+
+namespace csr
+{
+
+StackPolicyBase::StackPolicyBase(const CacheGeometry &geom)
+    : ReplacementPolicy(geom), stacks_(geom.numSets()),
+      costs_(static_cast<std::size_t>(geom.numSets()) * geom.assoc(), 0.0),
+      tags_(static_cast<std::size_t>(geom.numSets()) * geom.assoc(), 0),
+      lastLru_(geom.numSets(), kInvalidWay)
+{
+    for (auto &stack : stacks_)
+        stack.reserve(geom.assoc());
+}
+
+void
+StackPolicyBase::access(std::uint32_t set, Addr tag, int hit_way)
+{
+    if (hit_way == kInvalidWay) {
+        onMissAccess(set, tag);
+        return;
+    }
+    csr_assert(tags_[idx(set, hit_way)] == tag,
+               "hit way holds a different tag");
+    const int old_pos = posOf(set, hit_way);
+    promoteToMru(set, hit_way);
+    onHit(set, hit_way, old_pos);
+    checkLruChanged(set);
+}
+
+void
+StackPolicyBase::fill(std::uint32_t set, int way, Addr tag, Cost cost)
+{
+    // The way may still be in the stack if the owner reuses a victim
+    // way without an explicit invalidate; scrub it first.
+    auto &stack = stacks_[set];
+    auto it = std::find(stack.begin(), stack.end(), way);
+    if (it != stack.end())
+        stack.erase(it);
+    stack.insert(stack.begin(), way);
+    csr_assert(stack.size() <= geom_.assoc(), "stack overflow");
+    costs_[idx(set, way)] = cost;
+    tags_[idx(set, way)] = tag;
+    checkLruChanged(set);
+}
+
+void
+StackPolicyBase::invalidate(std::uint32_t set, Addr tag, int way)
+{
+    if (way == kInvalidWay) {
+        onInvalidateAbsent(set, tag);
+        return;
+    }
+    onInvalidateWay(set, tag, way);
+    removeFromStack(set, way);
+    checkLruChanged(set);
+}
+
+void
+StackPolicyBase::updateCost(std::uint32_t set, int way, Cost cost)
+{
+    costs_[idx(set, way)] = cost;
+}
+
+void
+StackPolicyBase::reset()
+{
+    for (auto &stack : stacks_)
+        stack.clear();
+    std::fill(costs_.begin(), costs_.end(), 0.0);
+    std::fill(tags_.begin(), tags_.end(), 0);
+    std::fill(lastLru_.begin(), lastLru_.end(), kInvalidWay);
+    stats_.reset();
+}
+
+int
+StackPolicyBase::posOf(std::uint32_t set, int way) const
+{
+    const auto &stack = stacks_[set];
+    for (std::size_t i = 0; i < stack.size(); ++i) {
+        if (stack[i] == way)
+            return static_cast<int>(i) + 1;
+    }
+    csr_panic("way %d not in stack of set %u", way, set);
+}
+
+void
+StackPolicyBase::promoteToMru(std::uint32_t set, int way)
+{
+    auto &stack = stacks_[set];
+    auto it = std::find(stack.begin(), stack.end(), way);
+    csr_assert(it != stack.end(), "promote of non-resident way");
+    stack.erase(it);
+    stack.insert(stack.begin(), way);
+}
+
+void
+StackPolicyBase::removeFromStack(std::uint32_t set, int way)
+{
+    auto &stack = stacks_[set];
+    auto it = std::find(stack.begin(), stack.end(), way);
+    if (it != stack.end())
+        stack.erase(it);
+}
+
+void
+StackPolicyBase::checkLruChanged(std::uint32_t set)
+{
+    const int lru = lruWay(set);
+    if (lru != lastLru_[set]) {
+        lastLru_[set] = lru;
+        onLruChanged(set, lru);
+    }
+}
+
+} // namespace csr

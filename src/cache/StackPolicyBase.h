@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Shared recency-stack machinery for LRU-family policies.
+ *
+ * The paper describes every algorithm in terms of positions in the LRU
+ * stack [Mattson et al.]: position 1 is the MRU block and position s
+ * the LRU block of an s-way set.  This base class maintains that stack
+ * per set, together with the per-way miss cost c(i) and the tag of the
+ * resident block (needed by the ETD in DCL/ACL), and gives derived
+ * policies a hook that fires whenever the identity of the LRU block
+ * changes -- the moment at which BCL/DCL/ACL reload Acost with the
+ * cost of the new LRU block ("upon_entering_LRU_position" in Fig. 1).
+ */
+
+#ifndef CSR_CACHE_STACKPOLICYBASE_H
+#define CSR_CACHE_STACKPOLICYBASE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/ReplacementPolicy.h"
+
+namespace csr
+{
+
+/**
+ * Recency bookkeeping common to LRU, GD, BCL, DCL and ACL.
+ *
+ * Only valid ways appear in a set's stack; the owner fills invalid
+ * ways directly, so selectVictim() is only consulted on full sets.
+ */
+class StackPolicyBase : public ReplacementPolicy
+{
+  public:
+    explicit StackPolicyBase(const CacheGeometry &geom);
+
+    void access(std::uint32_t set, Addr tag, int hit_way) override;
+    void fill(std::uint32_t set, int way, Addr tag, Cost cost) override;
+    void invalidate(std::uint32_t set, Addr tag, int way) override;
+    void updateCost(std::uint32_t set, int way, Cost cost) override;
+    void reset() override;
+
+    // --- introspection (tests, stats) ------------------------------------
+
+    /** Ways ordered MRU first; only valid ways appear. */
+    const std::vector<int> &stackOf(std::uint32_t set) const
+    {
+        return stacks_[set];
+    }
+
+    /** Current LRU way of the set, or kInvalidWay if the set is empty. */
+    int
+    lruWay(std::uint32_t set) const
+    {
+        return stacks_[set].empty() ? kInvalidWay : stacks_[set].back();
+    }
+
+    /** Predicted next-miss cost of a resident way. */
+    Cost costOf(std::uint32_t set, int way) const
+    {
+        return costs_[idx(set, way)];
+    }
+
+    /** Tag mirrored at fill time (used by the ETD). */
+    Addr tagOf(std::uint32_t set, int way) const
+    {
+        return tags_[idx(set, way)];
+    }
+
+  protected:
+    /**
+     * Hook called after any stack mutation that changed which way is
+     * at the LRU position (including the set becoming non-empty or
+     * empty).  @p lru_way is the new LRU way or kInvalidWay.
+     */
+    virtual void onLruChanged(std::uint32_t set, int lru_way)
+    {
+        (void)set;
+        (void)lru_way;
+    }
+
+    /**
+     * Hook called on a cache hit after the recency update, with the
+     * position (1-based, 1 = MRU) the way occupied *before* promotion.
+     */
+    virtual void onHit(std::uint32_t set, int way, int old_pos)
+    {
+        (void)set;
+        (void)way;
+        (void)old_pos;
+    }
+
+    /** Hook called on a cache miss during access() (ETD lookup point). */
+    virtual void onMissAccess(std::uint32_t set, Addr tag)
+    {
+        (void)set;
+        (void)tag;
+    }
+
+    /** Hook called when a resident way is invalidated, before removal. */
+    virtual void onInvalidateWay(std::uint32_t set, Addr tag, int way)
+    {
+        (void)set;
+        (void)tag;
+        (void)way;
+    }
+
+    /** Hook called when a non-resident tag is invalidated (ETD scrub). */
+    virtual void onInvalidateAbsent(std::uint32_t set, Addr tag)
+    {
+        (void)set;
+        (void)tag;
+    }
+
+    // --- stack manipulation helpers for derived classes ------------------
+
+    /** 1-based LRU-stack position of a way (1 = MRU); way must be in
+     *  the stack. */
+    int posOf(std::uint32_t set, int way) const;
+
+    /** Way at 1-based position pos (1 = MRU). */
+    int
+    wayAt(std::uint32_t set, int pos) const
+    {
+        return stacks_[set][static_cast<std::size_t>(pos - 1)];
+    }
+
+    /** Number of valid ways in the set. */
+    int
+    stackSize(std::uint32_t set) const
+    {
+        return static_cast<int>(stacks_[set].size());
+    }
+
+    /** Move a resident way to the MRU position. */
+    void promoteToMru(std::uint32_t set, int way);
+
+    /** Remove a way from the stack (eviction / invalidation). */
+    void removeFromStack(std::uint32_t set, int way);
+
+    std::size_t
+    idx(std::uint32_t set, int way) const
+    {
+        return static_cast<std::size_t>(set) * geom_.assoc() +
+               static_cast<std::size_t>(way);
+    }
+
+    void setCost(std::uint32_t set, int way, Cost cost)
+    {
+        costs_[idx(set, way)] = cost;
+    }
+
+  private:
+    /** Fire onLruChanged if the LRU identity differs from the cached
+     *  one. */
+    void checkLruChanged(std::uint32_t set);
+
+    std::vector<std::vector<int>> stacks_; // per set, MRU first
+    std::vector<Cost> costs_;              // per (set, way)
+    std::vector<Addr> tags_;               // per (set, way)
+    std::vector<int> lastLru_;             // per set, for change detection
+};
+
+} // namespace csr
+
+#endif // CSR_CACHE_STACKPOLICYBASE_H

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tag store for a set-associative cache.
+ *
+ * The tag array is deliberately policy-free: it records which tags are
+ * resident and a small per-line auxiliary word that owners (the trace
+ * simulator's L2, the NUMA cache controller) use for coherence state or
+ * dirty bits.  Recency and cost metadata live in the ReplacementPolicy.
+ */
+
+#ifndef CSR_CACHE_TAGARRAY_H
+#define CSR_CACHE_TAGARRAY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/CacheGeometry.h"
+#include "util/Types.h"
+
+namespace csr
+{
+
+/** One cache line's bookkeeping (no data payload is simulated). */
+struct TagLine
+{
+    bool valid = false;
+    Addr tag = 0;
+    /** Owner-defined word (coherence state, dirty bit, ...). */
+    std::uint32_t aux = 0;
+};
+
+/**
+ * The tag side of a set-associative cache.
+ *
+ * Lookup and install are by (set, tag); iteration by (set, way).
+ */
+class TagArray
+{
+  public:
+    explicit TagArray(const CacheGeometry &geom)
+        : geom_(geom),
+          lines_(static_cast<std::size_t>(geom.numSets()) * geom.assoc())
+    {
+    }
+
+    const CacheGeometry &geometry() const { return geom_; }
+
+    /** Way holding the tag, or kInvalidWay. */
+    int
+    findWay(std::uint32_t set, Addr tag) const
+    {
+        for (std::uint32_t w = 0; w < geom_.assoc(); ++w) {
+            const TagLine &line = at(set, w);
+            if (line.valid && line.tag == tag)
+                return static_cast<int>(w);
+        }
+        return kInvalidWay;
+    }
+
+    /** Lowest-numbered invalid way in the set, or kInvalidWay if full. */
+    int
+    findInvalidWay(std::uint32_t set) const
+    {
+        for (std::uint32_t w = 0; w < geom_.assoc(); ++w) {
+            if (!at(set, w).valid)
+                return static_cast<int>(w);
+        }
+        return kInvalidWay;
+    }
+
+    TagLine &
+    at(std::uint32_t set, std::uint32_t way)
+    {
+        return lines_[static_cast<std::size_t>(set) * geom_.assoc() + way];
+    }
+
+    const TagLine &
+    at(std::uint32_t set, std::uint32_t way) const
+    {
+        return lines_[static_cast<std::size_t>(set) * geom_.assoc() + way];
+    }
+
+    /** Install a tag into a way (way must currently be free or being
+     *  reused after eviction by the caller). */
+    void
+    install(std::uint32_t set, std::uint32_t way, Addr tag,
+            std::uint32_t aux = 0)
+    {
+        TagLine &line = at(set, way);
+        line.valid = true;
+        line.tag = tag;
+        line.aux = aux;
+    }
+
+    /** Invalidate one way. */
+    void
+    invalidateWay(std::uint32_t set, std::uint32_t way)
+    {
+        at(set, way).valid = false;
+    }
+
+    /** Number of valid lines across the whole array (for tests). */
+    std::uint64_t
+    countValid() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &line : lines_)
+            n += line.valid ? 1 : 0;
+        return n;
+    }
+
+    /** Invalidate everything. */
+    void
+    reset()
+    {
+        for (auto &line : lines_)
+            line.valid = false;
+    }
+
+  private:
+    CacheGeometry geom_;
+    std::vector<TagLine> lines_;
+};
+
+} // namespace csr
+
+#endif // CSR_CACHE_TAGARRAY_H

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Anchor translation unit for the (otherwise header-only) cost
+ * library; also a good home for out-of-line definitions if the
+ * models grow.
+ */
+
+#include "cost/CostModel.h"
+#include "cost/LatencyPredictor.h"
+#include "cost/StaticCostModels.h"
+
+namespace csr
+{
+
+// Intentionally empty: all current cost models are header-only.
+
+} // namespace csr

@@ -1,0 +1,51 @@
+#include "cost/MigrationCost.h"
+
+#include <unordered_map>
+
+namespace csr
+{
+
+TableCost
+buildMigratedCostModel(const SampledTrace &trace, CostRatio ratio,
+                       std::uint64_t hot_threshold,
+                       MigrationOutcome *outcome)
+{
+    // Access counts of the sampled processor per block.
+    std::unordered_map<Addr, std::uint64_t> counts;
+    for (const auto &record : trace.records) {
+        if (record.proc == trace.sampledProc)
+            ++counts[trace.blockOf(record)];
+    }
+
+    TableCost model(ratio.low);
+    MigrationOutcome stats;
+    std::uint64_t residual_remote_accesses = 0;
+    std::uint64_t sampled_accesses = 0;
+
+    for (const auto &[block, home] : trace.homeOf) {
+        if (home == trace.sampledProc)
+            continue; // already local
+        ++stats.remoteBlocks;
+        auto it = counts.find(block);
+        const std::uint64_t count = it == counts.end() ? 0 : it->second;
+        if (count >= hot_threshold) {
+            ++stats.migratedBlocks; // re-homed: stays at low cost
+        } else {
+            model.set(block, ratio.high);
+            residual_remote_accesses += count;
+        }
+    }
+    for (const auto &[block, count] : counts)
+        sampled_accesses += count;
+
+    stats.residualRemoteFraction =
+        sampled_accesses
+            ? static_cast<double>(residual_remote_accesses) /
+                  static_cast<double>(sampled_accesses)
+            : 0.0;
+    if (outcome)
+        *outcome = stats;
+    return model;
+}
+
+} // namespace csr

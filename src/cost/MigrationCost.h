@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Dynamic page-migration cost study (the paper's Section 7 outlook:
+ * "the memory mapping of blocks may vary with time, adapting
+ * dynamically to the reference patterns ... such as page migration
+ * and COMAs").
+ *
+ * An idealized migration policy moves the hottest remotely-homed
+ * blocks to the accessing node, turning their future misses into
+ * local (cheap) ones.  This module builds the post-migration cost
+ * assignment for a sampled trace so the trace study can quantify how
+ * much of the cost-sensitive-replacement opportunity migration
+ * removes -- the two mechanisms compete for the same remote misses.
+ */
+
+#ifndef CSR_COST_MIGRATIONCOST_H
+#define CSR_COST_MIGRATIONCOST_H
+
+#include <cstdint>
+
+#include "cost/StaticCostModels.h"
+#include "trace/SampledTrace.h"
+
+namespace csr
+{
+
+/** Statistics of a migration pass. */
+struct MigrationOutcome
+{
+    std::uint64_t remoteBlocks = 0;   ///< blocks homed remotely
+    std::uint64_t migratedBlocks = 0; ///< blocks re-homed locally
+    /** Fraction of the sampled processor's accesses that remain
+     *  remote after migration. */
+    double residualRemoteFraction = 0.0;
+};
+
+/**
+ * Build a two-cost model in which the remote blocks that received at
+ * least @p hot_threshold accesses from the sampled processor have
+ * been migrated to it (cost -> low); all other first-touch homes are
+ * kept.
+ *
+ * @param trace         the sampled trace (provides homes + counts)
+ * @param ratio         low/high costs for the resulting model
+ * @param hot_threshold minimum access count to justify a migration
+ * @param outcome       optional statistics sink
+ */
+TableCost buildMigratedCostModel(const SampledTrace &trace,
+                                 CostRatio ratio,
+                                 std::uint64_t hot_threshold,
+                                 MigrationOutcome *outcome = nullptr);
+
+} // namespace csr
+
+#endif // CSR_COST_MIGRATIONCOST_H

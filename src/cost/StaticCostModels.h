@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The static cost mappings of Section 3.
+ */
+
+#ifndef CSR_COST_STATICCOSTMODELS_H
+#define CSR_COST_STATICCOSTMODELS_H
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cost/CostModel.h"
+#include "util/Random.h"
+
+namespace csr
+{
+
+/** Every miss costs the same: the degenerate case in which every
+ *  cost-sensitive algorithm should match LRU. */
+class UniformCost : public CostModel
+{
+  public:
+    explicit UniformCost(Cost cost = 1.0) : cost_(cost) {}
+
+    Cost missCost(Addr) const override { return cost_; }
+
+    std::string
+    describe() const override
+    {
+        return "uniform";
+    }
+
+  private:
+    Cost cost_;
+};
+
+/**
+ * Random cost mapping (Section 3.2): each block address is
+ * independently high-cost with probability HAF ("high-cost access
+ * fraction"... strictly the high-cost *block* fraction; with random
+ * placement the two coincide in expectation).  The mapping is a pure
+ * hash of the block address, so it is static across the run, exactly
+ * reproducible, and requires no table.
+ */
+class RandomTwoCost : public CostModel
+{
+  public:
+    RandomTwoCost(CostRatio ratio, double haf, std::uint64_t seed = 0x51AB)
+        : ratio_(ratio), haf_(haf), seed_(seed)
+    {
+    }
+
+    bool
+    isHighCost(Addr block_addr) const
+    {
+        const double u =
+            static_cast<double>(hashMix64(block_addr ^ seed_) >> 11) *
+            0x1.0p-53;
+        return u < haf_;
+    }
+
+    Cost
+    missCost(Addr block_addr) const override
+    {
+        return isHighCost(block_addr) ? ratio_.high : ratio_.low;
+    }
+
+    std::string
+    describe() const override
+    {
+        return "random(" + ratio_.label() +
+               ",HAF=" + std::to_string(haf_) + ")";
+    }
+
+    double haf() const { return haf_; }
+    const CostRatio &ratio() const { return ratio_; }
+
+  private:
+    CostRatio ratio_;
+    double haf_;
+    std::uint64_t seed_;
+};
+
+/**
+ * First-touch cost mapping (Section 3.3): blocks whose first-touch
+ * home is the sampled processor's node are local (low cost); all
+ * others are remote (high cost).  Blocks never seen in the home map
+ * are treated as local (they can only be blocks the sampled processor
+ * never touches).
+ */
+class FirstTouchTwoCost : public CostModel
+{
+  public:
+    FirstTouchTwoCost(CostRatio ratio,
+                      const std::unordered_map<Addr, ProcId> &home_of,
+                      ProcId local_proc)
+        : ratio_(ratio), homeOf_(&home_of), localProc_(local_proc)
+    {
+    }
+
+    bool
+    isRemote(Addr block_addr) const
+    {
+        auto it = homeOf_->find(block_addr);
+        return it != homeOf_->end() && it->second != localProc_;
+    }
+
+    Cost
+    missCost(Addr block_addr) const override
+    {
+        return isRemote(block_addr) ? ratio_.high : ratio_.low;
+    }
+
+    std::string
+    describe() const override
+    {
+        return "first-touch(" + ratio_.label() + ")";
+    }
+
+  private:
+    CostRatio ratio_;
+    const std::unordered_map<Addr, ProcId> *homeOf_;
+    ProcId localProc_;
+};
+
+/**
+ * Explicit per-block cost table with a default, for tests and custom
+ * cost functions (e.g. power or bandwidth weights).
+ */
+class TableCost : public CostModel
+{
+  public:
+    explicit TableCost(Cost default_cost = 1.0)
+        : defaultCost_(default_cost)
+    {
+    }
+
+    void set(Addr block_addr, Cost cost) { table_[block_addr] = cost; }
+
+    Cost
+    missCost(Addr block_addr) const override
+    {
+        auto it = table_.find(block_addr);
+        return it == table_.end() ? defaultCost_ : it->second;
+    }
+
+    std::string
+    describe() const override
+    {
+        return "table";
+    }
+
+  private:
+    Cost defaultCost_;
+    std::unordered_map<Addr, Cost> table_;
+};
+
+} // namespace csr
+
+#endif // CSR_COST_STATICCOSTMODELS_H

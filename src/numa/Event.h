@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global queue of (tick, sequence, action) triples.  The
+ * sequence number makes simultaneous events fire in scheduling order,
+ * which keeps runs deterministic.
+ */
+
+#ifndef CSR_NUMA_EVENT_H
+#define CSR_NUMA_EVENT_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/Logging.h"
+#include "util/Types.h"
+
+namespace csr
+{
+
+/** Deterministic discrete-event queue. */
+class EventQueue
+{
+  public:
+    using Action = std::function<void()>;
+
+    /** Schedule an action at an absolute tick (>= current time). */
+    void
+    schedule(Tick when, Action action)
+    {
+        csr_assert(when >= now_, "scheduling into the past");
+        heap_.push(Entry{when, seq_++, std::move(action)});
+    }
+
+    /** Schedule an action delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Action action)
+    {
+        schedule(now_ + delta, std::move(action));
+    }
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Pop and execute the next event.  @return false if empty. */
+    bool
+    step()
+    {
+        if (heap_.empty())
+            return false;
+        // Entry's action cannot be moved out of the priority queue
+        // directly (top() is const); copy the handle out first.
+        Entry entry = heap_.top();
+        heap_.pop();
+        now_ = entry.when;
+        entry.action();
+        return true;
+    }
+
+    /** Run until the queue drains or max_events fire.
+     *  @return number of events executed. */
+    std::uint64_t
+    run(std::uint64_t max_events = UINT64_MAX)
+    {
+        std::uint64_t n = 0;
+        while (n < max_events && step())
+            ++n;
+        return n;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Action action;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            return when != other.when ? when > other.when
+                                      : seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace csr
+
+#endif // CSR_NUMA_EVENT_H

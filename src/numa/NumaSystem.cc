@@ -1,0 +1,130 @@
+#include "numa/NumaSystem.h"
+
+#include "util/Logging.h"
+
+namespace csr
+{
+
+namespace
+{
+
+/** Messages bound for the home-side controller. */
+bool
+isDirectoryBound(MsgType type)
+{
+    switch (type) {
+      case MsgType::GetS:
+      case MsgType::GetX:
+      case MsgType::PutM:
+      case MsgType::PutS:
+      case MsgType::PutE:
+      case MsgType::InvAck:
+      case MsgType::FetchResp:
+      case MsgType::FetchStale:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+NumaSystem::NumaSystem(const NumaConfig &config,
+                       const SyntheticWorkload &workload)
+    : config_(config), correlator_(config.cycleNs)
+{
+    const std::uint32_t nodes = config_.numNodes();
+    csr_assert(workload.numProcs() <= nodes,
+               "workload has more processors than mesh nodes");
+
+    network_ = std::make_unique<MeshNetwork>(config_, events_);
+    for (ProcId n = 0; n < nodes; ++n) {
+        caches_.push_back(std::make_unique<CacheController>(
+            n, config_, events_, *network_, homes_));
+        dirs_.push_back(std::make_unique<DirectoryController>(
+            n, config_, events_, *network_));
+        dirs_.back()->setMissObserver(
+            [this](const MissService &service) {
+                correlator_.observe(service);
+            });
+        network_->attach(n, [this, n](const Message &msg) {
+            if (isDirectoryBound(msg.type))
+                dirs_[n]->receive(msg);
+            else
+                caches_[n]->receive(msg);
+        });
+    }
+    for (ProcId p = 0; p < workload.numProcs(); ++p) {
+        procs_.push_back(std::make_unique<Processor>(
+            p, config_, events_, *caches_[p], workload.procStream(p)));
+    }
+}
+
+NumaResult
+NumaSystem::run()
+{
+    for (auto &proc : procs_)
+        proc->start();
+    events_.run();
+
+    NumaResult result;
+    result.policyName = caches_.front()->policy().name();
+    for (auto &proc : procs_) {
+        csr_assert(proc->done(), "processor did not finish (deadlock?)");
+        result.execTimeNs = std::max(result.execTimeNs,
+                                     proc->finishTime());
+        result.totalOps += proc->opsIssued();
+        for (const auto &[k, v] : proc->stats().all())
+            result.stats.inc("proc." + k, v);
+    }
+    for (auto &cache : caches_) {
+        const RunningStat &lat = cache->missLatencyStat();
+        result.totalMisses += lat.count();
+        result.aggregateMissLatencyNs += lat.sum();
+        for (const auto &[k, v] : cache->stats().all())
+            result.stats.inc("cache." + k, v);
+        for (const auto &[k, v] : cache->policy().stats().all())
+            result.stats.inc("policy." + k, v);
+    }
+    for (auto &dir : dirs_) {
+        for (const auto &[k, v] : dir->stats().all())
+            result.stats.inc(k, v);
+    }
+    for (const auto &[k, v] : network_->stats().all())
+        result.stats.inc(k, v);
+    result.avgMissLatencyNs =
+        result.totalMisses
+            ? result.aggregateMissLatencyNs /
+                  static_cast<double>(result.totalMisses)
+            : 0.0;
+
+    checkCoherenceInvariant();
+    return result;
+}
+
+void
+NumaSystem::checkCoherenceInvariant() const
+{
+    for (const auto &dir : dirs_) {
+        for (const auto &[block, entry] : dir->entries()) {
+            if (dir->busy(block))
+                continue;
+            std::uint32_t exclusive = 0;
+            std::uint32_t shared = 0;
+            for (const auto &cache : caches_) {
+                if (!cache->hasLine(block))
+                    continue;
+                if (cache->lineState(block) == LineState::Shared)
+                    ++shared;
+                else
+                    ++exclusive;
+            }
+            csr_assert(exclusive <= 1,
+                       "two exclusive holders of one block");
+            csr_assert(exclusive == 0 || shared == 0,
+                       "exclusive and shared holders coexist");
+        }
+    }
+}
+
+} // namespace csr

@@ -1,0 +1,59 @@
+#include "numa/Protocol.h"
+
+namespace csr
+{
+
+bool
+carriesData(MsgType type)
+{
+    switch (type) {
+      case MsgType::PutM:
+      case MsgType::DataS:
+      case MsgType::DataE:
+      case MsgType::DataM:
+        return true;
+      case MsgType::FetchResp:
+        // Data only when dirty, but size conservatively as data.
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+msgTypeName(MsgType type)
+{
+    switch (type) {
+      case MsgType::GetS:
+        return "GetS";
+      case MsgType::GetX:
+        return "GetX";
+      case MsgType::PutM:
+        return "PutM";
+      case MsgType::PutS:
+        return "PutS";
+      case MsgType::PutE:
+        return "PutE";
+      case MsgType::DataS:
+        return "DataS";
+      case MsgType::DataE:
+        return "DataE";
+      case MsgType::DataM:
+        return "DataM";
+      case MsgType::Inv:
+        return "Inv";
+      case MsgType::Fetch:
+        return "Fetch";
+      case MsgType::FetchInv:
+        return "FetchInv";
+      case MsgType::InvAck:
+        return "InvAck";
+      case MsgType::FetchResp:
+        return "FetchResp";
+      case MsgType::FetchStale:
+        return "FetchStale";
+    }
+    return "?";
+}
+
+} // namespace csr

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Directory MESI protocol message vocabulary.
+ *
+ * The protocol is a blocking-home MESI directory (one transaction per
+ * block in flight at its home; later requests queue), in the style of
+ * DASH/Origin, with invalidation-ack collection at the home.  With
+ * replacement hints enabled (Table 4), caches notify the home on
+ * clean evictions (PutS / PutE) so the sharer list stays exact; with
+ * hints off (the Table 3 configuration), clean evictions are silent
+ * and the home tolerates stale owner/sharer information via
+ * FetchStale and unconditional InvAcks.
+ */
+
+#ifndef CSR_NUMA_PROTOCOL_H
+#define CSR_NUMA_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+
+#include "util/Types.h"
+
+namespace csr
+{
+
+/** Message opcodes. */
+enum class MsgType : std::uint8_t
+{
+    // cache -> home
+    GetS,       ///< read miss
+    GetX,       ///< write miss / upgrade
+    PutM,       ///< dirty writeback (data)
+    PutS,       ///< replacement hint: shared clean eviction
+    PutE,       ///< replacement hint: exclusive clean eviction
+    // home -> cache
+    DataS,      ///< read data, shared
+    DataE,      ///< read data, exclusive clean (first reader)
+    DataM,      ///< write data (or upgrade ack), modifiable
+    Inv,        ///< invalidate a shared copy
+    Fetch,      ///< downgrade request to the exclusive owner
+    FetchInv,   ///< invalidate request to the exclusive owner
+    // cache -> home (responses)
+    InvAck,     ///< invalidation acknowledged (sent even if absent)
+    FetchResp,  ///< owner's response to Fetch/FetchInv (data if dirty)
+    FetchStale, ///< owner no longer has the block (silent eviction)
+};
+
+/** True for messages that carry a cache block of data. */
+bool carriesData(MsgType type);
+
+/** Printable opcode name (debug/trace). */
+std::string msgTypeName(MsgType type);
+
+/** One protocol message. */
+struct Message
+{
+    MsgType type = MsgType::GetS;
+    Addr block = 0;            ///< block-granular address
+    ProcId src = 0;
+    ProcId dst = 0;
+    /** Requester on whose behalf a forwarded message travels
+     *  (Fetch/FetchInv carry the original requester). */
+    ProcId requester = 0;
+    /** FetchResp: the owner's copy was dirty (data valid). */
+    bool dirty = false;
+    /** Issue timestamp of the original request; data replies echo it
+     *  back so the requester can measure the miss latency
+     *  (Section 4.1's timestamp scheme). */
+    Tick timestamp = 0;
+};
+
+} // namespace csr
+
+#endif // CSR_NUMA_PROTOCOL_H

@@ -1,0 +1,141 @@
+#include "sim/TraceSimulator.h"
+
+#include <limits>
+
+#include "util/Logging.h"
+
+namespace csr
+{
+
+TraceSimulator::TraceSimulator(const TraceSimConfig &config,
+                               PolicyPtr policy,
+                               const CostModel &cost_model)
+    : config_(config),
+      l1Geom_(config.l1Bytes, 1, config.blockBytes),
+      l2Geom_(config.l2Bytes, config.l2Assoc, config.blockBytes),
+      l1_(l1Geom_), l2_(l2Geom_), policy_(std::move(policy)),
+      costModel_(cost_model),
+      minCostSeen_(std::numeric_limits<Cost>::max())
+{
+    csr_assert(policy_ != nullptr, "null policy");
+    csr_assert(policy_->geometry().numSets() == l2Geom_.numSets() &&
+               policy_->geometry().assoc() == l2Geom_.assoc(),
+               "policy geometry does not match the L2");
+    result_.policyName = policy_->name();
+}
+
+TraceSimResult
+TraceSimulator::run(const std::vector<TraceRecord> &records,
+                    ProcId sampled_proc)
+{
+    for (const auto &rec : records) {
+        if (rec.proc != sampled_proc) {
+            // Only remote *writes* appear in a sampled trace; they
+            // model coherence invalidations (Section 3.1).
+            handleRemoteWrite(rec.addr);
+        } else {
+            handleSampledAccess(rec.addr);
+        }
+    }
+    result_.policyStats = policy_->stats();
+    return result_;
+}
+
+void
+TraceSimulator::handleRemoteWrite(Addr addr)
+{
+    bool invalidated = false;
+
+    if (config_.useL1) {
+        const std::uint32_t set = l1Geom_.setIndex(addr);
+        const int way = l1_.findWay(set, l1Geom_.tag(addr));
+        if (way != kInvalidWay) {
+            l1_.invalidateWay(set, static_cast<std::uint32_t>(way));
+            invalidated = true;
+        }
+    }
+
+    const std::uint32_t set = l2Geom_.setIndex(addr);
+    const Addr tag = l2Geom_.tag(addr);
+    const int way = l2_.findWay(set, tag);
+    // The policy is always told: a matching ETD entry must be
+    // scrubbed even when the block is no longer cached (Section 2.4).
+    policy_->invalidate(set, tag, way);
+    if (way != kInvalidWay) {
+        l2_.invalidateWay(set, static_cast<std::uint32_t>(way));
+        invalidated = true;
+    }
+
+    if (invalidated)
+        ++result_.invalidationsReceived;
+}
+
+void
+TraceSimulator::handleSampledAccess(Addr addr)
+{
+    ++result_.sampledRefs;
+
+    if (config_.useL1) {
+        const std::uint32_t set = l1Geom_.setIndex(addr);
+        if (l1_.findWay(set, l1Geom_.tag(addr)) != kInvalidWay) {
+            ++result_.l1Hits;
+            return;
+        }
+    }
+
+    const std::uint32_t set = l2Geom_.setIndex(addr);
+    const Addr tag = l2Geom_.tag(addr);
+    const int hit_way = l2_.findWay(set, tag);
+    policy_->access(set, tag, hit_way);
+
+    if (hit_way != kInvalidWay) {
+        ++result_.l2Hits;
+    } else {
+        ++result_.l2Misses;
+        const Addr block = l2Geom_.blockAddr(addr);
+        const Cost cost = costModel_.missCost(block);
+        result_.aggregateCost += cost;
+        if (config_.collectMissProfile)
+            ++result_.missProfile[block];
+        if (cost < minCostSeen_)
+            minCostSeen_ = cost;
+        if (cost > minCostSeen_)
+            ++result_.highCostMisses;
+
+        int way = l2_.findInvalidWay(set);
+        if (way == kInvalidWay) {
+            way = policy_->selectVictim(set);
+            // Enforce inclusion: the evicted block leaves the L1 too.
+            const Addr victim_block =
+                l2Geom_.blockAddrOf(set, l2_.at(set, way).tag);
+            if (config_.useL1) {
+                const Addr victim_addr = victim_block << l2Geom_.blockBits();
+                const std::uint32_t l1set = l1Geom_.setIndex(victim_addr);
+                const int l1way =
+                    l1_.findWay(l1set, l1Geom_.tag(victim_addr));
+                if (l1way != kInvalidWay)
+                    l1_.invalidateWay(l1set,
+                                      static_cast<std::uint32_t>(l1way));
+            }
+        }
+        l2_.install(set, static_cast<std::uint32_t>(way), tag);
+        // The predicted cost of the block's *next* miss under a
+        // static model is the same static cost.
+        policy_->fill(set, way, tag, cost);
+    }
+
+    if (config_.useL1) {
+        const std::uint32_t l1set = l1Geom_.setIndex(addr);
+        l1_.install(l1set, 0, l1Geom_.tag(addr));
+    }
+}
+
+double
+relativeCostSavings(double lru_cost, double alg_cost)
+{
+    if (lru_cost == 0.0)
+        return 0.0;
+    return 100.0 * (lru_cost - alg_cost) / lru_cost;
+}
+
+} // namespace csr

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Trace-driven two-level cache simulator (Section 3 methodology).
+ *
+ * Models the memory hierarchy the paper's trace study uses: a small
+ * direct-mapped L1 above the L2 to which the cost-sensitive
+ * replacement algorithm is applied.  The input is a sampled-processor
+ * trace (the processor's accesses plus other processors' writes);
+ * remote writes invalidate matching blocks in L1, L2 and the
+ * policy's ETD.  The figure of merit is the aggregate miss cost of
+ * the sampled processor's L2 misses under a static cost model.
+ *
+ * Timing is not modelled here -- that is the NUMA simulator's job.
+ */
+
+#ifndef CSR_SIM_TRACESIMULATOR_H
+#define CSR_SIM_TRACESIMULATOR_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/PolicyFactory.h"
+#include "cache/TagArray.h"
+#include "cost/CostModel.h"
+#include "trace/TraceRecord.h"
+#include "util/Stats.h"
+
+namespace csr
+{
+
+/** Hierarchy configuration for the trace study (paper defaults). */
+struct TraceSimConfig
+{
+    /** Disable to expose every reference to the L2 (required when an
+     *  offline policy needs a policy-independent access stream). */
+    bool useL1 = true;
+    std::uint64_t l1Bytes = 4 * 1024;
+    std::uint64_t l2Bytes = 16 * 1024;
+    std::uint32_t l2Assoc = 4;
+    std::uint32_t blockBytes = 64;
+    /** Record per-block L2 miss counts in the result (used by
+     *  TraceStudy to re-weight an LRU run under many cost models). */
+    bool collectMissProfile = false;
+};
+
+/** Counters and the aggregate cost of one simulation. */
+struct TraceSimResult
+{
+    std::string policyName;
+    std::uint64_t sampledRefs = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t highCostMisses = 0; ///< misses costing > the minimum seen
+    std::uint64_t invalidationsReceived = 0;
+    double aggregateCost = 0.0;
+    StatGroup policyStats;
+    /** Per-block miss counts (only when collectMissProfile is set). */
+    std::unordered_map<Addr, std::uint64_t> missProfile;
+
+    double
+    l2MissRate() const
+    {
+        const std::uint64_t l2_accesses = l2Hits + l2Misses;
+        return l2_accesses
+                   ? static_cast<double>(l2Misses) /
+                         static_cast<double>(l2_accesses)
+                   : 0.0;
+    }
+};
+
+/**
+ * The simulator itself.  One instance per (policy, cost model) run;
+ * run() may be called once per instance.
+ */
+class TraceSimulator
+{
+  public:
+    TraceSimulator(const TraceSimConfig &config, PolicyPtr policy,
+                   const CostModel &cost_model);
+
+    /**
+     * Replay a sampled trace.
+     * @param records     interleaved records (sampled accesses +
+     *                    remote writes)
+     * @param sampled_proc processor whose accesses are simulated
+     */
+    TraceSimResult run(const std::vector<TraceRecord> &records,
+                       ProcId sampled_proc);
+
+    /** Access to the policy (e.g. to prepare() an offline oracle). */
+    ReplacementPolicy &policy() { return *policy_; }
+
+  private:
+    void handleRemoteWrite(Addr addr);
+    void handleSampledAccess(Addr addr);
+
+    TraceSimConfig config_;
+    CacheGeometry l1Geom_;
+    CacheGeometry l2Geom_;
+    TagArray l1_;
+    TagArray l2_;
+    PolicyPtr policy_;
+    const CostModel &costModel_;
+    TraceSimResult result_;
+    Cost minCostSeen_;
+};
+
+/** Relative cost savings over LRU, in percent (the paper's metric). */
+double relativeCostSavings(double lru_cost, double alg_cost);
+
+} // namespace csr
+
+#endif // CSR_SIM_TRACESIMULATOR_H

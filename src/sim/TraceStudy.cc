@@ -1,0 +1,72 @@
+#include "sim/TraceStudy.h"
+
+#include "cache/BeladyPolicy.h"
+#include "cost/StaticCostModels.h"
+#include "util/Logging.h"
+
+namespace csr
+{
+
+TraceStudy::TraceStudy(const SampledTrace &trace, TraceSimConfig config)
+    : trace_(&trace), config_(config)
+{
+    // One LRU replay, cost model irrelevant (uniform), to capture the
+    // cost-independent miss profile.
+    TraceSimConfig profile_config = config_;
+    profile_config.collectMissProfile = true;
+    CacheGeometry l2(config_.l2Bytes, config_.l2Assoc, config_.blockBytes);
+    UniformCost uniform;
+    TraceSimulator sim(profile_config, makePolicy(PolicyKind::Lru, l2),
+                       uniform);
+    TraceSimResult res = sim.run(trace.records, trace.sampledProc);
+    lruProfile_ = std::move(res.missProfile);
+    lruMisses_ = res.l2Misses;
+}
+
+double
+TraceStudy::lruCost(const CostModel &model) const
+{
+    double total = 0.0;
+    for (const auto &[block, count] : lruProfile_)
+        total += static_cast<double>(count) * model.missCost(block);
+    return total;
+}
+
+TraceSimResult
+TraceStudy::run(PolicyKind kind, const CostModel &model,
+                const PolicyParams &params) const
+{
+    TraceSimConfig run_config = config_;
+    CacheGeometry l2(config_.l2Bytes, config_.l2Assoc, config_.blockBytes);
+    PolicyPtr policy = makePolicy(kind, l2, params);
+
+    if (kind == PolicyKind::Opt || kind == PolicyKind::CostOpt) {
+        // Offline oracles need a policy-independent access stream:
+        // disable the L1 (inclusion victims would otherwise couple
+        // the stream to the L2's own decisions) and prime the oracle
+        // with the sampled processor's block addresses.
+        run_config.useL1 = false;
+        auto *oracle = static_cast<BeladyPolicy *>(policy.get());
+        std::vector<Addr> stream;
+        stream.reserve(trace_->records.size());
+        for (const auto &rec : trace_->records) {
+            if (rec.proc == trace_->sampledProc)
+                stream.push_back(l2.blockAddr(rec.addr));
+        }
+        oracle->prepare(stream);
+    }
+
+    TraceSimulator sim(run_config, std::move(policy), model);
+    return sim.run(trace_->records, trace_->sampledProc);
+}
+
+double
+TraceStudy::savingsPct(PolicyKind kind, const CostModel &model,
+                       const PolicyParams &params) const
+{
+    const double lru = lruCost(model);
+    const TraceSimResult res = run(kind, model, params);
+    return relativeCostSavings(lru, res.aggregateCost);
+}
+
+} // namespace csr

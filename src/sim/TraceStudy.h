@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Harness for the Section 3 trace study: run a sampled trace under
+ * LRU and under the cost-sensitive policies, and report relative
+ * cost savings across (policy, cost ratio, HAF) sweeps.
+ *
+ * LRU is cost-blind, so its *miss profile* (how many times each block
+ * misses) is independent of the cost model.  The study therefore
+ * replays LRU once per trace and re-weights the profile for every
+ * cost model, which keeps the Figure 3 sweep (hundreds of cost
+ * points) tractable.
+ */
+
+#ifndef CSR_SIM_TRACESTUDY_H
+#define CSR_SIM_TRACESTUDY_H
+
+#include <unordered_map>
+
+#include "sim/TraceSimulator.h"
+#include "trace/SampledTrace.h"
+
+namespace csr
+{
+
+/** Per-block LRU miss counts. */
+using MissProfile = std::unordered_map<Addr, std::uint64_t>;
+
+/**
+ * One trace + hierarchy, many policies and cost models.
+ */
+class TraceStudy
+{
+  public:
+    TraceStudy(const SampledTrace &trace, TraceSimConfig config = {});
+
+    /** Aggregate cost under plain LRU for an arbitrary cost model
+     *  (re-weights the cached LRU miss profile). */
+    double lruCost(const CostModel &model) const;
+
+    /** LRU miss count (cost-model independent). */
+    std::uint64_t lruMissCount() const { return lruMisses_; }
+
+    /** Full simulation of one policy under one cost model. */
+    TraceSimResult run(PolicyKind kind, const CostModel &model,
+                       const PolicyParams &params = {}) const;
+
+    /** Relative cost savings of a policy over LRU, percent. */
+    double savingsPct(PolicyKind kind, const CostModel &model,
+                      const PolicyParams &params = {}) const;
+
+    const SampledTrace &trace() const { return *trace_; }
+    const TraceSimConfig &config() const { return config_; }
+
+  private:
+    const SampledTrace *trace_;
+    TraceSimConfig config_;
+    MissProfile lruProfile_;
+    std::uint64_t lruMisses_ = 0;
+};
+
+} // namespace csr
+
+#endif // CSR_SIM_TRACESTUDY_H

@@ -1,0 +1,332 @@
+#include "trace/BarnesWorkload.h"
+
+#include "trace/BatchStream.h"
+#include "util/Logging.h"
+#include <cmath>
+
+#include "util/MathUtil.h"
+#include "util/Random.h"
+
+namespace csr
+{
+
+namespace
+{
+
+/** Base byte addresses of the workload's data regions. */
+constexpr Addr kBodyBase = 0x10000000;
+constexpr Addr kCellBase = 0x20000000;
+constexpr Addr kScratchBase = 0x30000000;
+constexpr Addr kBlockBytes = 64;
+
+/** One processor's Barnes program. */
+class BarnesStream : public BatchStream
+{
+  public:
+    BarnesStream(const BarnesWorkload &workload, ProcId proc)
+        : BatchStream(workload.params().targetRefsPerProc), wl_(workload),
+          p_(workload.params()), proc_(proc),
+          rng_(hashMix64(p_.seed * 0x9E37 + proc + 1))
+    {
+    }
+
+  protected:
+    void
+    refill() override
+    {
+        if (phase_ == Phase::Init) {
+            emitInit();
+            phase_ = Phase::TreeBuild;
+            return;
+        }
+        if (phase_ == Phase::TreeBuild) {
+            emitTreeBuild();
+            phase_ = Phase::Force;
+            groupCursor_ = 0;
+            passCursor_ = 0;
+            return;
+        }
+        // Force phase: one pass over one owned group per refill.
+        // Each group is processed twice (force evaluation, then the
+        // correction/update pass re-reading the same interaction
+        // set), which is the source of Barnes's reuse at stack
+        // distances just beyond the cache associativity.
+        while (groupCursor_ < groupCount() &&
+               wl_.ownerOfBody(groupCursor_ * p_.groupBodies) != proc_) {
+            ++groupCursor_;
+        }
+        if (groupCursor_ >= groupCount()) {
+            // Timestep complete; start the next one.
+            ++step_;
+            groupCursor_ = 0;
+            passCursor_ = 0;
+            phase_ = Phase::TreeBuild;
+            return;
+        }
+        emitGroupPass(groupCursor_, passCursor_ == 1);
+        if (++passCursor_ >= 2) {
+            passCursor_ = 0;
+            ++groupCursor_;
+        }
+    }
+
+  private:
+    enum class Phase
+    {
+        Init,
+        TreeBuild,
+        Force,
+    };
+
+    Addr
+    bodyAddr(std::uint32_t body, std::uint32_t blk) const
+    {
+        return kBodyBase +
+               (static_cast<Addr>(body) * p_.blocksPerBody + blk) *
+                   kBlockBytes;
+    }
+
+    Addr
+    cellAddr(std::uint32_t cell) const
+    {
+        return kCellBase + static_cast<Addr>(cell) * kBlockBytes;
+    }
+
+    /**
+     * Spatial cell ownership.  The tree is indexed breadth-first:
+     * level l occupies [2^l, 2^l + span).  A cell's position within
+     * its level corresponds to a spatial region, and the processor
+     * whose bodies occupy that region builds (and first-touches) the
+     * cell -- exactly how a space-partitioned Barnes tree behaves.
+     * Levels with fewer cells than processors stay shared top levels.
+     */
+    ProcId
+    ownerOfCell(std::uint32_t cell) const
+    {
+        if (cell == 0)
+            return 0;
+        const std::uint32_t level =
+            static_cast<std::uint32_t>(floorLog2(cell));
+        const std::uint32_t lo = 1u << level;
+        const std::uint32_t span = std::min(lo, p_.numCells - lo);
+        const std::uint32_t idx = cell - lo;
+        return static_cast<ProcId>(
+            static_cast<std::uint64_t>(idx) * p_.numProcs / span);
+    }
+
+    /** Initialization: every processor writes its own bodies before
+     *  any cross-body reads happen, so first-touch homes bodies at
+     *  their owners (SPLASH Barnes initializes body state in
+     *  parallel; without this, random force-phase readers would
+     *  steal the first touch). */
+    void
+    emitInit()
+    {
+        for (std::uint32_t body = 0; body < p_.numBodies; ++body) {
+            if (wl_.ownerOfBody(body) != proc_)
+                continue;
+            for (std::uint32_t b = 0; b < p_.blocksPerBody; ++b)
+                emit(bodyAddr(body, b), true, 1);
+        }
+    }
+
+    void
+    emitTreeBuild()
+    {
+        // Write every owned cell; sprinkle reads of the root region
+        // (parent links) to mimic concurrent tree construction.
+        for (std::uint32_t c = 0; c < p_.numCells; ++c) {
+            if (ownerOfCell(c) != proc_)
+                continue;
+            if ((c & 7u) == 0)
+                emit(cellAddr(c % 16), false, 1); // read near the root
+            emit(cellAddr(c), true, 3);
+        }
+    }
+
+    std::uint32_t
+    groupCount() const
+    {
+        return (p_.numBodies + p_.groupBodies - 1) / p_.groupBodies;
+    }
+
+    /** Group distance drawn with P(g) ~ 1/(1+g)^alpha via inverse
+     *  transform on the (small) discrete distribution. */
+    std::uint32_t
+    powerLawDistance(Rng &draw) const
+    {
+        const std::uint32_t spread =
+            std::min(p_.groupSpread, groupCount());
+        double total = 0.0;
+        for (std::uint32_t g = 0; g < spread; ++g)
+            total += 1.0 / std::pow(1.0 + g, p_.neighborAlpha);
+        double u = draw.nextDouble() * total;
+        for (std::uint32_t g = 0; g < spread; ++g) {
+            u -= 1.0 / std::pow(1.0 + g, p_.neighborAlpha);
+            if (u <= 0.0)
+                return g;
+        }
+        return spread - 1;
+    }
+
+    /** One pass over a group: the force calculation of every body in
+     *  it.  All irregular draws are deterministic in (body, step), so
+     *  both passes of a group touch the same blocks. */
+    void
+    emitGroupPass(std::uint32_t group, bool update_pass)
+    {
+        // The top tree levels are read once per pass (real code keeps
+        // them in registers while walking a group of nearby bodies).
+        emit(cellAddr(0), false, 1);
+        for (std::uint32_t l = 1; l <= 2 && (1u << l) < p_.numCells; ++l) {
+            const std::uint32_t lo = 1u << l;
+            const std::uint32_t span = std::min(lo, p_.numCells - lo);
+            emit(cellAddr(lo + (group % span)), false, 1);
+        }
+        const std::uint32_t first = group * p_.groupBodies;
+        const std::uint32_t last =
+            std::min(first + p_.groupBodies, p_.numBodies);
+        for (std::uint32_t body = first; body < last; ++body)
+            emitForceCalc(body, update_pass);
+    }
+
+    void
+    emitForceCalc(std::uint32_t body, bool update_pass)
+    {
+        // Pass-independent deterministic stream for this body/step.
+        Rng draw(hashMix64(p_.seed ^ (static_cast<std::uint64_t>(body)
+                                      << 20) ^ (step_ / 2)));
+        // Read own body state.
+        for (std::uint32_t b = 0; b < p_.blocksPerBody; ++b)
+            emit(bodyAddr(body, b), false, 1);
+
+        // Walk the body's tree path below the shared top levels.
+        // Spatially adjacent bodies (same interaction group) share
+        // most of their path -- deeper levels change more often.
+        const std::uint32_t group = body / p_.groupBodies;
+        for (std::uint32_t l = 3; l <= p_.treePathLen; ++l) {
+            const std::uint32_t lo = 1u << l;
+            if (lo >= p_.numCells)
+                break;
+            const std::uint32_t span =
+                std::min(1u << l, p_.numCells - lo);
+            // The path follows the body's spatial position: the cell
+            // index within the level tracks body/numBodies, with
+            // group-level jitter above and per-body, per-step jitter
+            // below.  Deep cells therefore tend to be owner-local.
+            const std::uint64_t spatial =
+                static_cast<std::uint64_t>(body) * span / p_.numBodies;
+            const std::uint64_t jitter =
+                l <= p_.treePathLen / 2
+                    ? hashMix64(p_.seed ^ (group * 977u) ^ (step_ << 8) ^ l)
+                    : hashMix64(p_.seed ^ (body * 2654435761u) ^
+                                (step_ << 8) ^ l);
+            const std::uint32_t idx = static_cast<std::uint32_t>(
+                (spatial + jitter % (span / 8 + 1)) % span);
+            emit(cellAddr(lo + idx), false, 2);
+        }
+
+        // Boundary interactions: cells of the adjacent spatial
+        // regions (other processors' subtrees) -- remote blocks that
+        // the whole group re-reads, i.e. reusable high-cost data.
+        for (std::uint32_t k = 0; k < p_.boundaryCellReads; ++k) {
+            const std::uint32_t l = p_.treePathLen / 2 + 1 + k;
+            const std::uint32_t lo = 1u << l;
+            if (lo >= p_.numCells)
+                break;
+            const std::uint32_t span = std::min(lo, p_.numCells - lo);
+            const std::uint64_t spatial =
+                static_cast<std::uint64_t>(body) * span / p_.numBodies;
+            const std::uint64_t shift =
+                std::max<std::uint64_t>(1, span / p_.numProcs);
+            const std::uint32_t idx = static_cast<std::uint32_t>(
+                (spatial + (k % 2 ? shift : span - shift) +
+                 hashMix64(group ^ (step_ << 8) ^ k) % (shift / 2 + 1)) %
+                span);
+            emit(cellAddr(lo + idx), false, 2);
+        }
+
+        // Read neighbour bodies at power-law group distances (see
+        // BarnesParams::groupSpread).  A small fraction of reads jump
+        // anywhere (far cells opened by the multipole acceptance
+        // test -- pure pollution).
+        for (std::uint32_t k = 0; k < p_.neighborsPerBody; ++k) {
+            std::uint32_t other;
+            if (draw.nextBool(p_.farReadFrac)) {
+                other = static_cast<std::uint32_t>(
+                    draw.nextBelow(p_.numBodies));
+            } else {
+                const std::uint32_t dist = powerLawDistance(draw);
+                const std::uint32_t dir_group =
+                    draw.nextBool(0.5)
+                        ? group + dist
+                        : group + groupCount() - dist;
+                other = (dir_group % groupCount()) * p_.groupBodies +
+                        static_cast<std::uint32_t>(
+                            draw.nextBelow(p_.groupBodies));
+                other %= p_.numBodies;
+            }
+            emit(bodyAddr(other, 0), false, 2);
+        }
+
+        // Interaction-list scratch: processor-local streaming writes
+        // (dead blocks once the cursor moves on).
+        const Addr scratch_base =
+            kScratchBase + static_cast<Addr>(proc_) * 0x1000000;
+        for (std::uint32_t s = 0; s < p_.scratchPerBody; ++s) {
+            emit(scratch_base + (scratchCursor_ % p_.scratchBlocks) *
+                                    kBlockBytes,
+                 true, 1);
+            ++scratchCursor_;
+        }
+
+        // The correction pass updates the body; the force pass only
+        // reads (position data stays clean between updates, so other
+        // processors' cached copies of it survive a whole step).
+        if (update_pass) {
+            for (std::uint32_t b = 0; b < p_.blocksPerBody; ++b)
+                emit(bodyAddr(body, b), true, 2);
+        }
+    }
+
+    const BarnesWorkload &wl_;
+    const BarnesParams &p_;
+    ProcId proc_;
+    Rng rng_;
+    Phase phase_ = Phase::Init;
+    std::uint32_t groupCursor_ = 0;
+    std::uint32_t passCursor_ = 0;
+    std::uint64_t scratchCursor_ = 0;
+    std::uint32_t step_ = 0;
+};
+
+} // namespace
+
+BarnesWorkload::BarnesWorkload(const BarnesParams &params) : params_(params)
+{
+    csr_assert(params_.numProcs > 0 && params_.numBodies > 0,
+               "empty Barnes configuration");
+}
+
+std::uint64_t
+BarnesWorkload::memoryBytes() const
+{
+    return static_cast<std::uint64_t>(params_.numBodies) *
+               params_.blocksPerBody * kBlockBytes +
+           static_cast<std::uint64_t>(params_.numCells) * kBlockBytes;
+}
+
+std::unique_ptr<ProcAccessStream>
+BarnesWorkload::procStream(ProcId p) const
+{
+    csr_assert(p < params_.numProcs, "proc out of range");
+    return std::make_unique<BarnesStream>(*this, p);
+}
+
+ProcId
+BarnesWorkload::ownerOfBody(std::uint32_t body) const
+{
+    return (body / params_.chunkBodies) % params_.numProcs;
+}
+
+} // namespace csr

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Barnes-Hut N-body workload generator.
+ *
+ * SPLASH-2 Barnes computes gravitational forces with a hierarchical
+ * octree.  Its trace signature, per the paper: data-dependent and
+ * irregular accesses, a moderate primary working set (~8 KB knee),
+ * and a high remote-access fraction (44.8% under per-block first
+ * touch).  The generator models:
+ *
+ *   - NB bodies of two cache blocks each, owned in chunks that are
+ *     block-cyclically distributed over the processors (SPLASH
+ *     re-partitions bodies each step; chunked-cyclic ownership gives
+ *     the same "my bodies are local, neighbours often are not");
+ *   - a cell tree of single-block cells written during a per-step
+ *     build phase by their owning processor (first touch ==> most
+ *     cells are remote to any given processor) and read along
+ *     root-to-leaf paths during the force phase (upper levels form a
+ *     very hot shared working set);
+ *   - per-body force computation: read own body, read a tree path,
+ *     read a set of neighbour bodies (local with probability
+ *     localNeighborFrac, tuned so the sampled processor's remote
+ *     fraction lands at Table 1's 44.8%), write own body.
+ */
+
+#ifndef CSR_TRACE_BARNESWORKLOAD_H
+#define CSR_TRACE_BARNESWORKLOAD_H
+
+#include "trace/Workload.h"
+
+namespace csr
+{
+
+/** Tunables of the Barnes-like generator. */
+struct BarnesParams
+{
+    ProcId numProcs = 8;
+    std::uint32_t numBodies = 4096;     ///< paper: 64K; scaled
+    std::uint32_t blocksPerBody = 2;    ///< 128 B per body
+    std::uint32_t numCells = 2048;      ///< tree cells, 64 B each
+    std::uint32_t treePathLen = 8;      ///< cells read per force calc
+    std::uint32_t neighborsPerBody = 12;
+    /** Bodies per spatial interaction group.  A group's force and
+     *  correction passes touch the same deterministic interaction
+     *  set, producing reuse at stack distances just past the L2's
+     *  associativity (the property reservations exploit). */
+    std::uint32_t groupBodies = 32;
+    /** Neighbour reads draw their group at a power-law distance from
+     *  the body's own group: P(distance g) ~ 1/(1+g)^alpha over
+     *  g in [0, groupSpread).  Nearby groups are re-read often (hot),
+     *  far ones rarely (long reuse distances), and the groups in
+     *  between produce exactly the just-past-associativity reuse that
+     *  real irregular traversals have and reservations exploit. */
+    std::uint32_t groupSpread = 10;
+    double neighborAlpha = 1.2;
+    /** Fraction of neighbour reads that jump anywhere (irregular
+     *  far-field reads -- dead blocks that pollute the cache). */
+    double farReadFrac = 0.02;
+    /** Per-body writes to the processor-local interaction-list
+     *  scratch area, a large circular buffer.  These blocks stream
+     *  (dead once written past), providing the low-cost,
+     *  low-locality blocks that reservations sacrifice cheaply. */
+    std::uint32_t scratchPerBody = 7;
+    std::uint32_t scratchBlocks = 2048;
+    /** Reads of tree cells in the adjacent processors' regions
+     *  (boundary interactions): remote blocks with reuse. */
+    std::uint32_t boundaryCellReads = 2;
+    /** Ownership granularity.  Equal to groupBodies, so the sliding
+     *  neighbour window spans ownership boundaries and remote bodies
+     *  get the same medium-distance reuse as local ones. */
+    std::uint32_t chunkBodies = 32;
+    std::uint64_t targetRefsPerProc = 1000000;
+    std::uint64_t seed = 1;
+};
+
+/** Barnes-Hut-like synthetic workload (see file comment). */
+class BarnesWorkload : public SyntheticWorkload
+{
+  public:
+    explicit BarnesWorkload(const BarnesParams &params = {});
+
+    std::string name() const override { return "barnes"; }
+    ProcId numProcs() const override { return params_.numProcs; }
+    std::uint64_t memoryBytes() const override;
+    std::unique_ptr<ProcAccessStream> procStream(ProcId p) const override;
+
+    const BarnesParams &params() const { return params_; }
+
+    /** Owner of a body (chunked block-cyclic). */
+    ProcId ownerOfBody(std::uint32_t body) const;
+
+  private:
+    BarnesParams params_;
+};
+
+} // namespace csr
+
+#endif // CSR_TRACE_BARNESWORKLOAD_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Helper base for ProcAccessStream implementations.
+ *
+ * Workload programs are most naturally written as loops ("for each
+ * owned body: emit its ~24 accesses"), not as resumable state
+ * machines.  BatchStream lets a generator produce one program step's
+ * worth of accesses at a time into a buffer; next() drains the buffer
+ * and asks for a refill when it runs dry.
+ */
+
+#ifndef CSR_TRACE_BATCHSTREAM_H
+#define CSR_TRACE_BATCHSTREAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/Workload.h"
+
+namespace csr
+{
+
+/**
+ * Buffered access stream.  Derived classes implement refill(), which
+ * either emit()s at least one access or finish()es the stream.  A
+ * per-stream reference budget (capRefs) truncates the program when the
+ * workload is configured with a target trace length.
+ */
+class BatchStream : public ProcAccessStream
+{
+  public:
+    /** @param cap_refs maximum accesses this stream will produce;
+     *                  0 means unlimited. */
+    explicit BatchStream(std::uint64_t cap_refs = 0) : capRefs_(cap_refs) {}
+
+    bool
+    next(MemAccess &out) override
+    {
+        while (cursor_ >= buffer_.size()) {
+            if (finished_ || (capRefs_ && produced_ >= capRefs_))
+                return false;
+            buffer_.clear();
+            cursor_ = 0;
+            refill();
+            if (buffer_.empty() && finished_)
+                return false;
+        }
+        if (capRefs_ && produced_ >= capRefs_)
+            return false;
+        out = buffer_[cursor_++];
+        ++produced_;
+        return true;
+    }
+
+    /** Total accesses handed out so far. */
+    std::uint64_t produced() const { return produced_; }
+
+  protected:
+    /** Generate the next batch of accesses (or call finish()). */
+    virtual void refill() = 0;
+
+    /** Queue one access. */
+    void
+    emit(Addr addr, bool write, std::uint32_t gap_cycles = 2)
+    {
+        buffer_.push_back({addr, write, gap_cycles});
+    }
+
+    /** Mark the program as complete; next() returns false once the
+     *  buffer drains. */
+    void finish() { finished_ = true; }
+
+    bool finished() const { return finished_; }
+
+  private:
+    std::vector<MemAccess> buffer_;
+    std::size_t cursor_ = 0;
+    std::uint64_t produced_ = 0;
+    std::uint64_t capRefs_;
+    bool finished_ = false;
+};
+
+} // namespace csr
+
+#endif // CSR_TRACE_BATCHSTREAM_H

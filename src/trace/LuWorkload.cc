@@ -1,0 +1,199 @@
+#include "trace/LuWorkload.h"
+
+#include "trace/BatchStream.h"
+#include "util/Logging.h"
+
+namespace csr
+{
+
+namespace
+{
+
+constexpr Addr kMatrixBase = 0x40000000;
+constexpr Addr kBlockBytes = 64;
+
+/** One processor's LU program, one submatrix operation per refill. */
+class LuStream : public BatchStream
+{
+  public:
+    LuStream(const LuWorkload &workload, ProcId proc)
+        : BatchStream(workload.params().targetRefsPerProc), wl_(workload),
+          p_(workload.params()), proc_(proc)
+    {
+    }
+
+  protected:
+    void
+    refill() override
+    {
+        const std::uint32_t nb = wl_.numBlocksDim();
+        while (true) {
+            if (k_ >= nb) {
+                if (p_.targetRefsPerProc == 0) {
+                    finish();
+                    return;
+                }
+                // Loop the kernel until the reference cap truncates us.
+                k_ = 0;
+                stage_ = Stage::Diag;
+            }
+            switch (stage_) {
+              case Stage::Diag:
+                stage_ = Stage::Row;
+                cursor_ = k_ + 1;
+                if (wl_.ownerOf(k_, k_) == proc_) {
+                    emitFactor();
+                    return;
+                }
+                break;
+              case Stage::Row:
+                if (cursor_ >= nb) {
+                    stage_ = Stage::Col;
+                    cursor_ = k_ + 1;
+                    break;
+                }
+                if (wl_.ownerOf(k_, cursor_) == proc_) {
+                    emitPerimeter(k_, cursor_);
+                    ++cursor_;
+                    return;
+                }
+                ++cursor_;
+                break;
+              case Stage::Col:
+                if (cursor_ >= nb) {
+                    stage_ = Stage::Interior;
+                    cursor_ = 0;
+                    break;
+                }
+                if (wl_.ownerOf(cursor_, k_) == proc_) {
+                    emitPerimeter(cursor_, k_);
+                    ++cursor_;
+                    return;
+                }
+                ++cursor_;
+                break;
+              case Stage::Interior: {
+                const std::uint32_t span = nb - (k_ + 1);
+                if (span == 0 || cursor_ >= span * span) {
+                    ++k_;
+                    stage_ = Stage::Diag;
+                    break;
+                }
+                const std::uint32_t i = k_ + 1 + cursor_ / span;
+                const std::uint32_t j = k_ + 1 + cursor_ % span;
+                ++cursor_;
+                if (wl_.ownerOf(i, j) == proc_) {
+                    emitInterior(i, j);
+                    return;
+                }
+                break;
+              }
+            }
+        }
+    }
+
+  private:
+    enum class Stage
+    {
+        Diag,
+        Row,
+        Col,
+        Interior,
+    };
+
+    void
+    sweepRead(std::uint32_t i, std::uint32_t j, std::uint32_t gap)
+    {
+        const Addr base = wl_.subBase(i, j);
+        for (std::uint32_t b = 0; b < wl_.cacheBlocksPerSub(); ++b)
+            emit(base + static_cast<Addr>(b) * kBlockBytes, false, gap);
+    }
+
+    void
+    sweepReadWrite(std::uint32_t i, std::uint32_t j, std::uint32_t sweeps,
+                   std::uint32_t gap)
+    {
+        const Addr base = wl_.subBase(i, j);
+        for (std::uint32_t s = 0; s < sweeps; ++s) {
+            for (std::uint32_t b = 0; b < wl_.cacheBlocksPerSub(); ++b) {
+                const Addr addr = base + static_cast<Addr>(b) * kBlockBytes;
+                emit(addr, false, gap);
+                emit(addr, true, gap);
+            }
+        }
+    }
+
+    /** Factor the diagonal submatrix (local, compute-heavy). */
+    void
+    emitFactor()
+    {
+        sweepReadWrite(k_, k_, p_.factorSweeps, 6);
+    }
+
+    /** Perimeter update: read the diagonal, sweep the owned panel. */
+    void
+    emitPerimeter(std::uint32_t i, std::uint32_t j)
+    {
+        sweepRead(k_, k_, 2);
+        sweepReadWrite(i, j, p_.updateSweeps, 4);
+    }
+
+    /** Interior update: read the two panels, sweep the owned block. */
+    void
+    emitInterior(std::uint32_t i, std::uint32_t j)
+    {
+        sweepRead(i, k_, 2);
+        sweepRead(k_, j, 2);
+        sweepReadWrite(i, j, p_.updateSweeps, 4);
+    }
+
+    const LuWorkload &wl_;
+    const LuParams &p_;
+    ProcId proc_;
+    std::uint32_t k_ = 0;
+    Stage stage_ = Stage::Diag;
+    std::uint32_t cursor_ = 0;
+};
+
+} // namespace
+
+LuWorkload::LuWorkload(const LuParams &params) : params_(params)
+{
+    csr_assert(params_.matrixDim % params_.blockDim == 0,
+               "matrixDim must be a multiple of blockDim");
+    csr_assert(params_.procGridRows * params_.procGridCols ==
+               params_.numProcs, "proc grid does not match numProcs");
+    nb_ = params_.matrixDim / params_.blockDim;
+    subBytes_ = params_.blockDim * params_.blockDim * 8; // doubles
+    subCacheBlocks_ = subBytes_ / kBlockBytes;
+    csr_assert(subCacheBlocks_ > 0, "submatrix smaller than a cache block");
+}
+
+std::uint64_t
+LuWorkload::memoryBytes() const
+{
+    return static_cast<std::uint64_t>(nb_) * nb_ * subBytes_;
+}
+
+std::unique_ptr<ProcAccessStream>
+LuWorkload::procStream(ProcId p) const
+{
+    csr_assert(p < params_.numProcs, "proc out of range");
+    return std::make_unique<LuStream>(*this, p);
+}
+
+ProcId
+LuWorkload::ownerOf(std::uint32_t i, std::uint32_t j) const
+{
+    return (i % params_.procGridRows) * params_.procGridCols +
+           (j % params_.procGridCols);
+}
+
+Addr
+LuWorkload::subBase(std::uint32_t i, std::uint32_t j) const
+{
+    return kMatrixBase +
+           (static_cast<Addr>(i) * nb_ + j) * subBytes_;
+}
+
+} // namespace csr

@@ -1,0 +1,168 @@
+#include "trace/OceanWorkload.h"
+
+#include "trace/BatchStream.h"
+#include "util/Logging.h"
+#include "util/MathUtil.h"
+#include "util/Random.h"
+
+namespace csr
+{
+
+namespace
+{
+
+constexpr Addr kGridBase = 0x80000000;
+constexpr Addr kGridStride = 0x01000000; // 16 MB between grids
+constexpr Addr kCoarseBase = 0xC0000000;
+constexpr Addr kSumBase = 0xD0000000;
+constexpr Addr kBlockBytes = 64;
+
+/** One processor's Ocean program; one row sweep (or the global phase)
+ *  per refill. */
+class OceanStream : public BatchStream
+{
+  public:
+    OceanStream(const OceanWorkload &workload, ProcId proc)
+        : BatchStream(workload.params().targetRefsPerProc), wl_(workload),
+          p_(workload.params()), proc_(proc),
+          rng_(hashMix64(p_.seed * 0x0CEA + proc + 1))
+    {
+    }
+
+  protected:
+    void
+    refill() override
+    {
+        const std::uint32_t rows = wl_.rowsOf(proc_);
+        if (stripStart_ < rows) {
+            emitStripSweep(rows);
+            if (++sweepCursor_ >= p_.relaxSweeps) {
+                sweepCursor_ = 0;
+                stripStart_ += p_.stripRows;
+            }
+            return;
+        }
+        // Band relaxed for this (src, dst) pair; move to the next
+        // pair or the iteration-final global phase.
+        stripStart_ = 0;
+        sweepCursor_ = 0;
+        ++pairCursor_;
+        if (pairCursor_ < p_.sweepPairs)
+            return refill();
+        pairCursor_ = 0;
+        ++iteration_;
+        emitGlobalPhase();
+    }
+
+  private:
+    /** One relaxation pass over the current strip: a 5-point stencil
+     *  over each strip row of the src grid into the dst grid, block
+     *  by block (west/east share the centre's cache block). */
+    void
+    emitStripSweep(std::uint32_t band_rows)
+    {
+        const std::uint32_t src = (2 * pairCursor_) % p_.numGrids;
+        const std::uint32_t dst = (2 * pairCursor_ + 1) % p_.numGrids;
+        const std::uint32_t first = wl_.firstRowOf(proc_);
+        const std::uint32_t end =
+            std::min(stripStart_ + p_.stripRows, band_rows);
+        for (std::uint32_t r = stripStart_; r < end; ++r) {
+            const std::uint32_t row = first + r;
+            for (std::uint32_t b = 0; b < wl_.blocksPerRow(); ++b) {
+                // The stencil arithmetic for the 8 points of a cache
+                // block costs a few tens of cycles; it is what keeps
+                // Ocean latency-sensitive rather than purely
+                // bandwidth-bound.
+                emit(wl_.rowBlockAddr(src, row, b), false, 2);
+                emit(wl_.rowBlockAddr(src, row - 1, b), false, 2);
+                emit(wl_.rowBlockAddr(src, row + 1, b), false, 2);
+                emit(wl_.rowBlockAddr(dst, row, b), true, 14);
+            }
+        }
+    }
+
+    /** Multigrid restriction + global reduction: shared coarse grid
+     *  reads (scattered first touch, mostly remote) and the other
+     *  processors' partial sums. */
+    void
+    emitGlobalPhase()
+    {
+        for (std::uint32_t i = 0; i < p_.coarseBlocksPerIter; ++i) {
+            const Addr block =
+                rng_.nextBelow(4096); // 256 KB shared coarse data
+            emit(kCoarseBase + block * kBlockBytes, false, 1);
+        }
+        // Read every processor's partial sum, update our own.
+        for (ProcId q = 0; q < p_.numProcs; ++q)
+            emit(kSumBase + static_cast<Addr>(q) * kBlockBytes, false, 1);
+        emit(kSumBase + static_cast<Addr>(proc_) * kBlockBytes, true, 4);
+    }
+
+    const OceanWorkload &wl_;
+    const OceanParams &p_;
+    ProcId proc_;
+    Rng rng_;
+    std::uint32_t stripStart_ = 0;
+    std::uint32_t sweepCursor_ = 0;
+    std::uint32_t pairCursor_ = 0;
+    std::uint32_t iteration_ = 0;
+};
+
+} // namespace
+
+OceanWorkload::OceanWorkload(const OceanParams &params) : params_(params)
+{
+    csr_assert(params_.numProcs > 0 && params_.gridDim > 2,
+               "empty Ocean configuration");
+    // Row of G doubles, padded up to whole cache blocks.
+    blocksPerRow_ = static_cast<std::uint32_t>(
+        divCeil(static_cast<std::uint64_t>(params_.gridDim) * 8,
+                kBlockBytes));
+    interiorRows_ = params_.gridDim - 2; // rows 0 and G-1 are halo
+    csr_assert(interiorRows_ >= params_.numProcs,
+               "fewer interior rows than processors");
+}
+
+std::uint64_t
+OceanWorkload::memoryBytes() const
+{
+    const std::uint64_t row_bytes =
+        static_cast<std::uint64_t>(blocksPerRow_) * kBlockBytes;
+    return static_cast<std::uint64_t>(params_.numGrids) * params_.gridDim *
+               row_bytes +
+           256 * 1024 /* coarse */ + params_.numProcs * kBlockBytes;
+}
+
+std::unique_ptr<ProcAccessStream>
+OceanWorkload::procStream(ProcId p) const
+{
+    csr_assert(p < params_.numProcs, "proc out of range");
+    return std::make_unique<OceanStream>(*this, p);
+}
+
+std::uint32_t
+OceanWorkload::firstRowOf(ProcId p) const
+{
+    // Split interior rows evenly; remainder rows go to the low procs.
+    const std::uint32_t base = interiorRows_ / params_.numProcs;
+    const std::uint32_t extra = interiorRows_ % params_.numProcs;
+    return 1 + p * base + std::min(p, extra);
+}
+
+std::uint32_t
+OceanWorkload::rowsOf(ProcId p) const
+{
+    const std::uint32_t base = interiorRows_ / params_.numProcs;
+    const std::uint32_t extra = interiorRows_ % params_.numProcs;
+    return base + (p < extra ? 1 : 0);
+}
+
+Addr
+OceanWorkload::rowBlockAddr(std::uint32_t g, std::uint32_t r,
+                            std::uint32_t b) const
+{
+    return kGridBase + static_cast<Addr>(g) * kGridStride +
+           (static_cast<Addr>(r) * blocksPerRow_ + b) * kBlockBytes;
+}
+
+} // namespace csr

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ocean (regular grid PDE solver) workload generator.
+ *
+ * SPLASH-2 Ocean simulates eddy currents with red-black Gauss-Seidel
+ * sweeps and a multigrid solver over many ~G x G grids, partitioned
+ * into per-processor bands.  Its trace signature, per the paper:
+ * streaming sweeps over a footprint far larger than the cache (miss
+ * rate inversely proportional to cache size) and a small remote
+ * fraction (7.4%) coming from band-boundary rows and the shared
+ * multigrid/reduction data.  The generator models:
+ *
+ *   - A grids of G x G doubles, band-partitioned by rows;
+ *   - per-iteration 5-point stencil sweeps over (src, dst) grid
+ *     pairs: read centre/north/south, write dst, block by block
+ *     (west/east live in the same cache block as the centre);
+ *   - boundary rows read one row of the neighbouring processor's
+ *     band (the remote traffic);
+ *   - a per-iteration multigrid/reduction phase reading a shared
+ *     coarse grid (first-touch scattered, so mostly remote) and the
+ *     other processors' partial sums.
+ */
+
+#ifndef CSR_TRACE_OCEANWORKLOAD_H
+#define CSR_TRACE_OCEANWORKLOAD_H
+
+#include "trace/Workload.h"
+
+namespace csr
+{
+
+/** Tunables of the Ocean-like generator. */
+struct OceanParams
+{
+    ProcId numProcs = 16;
+    std::uint32_t gridDim = 258;        ///< G (paper: 258)
+    std::uint32_t numGrids = 8;         ///< paper has ~25; scaled
+    std::uint32_t sweepPairs = 4;       ///< (src,dst) pairs per iteration
+    /** Rows relaxed as one block-tiled strip; the strip is swept
+     *  relaxSweeps times before moving on (red-black/SOR relaxation
+     *  revisits points), which is what gives Ocean reuse at stack
+     *  distances just beyond the L2 associativity. */
+    std::uint32_t stripRows = 6;
+    std::uint32_t relaxSweeps = 2;
+    std::uint32_t coarseBlocksPerIter = 280; ///< shared multigrid reads
+    std::uint64_t targetRefsPerProc = 600000;
+    std::uint64_t seed = 3;
+};
+
+/** Ocean-like synthetic workload (see file comment). */
+class OceanWorkload : public SyntheticWorkload
+{
+  public:
+    explicit OceanWorkload(const OceanParams &params = {});
+
+    std::string name() const override { return "ocean"; }
+    ProcId numProcs() const override { return params_.numProcs; }
+    std::uint64_t memoryBytes() const override;
+    std::unique_ptr<ProcAccessStream> procStream(ProcId p) const override;
+
+    const OceanParams &params() const { return params_; }
+
+    /** Cache blocks per grid row (rows are padded to block multiples). */
+    std::uint32_t blocksPerRow() const { return blocksPerRow_; }
+    /** Interior rows owned by processor p: [firstRow, firstRow+count). */
+    std::uint32_t firstRowOf(ProcId p) const;
+    std::uint32_t rowsOf(ProcId p) const;
+    /** Byte address of block b of row r of grid g. */
+    Addr rowBlockAddr(std::uint32_t g, std::uint32_t r,
+                      std::uint32_t b) const;
+
+  private:
+    OceanParams params_;
+    std::uint32_t blocksPerRow_;
+    std::uint32_t interiorRows_;
+};
+
+} // namespace csr
+
+#endif // CSR_TRACE_OCEANWORKLOAD_H

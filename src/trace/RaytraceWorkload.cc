@@ -1,0 +1,159 @@
+#include "trace/RaytraceWorkload.h"
+
+#include "trace/BatchStream.h"
+#include "util/Logging.h"
+#include "util/Random.h"
+
+namespace csr
+{
+
+namespace
+{
+
+constexpr Addr kSceneBase = 0x100000000;
+constexpr Addr kScratchBase = 0x200000000;
+constexpr Addr kFrameBase = 0x300000000;
+constexpr Addr kBlockBytes = 64;
+constexpr Addr kProcStride = 0x01000000; // private-region spacing
+
+/** One processor's Raytrace program; one ray per refill. */
+class RaytraceStream : public BatchStream
+{
+  public:
+    RaytraceStream(const RaytraceWorkload &workload, ProcId proc)
+        : BatchStream(workload.params().targetRefsPerProc),
+          p_(workload.params()), proc_(proc),
+          rng_(hashMix64(p_.seed * 0x4A7 + proc + 1))
+    {
+        lobes_.resize(p_.numLobes);
+        for (auto &lobe : lobes_)
+            lobe = rng_.nextBelow(p_.sceneBlocks);
+    }
+
+  protected:
+    void
+    refill() override
+    {
+        emitRay();
+        ++ray_;
+    }
+
+  private:
+    Addr
+    sceneAddr(std::uint64_t block) const
+    {
+        return kSceneBase + block * kBlockBytes;
+    }
+
+    /** Wrap a possibly negative scene position into range. */
+    std::uint64_t
+    wrap(std::int64_t pos) const
+    {
+        const auto n = static_cast<std::int64_t>(p_.sceneBlocks);
+        return static_cast<std::uint64_t>(((pos % n) + n) % n);
+    }
+
+    void
+    emitRay()
+    {
+        // Hierarchy top: a handful of extremely hot shared blocks.
+        for (std::uint32_t i = 0; i < 3; ++i) {
+            emit(sceneAddr(rng_.nextBelow(p_.hotRootBlocks)), false, 1);
+        }
+
+        // Pick the lobe this ray belongs to (eye cluster, a shadow
+        // ray toward one of the lights, a reflection).  Lobe 0 is the
+        // shared light-source region: every processor shoots shadow
+        // rays at the same slowly-moving scene area, so its blocks
+        // are first-touched by somebody else and stay remote-but-
+        // reused.  Other lobes drift privately.
+        const std::size_t li =
+            rng_.nextBool(0.3)
+                ? 0
+                : 1 + rng_.nextBelow(p_.numLobes - 1);
+        if (li == 0) {
+            lobes_[0] = hashMix64(p_.seed ^ (ray_ / 4096)) %
+                        p_.sceneBlocks;
+        } else if (rng_.nextBool(p_.lobeJumpProb)) {
+            lobes_[li] = rng_.nextBelow(p_.sceneBlocks);
+        } else {
+            lobes_[li] = wrap(static_cast<std::int64_t>(lobes_[li]) +
+                              rng_.nextRange(-static_cast<std::int64_t>(
+                                                 p_.lobeDrift),
+                                             static_cast<std::int64_t>(
+                                                 p_.lobeDrift)));
+        }
+
+        // Grid walk within the lobe's span.
+        const std::int64_t half =
+            static_cast<std::int64_t>(p_.lobeSpanBlocks) / 2;
+        std::uint64_t pos = lobes_[li];
+        for (std::uint32_t s = 0; s < p_.walkSteps; ++s) {
+            pos = wrap(static_cast<std::int64_t>(lobes_[li]) +
+                       rng_.nextRange(-half, half));
+            emit(sceneAddr(pos), false, 2);
+        }
+
+        // Shading: object/material data adjacent to the hit point.
+        for (std::uint32_t s = 0; s < p_.shadingReads; ++s)
+            emit(sceneAddr((pos + s + 1) % p_.sceneBlocks), false, 2);
+
+        // Local ray-stack scratch (hot, processor-private).
+        const Addr scratch_base = kScratchBase + proc_ * kProcStride;
+        for (std::uint32_t s = 0; s < p_.scratchAccesses; ++s) {
+            const Addr block = rng_.nextBelow(p_.scratchBlocks);
+            emit(scratch_base + block * kBlockBytes, (s & 3u) == 3u, 1);
+        }
+
+        // Streaming local work (ray packets, tile staging): cycling
+        // writes through a large buffer, dead once written past.
+        const Addr stream_base =
+            kScratchBase + 0x800000 + proc_ * kProcStride;
+        for (std::uint32_t s = 0; s < p_.streamAccesses; ++s) {
+            emit(stream_base +
+                     (streamCursor_ % p_.streamBlocks) * kBlockBytes,
+                 true, 1);
+            ++streamCursor_;
+        }
+
+        // Framebuffer: sequential writes within this processor's tile.
+        const Addr fb_base = kFrameBase + proc_ * kProcStride;
+        const Addr fb_block = (ray_ / 8) % p_.framebufferBlocks;
+        emit(fb_base + fb_block * kBlockBytes, true, 2);
+        emit(fb_base + fb_block * kBlockBytes, true, 1);
+    }
+
+    const RaytraceParams &p_;
+    ProcId proc_;
+    Rng rng_;
+    std::vector<std::uint64_t> lobes_;
+    std::uint64_t streamCursor_ = 0;
+    std::uint64_t ray_ = 0;
+};
+
+} // namespace
+
+RaytraceWorkload::RaytraceWorkload(const RaytraceParams &params)
+    : params_(params)
+{
+    csr_assert(params_.numProcs > 0 && params_.sceneBlocks > 64,
+               "empty Raytrace configuration");
+}
+
+std::uint64_t
+RaytraceWorkload::memoryBytes() const
+{
+    return (static_cast<std::uint64_t>(params_.sceneBlocks) +
+            static_cast<std::uint64_t>(params_.numProcs) *
+                (params_.scratchBlocks + params_.framebufferBlocks)) *
+           kBlockBytes;
+}
+
+std::unique_ptr<ProcAccessStream>
+RaytraceWorkload::procStream(ProcId p) const
+{
+    csr_assert(p < params_.numProcs, "proc out of range");
+    return std::make_unique<RaytraceStream>(*this, p);
+}
+
+} // namespace csr

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Raytrace (hierarchical ray tracing) workload generator.
+ *
+ * SPLASH-2 Raytrace renders a scene by shooting rays through a
+ * hierarchical uniform grid.  Its trace signature, per the paper:
+ * data-dependent, irregular accesses over a very large read-shared
+ * scene (32 MB for "car"; miss rate inversely proportional to cache
+ * size) with a remote fraction of 29.6%.  The generator models:
+ *
+ *   - a large read-only scene region whose blocks are first-touched
+ *     by whichever processor's ray reaches them first (scattered
+ *     homes => most scene reads are remote);
+ *   - per-ray traversal: a few reads of the hot top-level hierarchy
+ *     blocks, then a spatially-correlated random walk through the
+ *     scene (coherent rays mostly step locally in the address space,
+ *     with occasional long jumps), then shading reads;
+ *   - per-ray local work: ray-stack scratch accesses and framebuffer
+ *     writes, both processor-private regions that keep the overall
+ *     remote fraction at Table 1's level.
+ */
+
+#ifndef CSR_TRACE_RAYTRACEWORKLOAD_H
+#define CSR_TRACE_RAYTRACEWORKLOAD_H
+
+#include "trace/Workload.h"
+
+namespace csr
+{
+
+/** Tunables of the Raytrace-like generator. */
+struct RaytraceParams
+{
+    ProcId numProcs = 8;
+    std::uint32_t sceneBlocks = 65536;  ///< 4 MB scene (paper: 32 MB)
+    std::uint32_t hotRootBlocks = 16;   ///< top hierarchy levels
+    std::uint32_t walkSteps = 20;       ///< grid traversal reads per ray
+    std::uint32_t shadingReads = 4;
+    std::uint32_t scratchAccesses = 20; ///< hot ray-stack work per ray
+    std::uint32_t scratchBlocks = 64;   ///< hot scratch footprint
+    /** Streaming local work per ray (ray-packet buffers, image-tile
+     *  staging): writes that cycle through a large circular buffer
+     *  and are dead once the cursor moves on.  These provide the
+     *  cheap, low-locality blocks that reservations can sacrifice
+     *  without penalty. */
+    std::uint32_t streamAccesses = 20;
+    std::uint32_t streamBlocks = 4096;
+    /** Coherent rays revisit a few scene regions ("lobes": the eye
+     *  ray cluster, shadow rays toward lights, reflections).  Each
+     *  ray walks near one lobe; lobes drift slowly and occasionally
+     *  jump.  The combined lobe footprint sits just past the L2
+     *  capacity, which is where reservations pay off. */
+    std::uint32_t numLobes = 4;
+    std::uint32_t lobeSpanBlocks = 80;  ///< walk range around a lobe
+    double lobeJumpProb = 0.02;         ///< lobe relocation per ray
+    std::uint32_t lobeDrift = 8;        ///< slow per-ray drift
+    std::uint32_t framebufferBlocks = 2048; ///< per proc
+    std::uint64_t targetRefsPerProc = 800000;
+    std::uint64_t seed = 4;
+};
+
+/** Raytrace-like synthetic workload (see file comment). */
+class RaytraceWorkload : public SyntheticWorkload
+{
+  public:
+    explicit RaytraceWorkload(const RaytraceParams &params = {});
+
+    std::string name() const override { return "raytrace"; }
+    ProcId numProcs() const override { return params_.numProcs; }
+    std::uint64_t memoryBytes() const override;
+    std::unique_ptr<ProcAccessStream> procStream(ProcId p) const override;
+
+    const RaytraceParams &params() const { return params_; }
+
+  private:
+    RaytraceParams params_;
+};
+
+} // namespace csr
+
+#endif // CSR_TRACE_RAYTRACEWORKLOAD_H

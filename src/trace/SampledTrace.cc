@@ -1,0 +1,78 @@
+#include "trace/SampledTrace.h"
+
+#include "util/Logging.h"
+#include "util/Random.h"
+
+namespace csr
+{
+
+SampledTrace
+buildSampledTrace(const SyntheticWorkload &workload, ProcId sampled,
+                  std::uint32_t block_bytes, std::uint32_t burst,
+                  std::uint64_t seed)
+{
+    const ProcId procs = workload.numProcs();
+    csr_assert(sampled < procs, "sampled proc out of range");
+    csr_assert(burst > 0, "burst must be positive");
+
+    SampledTrace out;
+    out.benchmark = workload.name();
+    out.sampledProc = sampled;
+    out.blockBytes = block_bytes;
+
+    std::vector<std::unique_ptr<ProcAccessStream>> streams;
+    streams.reserve(procs);
+    for (ProcId p = 0; p < procs; ++p)
+        streams.push_back(workload.procStream(p));
+
+    std::vector<bool> alive(procs, true);
+    ProcId live = procs;
+    Rng jitter(seed);
+
+    std::uint64_t sampled_remote = 0;
+    MemAccess acc;
+
+    while (live > 0) {
+        for (ProcId p = 0; p < procs; ++p) {
+            if (!alive[p])
+                continue;
+            // Jittered burst length: 50%..150% of the nominal burst.
+            const std::uint64_t len =
+                burst / 2 + jitter.nextBelow(burst) + 1;
+            for (std::uint64_t i = 0; i < len; ++i) {
+                if (!streams[p]->next(acc)) {
+                    alive[p] = false;
+                    --live;
+                    break;
+                }
+                const Addr block = acc.addr / block_bytes;
+                auto [it, inserted] = out.homeOf.try_emplace(block, p);
+                (void)it;
+                (void)inserted;
+                if (p == sampled) {
+                    ++out.sampledRefs;
+                    if (out.homeOf[block] != sampled)
+                        ++sampled_remote;
+                    out.records.push_back({acc.addr,
+                                           static_cast<std::uint16_t>(p),
+                                           acc.write});
+                } else if (acc.write) {
+                    out.records.push_back({acc.addr,
+                                           static_cast<std::uint16_t>(p),
+                                           true});
+                }
+            }
+        }
+    }
+
+    out.touchedBytes =
+        static_cast<std::uint64_t>(out.homeOf.size()) * block_bytes;
+    out.remoteAccessFraction =
+        out.sampledRefs
+            ? static_cast<double>(sampled_remote) /
+                  static_cast<double>(out.sampledRefs)
+            : 0.0;
+    return out;
+}
+
+} // namespace csr

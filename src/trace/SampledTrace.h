@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Construction of sampled-processor traces (Section 3.1 methodology).
+ *
+ * The paper gathers "the trace of one selected slave process ... in
+ * the parallel section", containing "all the shared data accesses of
+ * one processor plus all the shared data writes from other
+ * processors" (the writes are needed to model invalidations).
+ *
+ * buildSampledTrace() interleaves the per-processor streams of a
+ * SyntheticWorkload in round-robin bursts -- a coarse but
+ * deterministic model of concurrent execution -- and keeps exactly
+ * that record subset.  While interleaving it also performs per-block
+ * first-touch home assignment, which the first-touch cost mapping of
+ * Section 3.3 and the Table 1 remote-access fractions are derived
+ * from.
+ */
+
+#ifndef CSR_TRACE_SAMPLEDTRACE_H
+#define CSR_TRACE_SAMPLEDTRACE_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/Workload.h"
+
+namespace csr
+{
+
+/** A sampled-processor trace plus the metadata derived from it. */
+struct SampledTrace
+{
+    std::string benchmark;
+    ProcId sampledProc = 0;
+    std::uint32_t blockBytes = 64;
+
+    /** Sampled processor's accesses + other processors' writes, in
+     *  interleaved global order. */
+    std::vector<TraceRecord> records;
+
+    /** First-touch home node of every touched block (key is the
+     *  block-granular address, i.e. byte address / blockBytes). */
+    std::unordered_map<Addr, ProcId> homeOf;
+
+    // --- Table 1 style characteristics -----------------------------------
+
+    /** References issued by the sampled processor. */
+    std::uint64_t sampledRefs = 0;
+    /** Distinct blocks touched by anyone, times blockBytes. */
+    std::uint64_t touchedBytes = 0;
+    /** Fraction of the sampled processor's references that target a
+     *  block whose first-touch home is another processor. */
+    double remoteAccessFraction = 0.0;
+
+    /** Block-granular address of a record. */
+    Addr
+    blockOf(const TraceRecord &rec) const
+    {
+        return rec.addr / blockBytes;
+    }
+
+    /** True if the block is homed away from the sampled processor. */
+    bool
+    isRemote(Addr block_addr) const
+    {
+        auto it = homeOf.find(block_addr);
+        return it != homeOf.end() && it->second != sampledProc;
+    }
+};
+
+/**
+ * Interleave, filter and characterize.
+ *
+ * @param workload   the P-processor program
+ * @param sampled    which processor's perspective to trace
+ * @param block_bytes cache block size for first-touch granularity
+ * @param burst      accesses a processor issues before the
+ *                   round-robin moves on (jittered +/-50% so streams
+ *                   do not interleave in lockstep)
+ * @param seed       jitter seed
+ */
+SampledTrace buildSampledTrace(const SyntheticWorkload &workload,
+                               ProcId sampled, std::uint32_t block_bytes = 64,
+                               std::uint32_t burst = 64,
+                               std::uint64_t seed = 7);
+
+} // namespace csr
+
+#endif // CSR_TRACE_SAMPLEDTRACE_H

@@ -1,0 +1,87 @@
+#include "trace/StackDistance.h"
+
+#include <list>
+#include <unordered_map>
+
+#include "util/Logging.h"
+
+namespace csr
+{
+
+double
+StackDistanceProfile::fractionInBand(std::uint32_t lo,
+                                     std::uint32_t hi) const
+{
+    if (total == 0)
+        return 0.0;
+    std::uint64_t in_band = 0;
+    for (std::uint32_t d = lo; d <= hi && d <= byDistance.size(); ++d)
+        in_band += byDistance[d - 1];
+    return static_cast<double>(in_band) / static_cast<double>(total);
+}
+
+double
+StackDistanceProfile::hitFraction(std::uint32_t assoc) const
+{
+    return fractionInBand(1, assoc);
+}
+
+StackDistanceReport
+profileStackDistances(const SampledTrace &trace,
+                      const CacheGeometry &geom,
+                      std::uint32_t max_distance)
+{
+    csr_assert(max_distance > 0, "max_distance must be positive");
+    StackDistanceReport report;
+    report.local.byDistance.assign(max_distance, 0);
+    report.remote.byDistance.assign(max_distance, 0);
+
+    // Unbounded per-set LRU stacks of block addresses.
+    std::vector<std::list<Addr>> stacks(geom.numSets());
+
+    auto remove_from = [](std::list<Addr> &stack, Addr block) -> int {
+        int distance = 0;
+        for (auto it = stack.begin(); it != stack.end(); ++it) {
+            ++distance;
+            if (*it == block) {
+                stack.erase(it);
+                return distance;
+            }
+        }
+        return 0; // not present
+    };
+
+    for (const auto &record : trace.records) {
+        const Addr byte_addr = record.addr;
+        auto &stack = stacks[geom.setIndex(byte_addr)];
+        const Addr block = geom.blockAddr(byte_addr);
+
+        if (record.proc != trace.sampledProc) {
+            // Invalidation: the block leaves the stack; its next
+            // access is a (coherence) cold miss.
+            remove_from(stack, block);
+            continue;
+        }
+
+        StackDistanceProfile &profile =
+            trace.isRemote(block) ? report.remote : report.local;
+        ++profile.total;
+        const int distance = remove_from(stack, block);
+        if (distance == 0) {
+            ++profile.coldMisses;
+        } else {
+            const auto bucket = std::min<std::uint32_t>(
+                static_cast<std::uint32_t>(distance), max_distance);
+            ++profile.byDistance[bucket - 1];
+        }
+        stack.push_front(block);
+        // Bound memory: reuse deeper than 4x the histogram range is
+        // indistinguishable from a cold miss for every consumer of
+        // this profile, so the stack tail can be dropped.
+        if (stack.size() > 4 * max_distance)
+            stack.pop_back();
+    }
+    return report;
+}
+
+} // namespace csr

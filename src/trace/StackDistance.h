@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-set LRU stack-distance profiling.
+ *
+ * The effectiveness of the paper's reservations hinges on one trace
+ * property: reuse at per-set stack distances *just beyond* the cache
+ * associativity (a block at distance s..s+k can be saved by a
+ * reservation that survives k sacrifices; one at distance <= s hits
+ * under plain LRU anyway; one far beyond is unreachable).  This
+ * profiler measures that property directly -- split by cost class --
+ * and is used both by the workload-calibration tests and by the
+ * analysis bench.
+ */
+
+#ifndef CSR_TRACE_STACKDISTANCE_H
+#define CSR_TRACE_STACKDISTANCE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/CacheGeometry.h"
+#include "trace/SampledTrace.h"
+
+namespace csr
+{
+
+/** Stack-distance histogram of one cost class. */
+struct StackDistanceProfile
+{
+    /** Counts by per-set LRU stack distance; index 0 holds distance
+     *  1 (MRU re-reference), the last bucket is open-ended. */
+    std::vector<std::uint64_t> byDistance;
+    std::uint64_t coldMisses = 0; ///< first touches
+    std::uint64_t total = 0;
+
+    /** Fraction of accesses with distance in [lo, hi] (1-based). */
+    double fractionInBand(std::uint32_t lo, std::uint32_t hi) const;
+    /** Fraction of accesses that would hit in an s-way LRU set. */
+    double hitFraction(std::uint32_t assoc) const;
+};
+
+/** Profiles for the local (home == sampled) and remote classes. */
+struct StackDistanceReport
+{
+    StackDistanceProfile local;
+    StackDistanceProfile remote;
+};
+
+/**
+ * Compute per-set stack distances of the sampled processor's
+ * accesses under the given cache geometry, honouring the trace's
+ * invalidations (an invalidated block's next access is a cold miss).
+ *
+ * @param max_distance distances beyond this land in the last bucket
+ */
+StackDistanceReport profileStackDistances(const SampledTrace &trace,
+                                          const CacheGeometry &geom,
+                                          std::uint32_t max_distance = 64);
+
+} // namespace csr
+
+#endif // CSR_TRACE_STACKDISTANCE_H

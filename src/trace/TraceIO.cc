@@ -1,0 +1,152 @@
+#include "trace/TraceIO.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/Logging.h"
+
+namespace csr
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'C', 'S', 'R', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+void
+put64(std::ostream &os, std::uint64_t v)
+{
+    std::array<unsigned char, 8> buf;
+    for (int i = 0; i < 8; ++i)
+        buf[static_cast<std::size_t>(i)] =
+            static_cast<unsigned char>(v >> (8 * i));
+    os.write(reinterpret_cast<const char *>(buf.data()), 8);
+}
+
+std::uint64_t
+get64(std::istream &is)
+{
+    std::array<unsigned char, 8> buf;
+    is.read(reinterpret_cast<char *>(buf.data()), 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(buf[static_cast<std::size_t>(i)])
+             << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::uint64_t
+writeTraceBinary(std::ostream &os, const std::vector<TraceRecord> &records)
+{
+    os.write(kMagic, 4);
+    put64(os, kVersion);
+    put64(os, records.size());
+    for (const auto &rec : records) {
+        put64(os, rec.addr);
+        const std::uint32_t meta =
+            static_cast<std::uint32_t>(rec.proc) |
+            (rec.write ? 0x10000u : 0u);
+        std::array<unsigned char, 4> buf;
+        for (int i = 0; i < 4; ++i)
+            buf[static_cast<std::size_t>(i)] =
+                static_cast<unsigned char>(meta >> (8 * i));
+        os.write(reinterpret_cast<const char *>(buf.data()), 4);
+    }
+    return 4 + 16 + records.size() * 12;
+}
+
+std::vector<TraceRecord>
+readTraceBinary(std::istream &is)
+{
+    char magic[4];
+    is.read(magic, 4);
+    if (!is || std::memcmp(magic, kMagic, 4) != 0)
+        csr_fatal("not a CSRT binary trace");
+    const std::uint64_t version = get64(is);
+    if (version != kVersion)
+        csr_fatal("unsupported trace version %llu",
+                  static_cast<unsigned long long>(version));
+    const std::uint64_t count = get64(is);
+    std::vector<TraceRecord> records;
+    records.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TraceRecord rec;
+        rec.addr = get64(is);
+        std::array<unsigned char, 4> buf;
+        is.read(reinterpret_cast<char *>(buf.data()), 4);
+        if (!is)
+            csr_fatal("truncated trace at record %llu",
+                      static_cast<unsigned long long>(i));
+        std::uint32_t meta = 0;
+        for (int b = 0; b < 4; ++b)
+            meta |= static_cast<std::uint32_t>(
+                        buf[static_cast<std::size_t>(b)])
+                    << (8 * b);
+        rec.proc = static_cast<std::uint16_t>(meta & 0xFFFF);
+        rec.write = (meta & 0x10000u) != 0;
+        records.push_back(rec);
+    }
+    return records;
+}
+
+void
+writeTraceText(std::ostream &os, const std::vector<TraceRecord> &records)
+{
+    for (const auto &rec : records) {
+        os << (rec.write ? 'W' : 'R') << ' ' << rec.proc << ' ' << std::hex
+           << rec.addr << std::dec << '\n';
+    }
+}
+
+std::vector<TraceRecord>
+readTraceText(std::istream &is)
+{
+    std::vector<TraceRecord> records;
+    std::string line;
+    std::uint64_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        char type = 0;
+        std::uint32_t proc = 0;
+        Addr addr = 0;
+        ls >> type >> proc >> std::hex >> addr;
+        if (!ls || (type != 'R' && type != 'W'))
+            csr_fatal("malformed trace line %llu: '%s'",
+                      static_cast<unsigned long long>(lineno), line.c_str());
+        records.push_back({addr, static_cast<std::uint16_t>(proc),
+                           type == 'W'});
+    }
+    return records;
+}
+
+void
+saveTrace(const std::string &path, const std::vector<TraceRecord> &records)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        csr_fatal("cannot open '%s' for writing", path.c_str());
+    writeTraceBinary(os, records);
+    if (!os)
+        csr_fatal("write failure on '%s'", path.c_str());
+}
+
+std::vector<TraceRecord>
+loadTrace(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        csr_fatal("cannot open '%s' for reading", path.c_str());
+    return readTraceBinary(is);
+}
+
+} // namespace csr

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Trace file input/output.
+ *
+ * Traces can be persisted so that expensive workload generation is
+ * paid once and replayed many times, and so that externally captured
+ * traces can be fed to the simulators.  Two formats:
+ *
+ *  - binary ("CSRT"): fixed 12-byte little-endian records, fast;
+ *  - text: one "R|W <proc> <hex addr>" line per record, diffable.
+ */
+
+#ifndef CSR_TRACE_TRACEIO_H
+#define CSR_TRACE_TRACEIO_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/TraceRecord.h"
+
+namespace csr
+{
+
+/** Write records in binary form.  Returns bytes written. */
+std::uint64_t writeTraceBinary(std::ostream &os,
+                               const std::vector<TraceRecord> &records);
+
+/** Read a binary trace; fatal on a malformed header or truncation. */
+std::vector<TraceRecord> readTraceBinary(std::istream &is);
+
+/** Write records as text, one per line. */
+void writeTraceText(std::ostream &os,
+                    const std::vector<TraceRecord> &records);
+
+/** Read a text trace; fatal on malformed lines. */
+std::vector<TraceRecord> readTraceText(std::istream &is);
+
+/** Convenience: write binary to a path (fatal on I/O failure). */
+void saveTrace(const std::string &path,
+               const std::vector<TraceRecord> &records);
+
+/** Convenience: read binary from a path (fatal on I/O failure). */
+std::vector<TraceRecord> loadTrace(const std::string &path);
+
+} // namespace csr
+
+#endif // CSR_TRACE_TRACEIO_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Memory-reference trace records.
+ *
+ * A record is one data access by one processor.  Per Section 3.1 of
+ * the paper, a sampled-processor trace contains all shared-data
+ * accesses of the sampled processor plus all shared-data *writes* of
+ * the other processors (so that cache invalidations are accounted
+ * for); private data and instruction fetches are excluded.
+ */
+
+#ifndef CSR_TRACE_TRACERECORD_H
+#define CSR_TRACE_TRACERECORD_H
+
+#include <cstdint>
+
+#include "util/Types.h"
+
+namespace csr
+{
+
+/** One memory reference. */
+struct TraceRecord
+{
+    /** Byte address of the access (block-aligned by the generators). */
+    Addr addr = 0;
+    /** Issuing processor. */
+    std::uint16_t proc = 0;
+    /** True for stores, false for loads. */
+    bool write = false;
+
+    bool
+    operator==(const TraceRecord &other) const
+    {
+        return addr == other.addr && proc == other.proc &&
+               write == other.write;
+    }
+};
+
+/**
+ * One memory operation as seen by the execution-driven simulator:
+ * the access plus the compute work preceding it.
+ */
+struct MemAccess
+{
+    Addr addr = 0;
+    bool write = false;
+    /** Processor cycles of non-memory work before this access issues. */
+    std::uint32_t gapCycles = 0;
+};
+
+} // namespace csr
+
+#endif // CSR_TRACE_TRACERECORD_H

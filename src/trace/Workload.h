@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Synthetic multiprocessor workload interfaces.
+ *
+ * The paper evaluates on four SPLASH-2 benchmarks (Barnes, LU, Ocean,
+ * Raytrace).  We do not have the original traces or a SPARC
+ * execution environment, so each benchmark is substituted by a
+ * generator that reproduces the documented *access structure* --
+ * working sets, sharing pattern, irregularity and the remote-access
+ * fraction of Table 1 -- which is everything a replacement policy can
+ * observe.  See DESIGN.md ("Substitutions") for the faithfulness
+ * argument.
+ *
+ * A workload describes P cooperating processors.  Each processor's
+ * access sequence is exposed as an independent, deterministic
+ * ProcAccessStream so the same workload object can feed
+ *   - the trace-driven study (streams interleaved by
+ *     SampledTraceBuilder, then filtered to the sampled processor's
+ *     accesses plus remote writes), and
+ *   - the execution-driven NUMA simulator (each simulated processor
+ *     pulls from its own stream at its own pace).
+ */
+
+#ifndef CSR_TRACE_WORKLOAD_H
+#define CSR_TRACE_WORKLOAD_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "trace/TraceRecord.h"
+#include "util/Types.h"
+
+namespace csr
+{
+
+/** A single processor's deterministic access sequence. */
+class ProcAccessStream
+{
+  public:
+    virtual ~ProcAccessStream() = default;
+
+    /**
+     * Produce the next access of this processor.
+     * @return false when the processor's program is finished.
+     */
+    virtual bool next(MemAccess &out) = 0;
+};
+
+/**
+ * A P-processor synthetic program.
+ *
+ * Streams returned by procStream() are deterministic functions of
+ * (workload parameters, seed, proc), so any subset can be regenerated
+ * independently and concurrently.
+ */
+class SyntheticWorkload
+{
+  public:
+    virtual ~SyntheticWorkload() = default;
+
+    /** Benchmark name ("barnes", "lu", "ocean", "raytrace"). */
+    virtual std::string name() const = 0;
+
+    /** Number of cooperating processors. */
+    virtual ProcId numProcs() const = 0;
+
+    /** Total bytes of shared data touched (Table 1 "Mem. usage"). */
+    virtual std::uint64_t memoryBytes() const = 0;
+
+    /** Fresh stream of processor @p p's accesses, from the start. */
+    virtual std::unique_ptr<ProcAccessStream> procStream(ProcId p) const = 0;
+};
+
+} // namespace csr
+
+#endif // CSR_TRACE_WORKLOAD_H

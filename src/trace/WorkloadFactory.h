@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Construction of the four paper benchmarks at several scales.
+ */
+
+#ifndef CSR_TRACE_WORKLOADFACTORY_H
+#define CSR_TRACE_WORKLOADFACTORY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/Workload.h"
+
+namespace csr
+{
+
+/**
+ * Problem-size presets.
+ *
+ *  - Test:   seconds-long unit-test scale;
+ *  - Small:  the default bench scale (~10^5..10^6 sampled refs), used
+ *            for the table/figure reproductions;
+ *  - Full:   the paper's trace-study scale (tens of millions of
+ *            references); expect multi-minute bench runs.
+ */
+enum class WorkloadScale
+{
+    Test,
+    Small,
+    Full,
+};
+
+/** Benchmark selector. */
+enum class BenchmarkId
+{
+    Barnes,
+    Lu,
+    Ocean,
+    Raytrace,
+};
+
+/** The four paper benchmarks in Table 1 order. */
+const std::vector<BenchmarkId> &paperBenchmarks();
+
+/** Display name ("Barnes", "LU", "Ocean", "Raytrace"). */
+std::string benchmarkName(BenchmarkId id);
+
+/** Parse a benchmark name (case-insensitive); fatal on unknown. */
+BenchmarkId parseBenchmark(const std::string &name);
+
+/** Build a benchmark at a given scale.  The NUMA study uses smaller
+ *  problems than the trace study (Section 4.2); pass numa_sized=true
+ *  for those (fewer refs per processor, 16-processor Ocean stays at
+ *  16, others keep their Table 1 processor counts). */
+std::unique_ptr<SyntheticWorkload> makeWorkload(BenchmarkId id,
+                                                WorkloadScale scale,
+                                                bool numa_sized = false);
+
+} // namespace csr
+
+#endif // CSR_TRACE_WORKLOADFACTORY_H

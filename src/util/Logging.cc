@@ -1,0 +1,78 @@
+#include "util/Logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace csr
+{
+
+namespace
+{
+
+void
+vreport(const char *tag, const char *file, int line, const char *fmt,
+        va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    if (file)
+        std::fprintf(stderr, " @ %s:%d", file, line);
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+}
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("panic", file, line, fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("fatal", file, line, fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+assertFailImpl(const char *file, int line, const char *cond,
+               const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: assertion '%s' failed: ", cond);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, " @ %s:%d\n", file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("warn", nullptr, 0, fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("info", nullptr, 0, fmt, ap);
+    va_end(ap);
+}
+
+} // namespace csr

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * - csr_panic():  an internal invariant was violated (a bug in csr
+ *   itself); aborts so that a core dump / debugger can be attached.
+ * - csr_fatal():  the *user* asked for something impossible (bad
+ *   configuration, inconsistent parameters); exits with status 1.
+ * - csr_assert(): panic-on-false with a condition string.
+ * - warn()/inform(): status messages that never stop the run.
+ */
+
+#ifndef CSR_UTIL_LOGGING_H
+#define CSR_UTIL_LOGGING_H
+
+#include <cstdarg>
+
+namespace csr
+{
+
+/** Print a formatted message tagged "panic:" and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a formatted message tagged "fatal:" and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print "assertion '<cond>' failed: <message>" and abort().  The
+ *  condition text is kept out of the format string so that operators
+ *  like '%' inside it cannot be misread as conversions. */
+[[noreturn]] void assertFailImpl(const char *file, int line,
+                                 const char *cond, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/** Print a formatted message tagged "warn:" to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted message tagged "info:" to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace csr
+
+#define csr_panic(...) ::csr::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define csr_fatal(...) ::csr::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert that is active in all build types (simulator correctness is
+ *  worth the branch). */
+#define csr_assert(cond, ...)                                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::csr::assertFailImpl(__FILE__, __LINE__, #cond, __VA_ARGS__);   \
+        }                                                                    \
+    } while (0)
+
+#endif // CSR_UTIL_LOGGING_H

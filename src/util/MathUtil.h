@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Small integer-math helpers used by cache geometry code.
+ */
+
+#ifndef CSR_UTIL_MATHUTIL_H
+#define CSR_UTIL_MATHUTIL_H
+
+#include <cstdint>
+
+#include "util/Logging.h"
+
+namespace csr
+{
+
+/** True iff x is a power of two (0 is not). */
+constexpr bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)); x must be non-zero. */
+constexpr int
+floorLog2(std::uint64_t x)
+{
+    int r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+/** ceil(log2(x)); x must be non-zero.  ceilLog2(1) == 0. */
+constexpr int
+ceilLog2(std::uint64_t x)
+{
+    return floorLog2(x) + (isPow2(x) ? 0 : 1);
+}
+
+/** Round x down to a multiple of align (align must be a power of 2). */
+constexpr std::uint64_t
+alignDown(std::uint64_t x, std::uint64_t align)
+{
+    return x & ~(align - 1);
+}
+
+/** Round x up to a multiple of align (align must be a power of 2). */
+constexpr std::uint64_t
+alignUp(std::uint64_t x, std::uint64_t align)
+{
+    return (x + align - 1) & ~(align - 1);
+}
+
+/** Integer division rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace csr
+
+#endif // CSR_UTIL_MATHUTIL_H

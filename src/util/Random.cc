@@ -1,0 +1,116 @@
+#include "util/Random.h"
+
+#include <cmath>
+
+#include "util/Logging.h"
+
+namespace csr
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+    // All-zero state is the one invalid state for xoshiro; splitmix64
+    // cannot produce four zero words from any seed, but keep the guard
+    // explicit for future refactors.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    csr_assert(bound > 0, "nextBelow(0)");
+    // Rejection-free Lemire-style multiply-shift is overkill here; the
+    // simple modulo bias is < 2^-40 for the bounds we use (< 2^24).
+    return next() % bound;
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    csr_assert(lo <= hi, "nextRange(%lld, %lld)",
+               static_cast<long long>(lo), static_cast<long long>(hi));
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextGeometric(double p)
+{
+    csr_assert(p > 0.0 && p <= 1.0, "geometric p out of range");
+    if (p >= 1.0)
+        return 0;
+    const double u = nextDouble();
+    return static_cast<std::uint64_t>(
+        std::floor(std::log1p(-u) / std::log1p(-p)));
+}
+
+Rng
+Rng::fork(std::uint64_t stream_id)
+{
+    return Rng(next() ^ hashMix64(stream_id ^ 0xA5A5A5A55A5A5A5Aull));
+}
+
+std::uint64_t
+hashMix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace csr

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component in csr (workload generators, random cost
+ * mapping, random replacement) draws from an explicitly seeded Rng so
+ * that simulations are reproducible bit-for-bit across runs and
+ * platforms.  std::mt19937_64 would also work but its huge state makes
+ * cheap value-semantics copies (needed when forking per-processor
+ * streams) unattractive; xoshiro256** is small, fast and high quality.
+ */
+
+#ifndef CSR_UTIL_RANDOM_H
+#define CSR_UTIL_RANDOM_H
+
+#include <cstdint>
+
+namespace csr
+{
+
+/**
+ * xoshiro256** generator with convenience draws.
+ *
+ * Copyable; copies continue independent, identical streams, so fork()
+ * should be used when independent streams are wanted.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion so that small consecutive seeds
+     *  yield well-separated streams. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) ; bound must be > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw: true with probability p. */
+    bool nextBool(double p);
+
+    /** Geometric draw: number of failures before first success with
+     *  per-trial probability p (p in (0,1]). */
+    std::uint64_t nextGeometric(double p);
+
+    /**
+     * Derive an independent generator.  Mixes the current state with a
+     * caller-supplied stream id so that fork(0) and fork(1) from the
+     * same parent are decorrelated.
+     */
+    Rng fork(std::uint64_t stream_id);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Stateless 64-bit mix (finalizer of splitmix64).  Used to hash block
+ * addresses into cost classes: the paper's "random cost mapping based
+ * on the block address" requires the same address to always map to the
+ * same cost, which a stateful generator cannot provide.
+ */
+std::uint64_t hashMix64(std::uint64_t x);
+
+} // namespace csr
+
+#endif // CSR_UTIL_RANDOM_H

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Lightweight statistics accumulators.
+ *
+ * The simulators accumulate large numbers of per-event samples (miss
+ * latencies, reservation outcomes, per-set activity).  These helpers
+ * provide numerically stable means/variances, fixed-bucket histograms
+ * and a named-counter registry that benches can dump uniformly.
+ */
+
+#ifndef CSR_UTIL_STATS_H
+#define CSR_UTIL_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace csr
+{
+
+/**
+ * Running mean / variance via Welford's algorithm plus min/max.
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel reduction). */
+    void merge(const RunningStat &other);
+
+    /** Remove all samples. */
+    void reset();
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Population variance (0 when fewer than 2 samples). */
+    double variance() const;
+    double stddev() const;
+    double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-width bucket histogram over [lo, hi) with overflow/underflow
+ * buckets.  Used e.g. for miss-latency distributions.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double x, std::uint64_t weight = 1);
+    void reset();
+
+    std::size_t numBuckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    /** Inclusive lower edge of bucket i. */
+    double bucketLo(std::size_t i) const;
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t totalCount() const;
+    /** Smallest value v such that at least frac of the mass is <= v
+     *  (approximated at bucket granularity). */
+    double percentile(double frac) const;
+
+  private:
+    double lo_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+};
+
+/**
+ * A registry of named 64-bit counters.  Components register counters
+ * by dotted path ("l2.miss", "l2.reservation.success") and benches dump
+ * them all at once; lookup is by map so registration order does not
+ * matter.
+ */
+class StatGroup
+{
+  public:
+    /** Increment (creating at zero if absent). */
+    void inc(const std::string &name, std::uint64_t by = 1);
+    /** Read (zero if absent). */
+    std::uint64_t get(const std::string &name) const;
+    /** All counters, sorted by name. */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+    void reset();
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace csr
+
+#endif // CSR_UTIL_STATS_H

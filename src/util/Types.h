@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every csr library.
+ *
+ * The simulators in this project deal with three axes of quantity:
+ * physical addresses, simulated time, and miss cost.  Giving each its
+ * own alias keeps interfaces self-describing and makes unit mistakes
+ * greppable.
+ */
+
+#ifndef CSR_UTIL_TYPES_H
+#define CSR_UTIL_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace csr
+{
+
+/** Physical (block-granular or byte-granular, per context) address. */
+using Addr = std::uint64_t;
+
+/** Simulated time in ticks.  One tick == one picosecond-free abstract
+ *  unit; the NUMA simulator uses nanoseconds, the trace simulator does
+ *  not use time at all. */
+using Tick = std::uint64_t;
+
+/** Processor cycles (clock-dependent). */
+using Cycles = std::uint64_t;
+
+/**
+ * Miss cost.  Costs are non-negative; the unit is context-dependent
+ * (abstract units in the two-static-cost study, nanoseconds of miss
+ * latency in the CC-NUMA study).  A double is used so that depreciation
+ * arithmetic never truncates; hardware quantization is modelled
+ * explicitly where it matters (see cache/HwOverhead.h).
+ */
+using Cost = double;
+
+/** Identifier of a processor / node in a multiprocessor. */
+using ProcId = std::uint32_t;
+
+/** Marker for "no way selected" in victim searches. */
+inline constexpr int kInvalidWay = -1;
+
+/** Marker for an unmapped / invalid address. */
+inline constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/** Maximum representable tick, used as an "infinite" deadline. */
+inline constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
+
+} // namespace csr
+
+#endif // CSR_UTIL_TYPES_H

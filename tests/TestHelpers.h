@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Shared test utilities.
+ *
+ * MiniCache drives a ReplacementPolicy through the exact owner
+ * protocol documented in ReplacementPolicy.h, against a TagArray and
+ * a per-block cost table -- a minimal stand-in for the simulators
+ * that makes single-set policy scenarios easy to script and assert.
+ */
+
+#ifndef CSR_TESTS_TESTHELPERS_H
+#define CSR_TESTS_TESTHELPERS_H
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "cache/ReplacementPolicy.h"
+#include "cache/TagArray.h"
+#include "cost/StaticCostModels.h"
+
+namespace csr::test
+{
+
+/** Minimal policy-driving cache for unit tests. */
+class MiniCache
+{
+  public:
+    MiniCache(const CacheGeometry &geom, PolicyPtr policy,
+              const CostModel &cost)
+        : geom_(geom), tags_(geom), policy_(std::move(policy)),
+          cost_(&cost)
+    {
+    }
+
+    /** Access a byte address through the full protocol.
+     *  @return true on a hit. */
+    bool
+    access(Addr addr)
+    {
+        const std::uint32_t set = geom_.setIndex(addr);
+        const Addr tag = geom_.tag(addr);
+        const int hit_way = tags_.findWay(set, tag);
+        policy_->access(set, tag, hit_way);
+        if (hit_way != kInvalidWay)
+            return true;
+
+        int way = tags_.findInvalidWay(set);
+        if (way == kInvalidWay) {
+            way = policy_->selectVictim(set);
+            lastVictimTag_ = tags_.at(set, way).tag;
+            lastVictimValid_ = true;
+        } else {
+            lastVictimValid_ = false;
+        }
+        tags_.install(set, static_cast<std::uint32_t>(way), tag);
+        policy_->fill(set, way, tag,
+                      cost_->missCost(geom_.blockAddr(addr)));
+        return false;
+    }
+
+    /** Coherence invalidation of a byte address. */
+    void
+    invalidate(Addr addr)
+    {
+        const std::uint32_t set = geom_.setIndex(addr);
+        const Addr tag = geom_.tag(addr);
+        const int way = tags_.findWay(set, tag);
+        policy_->invalidate(set, tag, way);
+        if (way != kInvalidWay)
+            tags_.invalidateWay(set, static_cast<std::uint32_t>(way));
+    }
+
+    /** Resident block addresses of a set (unordered). */
+    std::set<Addr>
+    residentBlocks(std::uint32_t set) const
+    {
+        std::set<Addr> blocks;
+        for (std::uint32_t w = 0; w < geom_.assoc(); ++w) {
+            const TagLine &line = tags_.at(set, w);
+            if (line.valid)
+                blocks.insert(geom_.blockAddrOf(set, line.tag));
+        }
+        return blocks;
+    }
+
+    bool
+    isResident(Addr addr) const
+    {
+        return tags_.findWay(geom_.setIndex(addr), geom_.tag(addr)) !=
+               kInvalidWay;
+    }
+
+    /** Tag of the block evicted by the most recent miss (valid only
+     *  if the miss replaced a valid line). */
+    Addr lastVictimTag() const { return lastVictimTag_; }
+    bool lastVictimValid() const { return lastVictimValid_; }
+
+    ReplacementPolicy &policy() { return *policy_; }
+    const CacheGeometry &geometry() const { return geom_; }
+    const TagArray &tags() const { return tags_; }
+
+  private:
+    CacheGeometry geom_;
+    TagArray tags_;
+    PolicyPtr policy_;
+    const CostModel *cost_;
+    Addr lastVictimTag_ = 0;
+    bool lastVictimValid_ = false;
+};
+
+/** Single-set geometry: assoc ways of 64-byte blocks. */
+inline CacheGeometry
+singleSet(std::uint32_t assoc)
+{
+    return CacheGeometry(static_cast<std::uint64_t>(assoc) * 64, assoc, 64);
+}
+
+/** Byte address of the n-th distinct block mapping to set 0 of a
+ *  single-set cache. */
+inline Addr
+blk(std::uint64_t n)
+{
+    return n * 64;
+}
+
+} // namespace csr::test
+
+#endif // CSR_TESTS_TESTHELPERS_H

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Cross-cutting tests: error handling (death tests), BatchStream
+ * mechanics, factory parameter plumbing, HomeMap, NumaConfig helpers
+ * and miscellaneous guards that do not fit the per-module suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/BclPolicy.h"
+#include "cache/PolicyFactory.h"
+#include "numa/Directory.h"
+#include "numa/Event.h"
+#include "numa/NumaConfig.h"
+#include "trace/BatchStream.h"
+#include "util/Logging.h"
+
+#include "TestHelpers.h"
+
+namespace csr
+{
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// Logging / assertions
+// ---------------------------------------------------------------------------
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(csr_panic("boom %d", 42), "panic: boom 42");
+}
+
+TEST(LoggingDeath, AssertCarriesConditionText)
+{
+    const int x = 1;
+    EXPECT_DEATH(csr_assert(x == 2, "x was %d", x),
+                 "assertion 'x == 2' failed: x was 1");
+}
+
+TEST(LoggingDeath, AssertWithPercentInCondition)
+{
+    // Regression: a '%' inside the condition text must not be parsed
+    // as a conversion specifier.
+    const int v = 3;
+    EXPECT_DEATH(csr_assert(v % 2 == 0, "odd"), "failed: odd");
+}
+
+TEST(EventQueueDeath, SchedulingIntoThePastPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(5, [] {}), "scheduling into the past");
+}
+
+TEST(GeometryDeath, NonPowerOfTwoRejected)
+{
+    EXPECT_DEATH(CacheGeometry(3000, 4, 64), "powers of two");
+}
+
+// ---------------------------------------------------------------------------
+// BatchStream
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+/** Emits `batches` batches of `per_batch` accesses then finishes. */
+class CountingStream : public BatchStream
+{
+  public:
+    CountingStream(int batches, int per_batch, std::uint64_t cap = 0)
+        : BatchStream(cap), batches_(batches), perBatch_(per_batch)
+    {
+    }
+
+  protected:
+    void
+    refill() override
+    {
+        if (emitted_ >= batches_) {
+            finish();
+            return;
+        }
+        ++emitted_;
+        for (int i = 0; i < perBatch_; ++i)
+            emit(static_cast<Addr>(emitted_ * 1000 + i) * 64, false);
+    }
+
+  private:
+    int batches_;
+    int perBatch_;
+    int emitted_ = 0;
+};
+
+} // namespace
+
+TEST(BatchStream, DrainsAllBatches)
+{
+    CountingStream s(3, 5);
+    MemAccess acc;
+    int n = 0;
+    while (s.next(acc))
+        ++n;
+    EXPECT_EQ(n, 15);
+    EXPECT_EQ(s.produced(), 15u);
+    EXPECT_FALSE(s.next(acc)); // stays finished
+}
+
+TEST(BatchStream, CapTruncatesMidBatch)
+{
+    CountingStream s(100, 10, /*cap=*/25);
+    MemAccess acc;
+    int n = 0;
+    while (s.next(acc))
+        ++n;
+    EXPECT_EQ(n, 25);
+}
+
+TEST(BatchStream, EmptyStream)
+{
+    CountingStream s(0, 10);
+    MemAccess acc;
+    EXPECT_FALSE(s.next(acc));
+}
+
+// ---------------------------------------------------------------------------
+// Factory parameter plumbing
+// ---------------------------------------------------------------------------
+
+TEST(PolicyParamsPlumbing, AliasBitsReachTheEtd)
+{
+    const CacheGeometry geom = test::singleSet(4);
+    PolicyParams params;
+    params.etdAliasBits = 4;
+    EXPECT_EQ(makePolicy(PolicyKind::Dcl, geom, params)->name(),
+              "DCL(alias)");
+    EXPECT_EQ(makePolicy(PolicyKind::Acl, geom, params)->name(),
+              "ACL(alias)");
+    EXPECT_EQ(makePolicy(PolicyKind::Dcl, geom)->name(), "DCL");
+}
+
+TEST(PolicyParamsPlumbing, DepreciationFactorHonored)
+{
+    const CacheGeometry geom = test::singleSet(4);
+    PolicyParams params;
+    params.depreciationFactor = 1.0;
+    PolicyPtr policy = makePolicy(PolicyKind::Bcl, geom, params);
+    auto *bcl = dynamic_cast<BclPolicy *>(policy.get());
+    ASSERT_NE(bcl, nullptr);
+    EXPECT_DOUBLE_EQ(bcl->depreciationFactor(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// HomeMap / NumaConfig
+// ---------------------------------------------------------------------------
+
+TEST(HomeMapTest, FirstToucherWins)
+{
+    HomeMap homes;
+    EXPECT_FALSE(homes.known(7));
+    EXPECT_EQ(homes.homeOf(7, 3), 3u);
+    EXPECT_EQ(homes.homeOf(7, 9), 3u); // sticky
+    EXPECT_TRUE(homes.known(7));
+    EXPECT_EQ(homes.size(), 1u);
+}
+
+TEST(NumaConfigTest, CycleScaling)
+{
+    NumaConfig config;
+    config.cycleNs = 2; // 500 MHz
+    EXPECT_EQ(config.cycles(6), 12u);
+    config.cycleNs = 1; // 1 GHz
+    EXPECT_EQ(config.cycles(6), 6u);
+    EXPECT_EQ(config.numNodes(), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol vocabulary
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolVocab, DataMessagesCarryData)
+{
+    EXPECT_TRUE(carriesData(MsgType::DataS));
+    EXPECT_TRUE(carriesData(MsgType::DataE));
+    EXPECT_TRUE(carriesData(MsgType::DataM));
+    EXPECT_TRUE(carriesData(MsgType::PutM));
+    EXPECT_FALSE(carriesData(MsgType::GetS));
+    EXPECT_FALSE(carriesData(MsgType::Inv));
+    EXPECT_FALSE(carriesData(MsgType::InvAck));
+    EXPECT_FALSE(carriesData(MsgType::PutS));
+}
+
+TEST(ProtocolVocab, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (int t = 0; t <= static_cast<int>(MsgType::FetchStale); ++t)
+        names.insert(msgTypeName(static_cast<MsgType>(t)));
+    EXPECT_EQ(names.size(),
+              static_cast<std::size_t>(MsgType::FetchStale) + 1);
+}
+
+} // namespace
+} // namespace csr

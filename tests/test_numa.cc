@@ -1,0 +1,522 @@
+/**
+ * @file
+ * Tests for the CC-NUMA execution-driven simulator: event kernel,
+ * mesh network timing/contention, MESI directory protocol legality,
+ * unloaded latency calibration against Table 4, the latency
+ * correlator, and end-to-end runs on the synthetic benchmarks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "numa/Event.h"
+#include "numa/NumaSystem.h"
+#include "trace/WorkloadFactory.h"
+#include "util/Random.h"
+
+namespace csr
+{
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// Scriptable workload
+// ---------------------------------------------------------------------------
+
+/** A workload whose per-processor access lists are given explicitly. */
+class VectorWorkload : public SyntheticWorkload
+{
+  public:
+    explicit VectorWorkload(std::vector<std::vector<MemAccess>> programs)
+        : programs_(std::move(programs))
+    {
+    }
+
+    std::string name() const override { return "vector"; }
+    ProcId numProcs() const override
+    {
+        return static_cast<ProcId>(programs_.size());
+    }
+    std::uint64_t memoryBytes() const override { return 0; }
+
+    std::unique_ptr<ProcAccessStream>
+    procStream(ProcId p) const override
+    {
+        class Stream : public ProcAccessStream
+        {
+          public:
+            explicit Stream(const std::vector<MemAccess> &ops)
+                : ops_(&ops)
+            {
+            }
+            bool
+            next(MemAccess &out) override
+            {
+                if (pos_ >= ops_->size())
+                    return false;
+                out = (*ops_)[pos_++];
+                return true;
+            }
+
+          private:
+            const std::vector<MemAccess> *ops_;
+            std::size_t pos_ = 0;
+        };
+        return std::make_unique<Stream>(programs_[p]);
+    }
+
+  private:
+    std::vector<std::vector<MemAccess>> programs_;
+};
+
+MemAccess
+rd(Addr addr, std::uint32_t gap = 0)
+{
+    return {addr, false, gap};
+}
+
+MemAccess
+wr(Addr addr, std::uint32_t gap = 0)
+{
+    return {addr, true, gap};
+}
+
+NumaConfig
+baseConfig()
+{
+    NumaConfig config;
+    config.cycleNs = 1; // 1 GHz
+    return config;
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------------
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SimultaneousEventsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(7, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.scheduleIn(5, [&] { ++fired; });
+    });
+    q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Mesh network
+// ---------------------------------------------------------------------------
+
+TEST(Mesh, HopCounts)
+{
+    NumaConfig config = baseConfig();
+    EventQueue events;
+    MeshNetwork net(config, events);
+    EXPECT_EQ(net.hops(0, 0), 0u);
+    EXPECT_EQ(net.hops(0, 1), 1u);
+    EXPECT_EQ(net.hops(0, 4), 1u);   // one row down
+    EXPECT_EQ(net.hops(0, 5), 2u);
+    EXPECT_EQ(net.hops(0, 15), 6u);  // opposite corner of 4x4
+}
+
+TEST(Mesh, UnloadedLatencyGrowsWithHopsAndSize)
+{
+    NumaConfig config = baseConfig();
+    EventQueue events;
+    MeshNetwork net(config, events);
+    EXPECT_LT(net.unloadedLatency(0, 1, false),
+              net.unloadedLatency(0, 15, false));
+    EXPECT_LT(net.unloadedLatency(0, 1, false),
+              net.unloadedLatency(0, 1, true));
+}
+
+TEST(Mesh, DeliversToAttachedSink)
+{
+    NumaConfig config = baseConfig();
+    EventQueue events;
+    MeshNetwork net(config, events);
+    int got = 0;
+    for (ProcId n = 0; n < 16; ++n)
+        net.attach(n, [&got](const Message &) { ++got; });
+    Message msg;
+    msg.type = MsgType::GetS;
+    msg.src = 0;
+    msg.dst = 9;
+    net.send(msg);
+    events.run();
+    EXPECT_EQ(got, 1);
+}
+
+TEST(Mesh, ContentionDelaysSecondMessage)
+{
+    NumaConfig config = baseConfig();
+    EventQueue events;
+    MeshNetwork net(config, events);
+    std::vector<Tick> arrivals;
+    for (ProcId n = 0; n < 16; ++n) {
+        net.attach(n, [&arrivals, &events](const Message &) {
+            arrivals.push_back(events.now());
+        });
+    }
+    Message a;
+    a.type = MsgType::DataS; // 9 flits
+    a.src = 0;
+    a.dst = 3;
+    Message b = a;
+    net.send(a);
+    net.send(b);
+    events.run();
+    ASSERT_EQ(arrivals.size(), 2u);
+    // The second data message serializes behind the first.
+    EXPECT_GT(arrivals[1], arrivals[0]);
+    EXPECT_GE(arrivals[1] - arrivals[0],
+              Tick{config.dataFlits} * config.flitNs);
+}
+
+TEST(Mesh, SameRouteMessagesStayOrdered)
+{
+    // A control message sent after a data message on the same route
+    // must not overtake it (protocol correctness depends on this).
+    NumaConfig config = baseConfig();
+    EventQueue events;
+    MeshNetwork net(config, events);
+    std::vector<MsgType> order;
+    for (ProcId n = 0; n < 16; ++n) {
+        net.attach(n, [&order](const Message &msg) {
+            order.push_back(msg.type);
+        });
+    }
+    Message data;
+    data.type = MsgType::DataM;
+    data.src = 5;
+    data.dst = 10;
+    Message ctrl = data;
+    ctrl.type = MsgType::FetchInv;
+    net.send(data);
+    net.send(ctrl);
+    events.run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], MsgType::DataM);
+    EXPECT_EQ(order[1], MsgType::FetchInv);
+}
+
+// ---------------------------------------------------------------------------
+// Unloaded latency calibration (Table 4)
+// ---------------------------------------------------------------------------
+
+TEST(Calibration, LocalCleanIsAbout120ns)
+{
+    // Processor 0 reads a block it first-touches (homed locally).
+    NumaConfig config = baseConfig();
+    VectorWorkload wl({{rd(0x1000)}});
+    NumaSystem sys(config, wl);
+    NumaResult res = sys.run();
+    EXPECT_EQ(res.totalMisses, 1u);
+    EXPECT_NEAR(res.avgMissLatencyNs, 120.0, 24.0);
+}
+
+TEST(Calibration, RemoteCleanIsAbout380ns)
+{
+    // Node 5 touches the block first (becomes home, then evicts it
+    // from its own cache via a PutS-free read -- simplest: node 5
+    // only reads it once, so node 0's later read finds state
+    // Exclusive at a remote home).  To measure the *clean shared*
+    // remote latency, node 5 reads it, node 0 reads it much later.
+    NumaConfig config = baseConfig();
+    std::vector<std::vector<MemAccess>> programs(6);
+    programs[5] = {rd(0x2000)};
+    programs[0] = {rd(0x9999000, 0), rd(0x2000, 3000)};
+    VectorWorkload wl(programs);
+    NumaSystem sys(config, wl);
+    NumaResult res = sys.run();
+    // Node 0's second read: remote home (node 5), state Exclusive
+    // with a clean owner => fetch round trip.  The paper quotes
+    // remote clean (shared/memory) at 380 ns minimum unloaded; our
+    // three measured misses include two local-ish ones, so check the
+    // correlator instead: total misses and rough average.
+    EXPECT_EQ(res.totalMisses, 3u);
+    EXPECT_GT(res.avgMissLatencyNs, 120.0);
+}
+
+TEST(Calibration, RemoteLatencyRatioIsAboutThree)
+{
+    // Measure a pure remote-clean read: node 5 touches its block and
+    // invalidates nothing; node 0 reads many distinct blocks homed
+    // at node 5.  The minimum unloaded remote-to-local-clean ratio
+    // should be around 3 (Section 4.2).
+    NumaConfig config = baseConfig();
+    std::vector<std::vector<MemAccess>> programs(6);
+    for (Addr i = 0; i < 8; ++i)
+        programs[5].push_back(rd(0x40000 + i * 64));
+    for (Addr i = 0; i < 8; ++i)
+        programs[0].push_back(rd(0x40000 + i * 64, 2000));
+    VectorWorkload wl(programs);
+    NumaSystem sys(config, wl);
+    sys.run();
+    const RunningStat &remote = sys.cache(0).missLatencyStat();
+    const double ratio = remote.mean() / 120.0;
+    EXPECT_GT(ratio, 2.2);
+    EXPECT_LT(ratio, 4.5);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol state transitions
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, FirstReaderGetsExclusive)
+{
+    NumaConfig config = baseConfig();
+    VectorWorkload wl({{rd(0x3000)}});
+    NumaSystem sys(config, wl);
+    sys.run();
+    const Addr block = 0x3000 / 64;
+    ASSERT_TRUE(sys.cache(0).hasLine(block));
+    EXPECT_EQ(sys.cache(0).lineState(block), LineState::Exclusive);
+    const DirEntry *entry = sys.directory(0).entryOf(block);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->state, DirEntry::State::Exclusive);
+    EXPECT_EQ(entry->owner, 0u);
+}
+
+TEST(Protocol, WriterGetsModifiedAndInvalidatesSharers)
+{
+    NumaConfig config = baseConfig();
+    std::vector<std::vector<MemAccess>> programs(3);
+    programs[0] = {rd(0x4000)};
+    programs[1] = {rd(0x4000, 2000)};
+    programs[2] = {wr(0x4000, 6000)};
+    VectorWorkload wl(programs);
+    NumaSystem sys(config, wl);
+    sys.run();
+    const Addr block = 0x4000 / 64;
+    EXPECT_FALSE(sys.cache(0).hasLine(block));
+    EXPECT_FALSE(sys.cache(1).hasLine(block));
+    ASSERT_TRUE(sys.cache(2).hasLine(block));
+    EXPECT_EQ(sys.cache(2).lineState(block), LineState::Modified);
+    const DirEntry *entry = sys.directory(0).entryOf(block);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->state, DirEntry::State::Exclusive);
+    EXPECT_EQ(entry->owner, 2u);
+}
+
+TEST(Protocol, ReadAfterRemoteDirtyDowngradesOwner)
+{
+    NumaConfig config = baseConfig();
+    std::vector<std::vector<MemAccess>> programs(2);
+    programs[0] = {wr(0x5000)};
+    programs[1] = {rd(0x5000, 4000)};
+    VectorWorkload wl(programs);
+    NumaSystem sys(config, wl);
+    sys.run();
+    const Addr block = 0x5000 / 64;
+    ASSERT_TRUE(sys.cache(0).hasLine(block));
+    ASSERT_TRUE(sys.cache(1).hasLine(block));
+    EXPECT_EQ(sys.cache(0).lineState(block), LineState::Shared);
+    EXPECT_EQ(sys.cache(1).lineState(block), LineState::Shared);
+    const DirEntry *entry = sys.directory(0).entryOf(block);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->state, DirEntry::State::Shared);
+}
+
+TEST(Protocol, UpgradeFromSharedToModified)
+{
+    NumaConfig config = baseConfig();
+    std::vector<std::vector<MemAccess>> programs(2);
+    programs[0] = {rd(0x6000), wr(0x6000, 6000)};
+    programs[1] = {rd(0x6000, 2000)};
+    VectorWorkload wl(programs);
+    NumaSystem sys(config, wl);
+    sys.run();
+    const Addr block = 0x6000 / 64;
+    ASSERT_TRUE(sys.cache(0).hasLine(block));
+    EXPECT_EQ(sys.cache(0).lineState(block), LineState::Modified);
+    EXPECT_FALSE(sys.cache(1).hasLine(block));
+}
+
+// ---------------------------------------------------------------------------
+// Protocol stress (property test)
+// ---------------------------------------------------------------------------
+
+struct StressParam
+{
+    PolicyKind policy;
+    bool hints;
+};
+
+class ProtocolStress : public ::testing::TestWithParam<StressParam>
+{
+};
+
+TEST_P(ProtocolStress, RandomSharingRunsToCompletion)
+{
+    NumaConfig config = baseConfig();
+    config.policy = GetParam().policy;
+    config.replacementHints = GetParam().hints;
+
+    // 8 processors hammering 96 blocks (few enough to conflict hard,
+    // more than a set so evictions and writebacks happen).
+    Rng rng(2024);
+    std::vector<std::vector<MemAccess>> programs(8);
+    for (auto &program : programs) {
+        for (int i = 0; i < 1500; ++i) {
+            const Addr addr = 0x8000 + rng.nextBelow(96) * 64;
+            program.push_back({addr, rng.nextBool(0.3),
+                               static_cast<std::uint32_t>(
+                                   rng.nextBelow(4))});
+        }
+    }
+    VectorWorkload wl(programs);
+    NumaSystem sys(config, wl);
+    NumaResult res = sys.run(); // panics on invariant violation
+    EXPECT_EQ(res.totalOps, 8u * 1500u);
+    EXPECT_GT(res.totalMisses, 0u);
+    EXPECT_GT(res.execTimeNs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndHints, ProtocolStress,
+    ::testing::Values(StressParam{PolicyKind::Lru, true},
+                      StressParam{PolicyKind::Lru, false},
+                      StressParam{PolicyKind::GreedyDual, true},
+                      StressParam{PolicyKind::Bcl, true},
+                      StressParam{PolicyKind::Dcl, true},
+                      StressParam{PolicyKind::Dcl, false},
+                      StressParam{PolicyKind::Acl, true}),
+    [](const auto &info) {
+        return policyKindName(info.param.policy) +
+               (info.param.hints ? "_hints" : "_nohints");
+    });
+
+// ---------------------------------------------------------------------------
+// Determinism & end-to-end
+// ---------------------------------------------------------------------------
+
+TEST(NumaEndToEnd, DeterministicExecutionTime)
+{
+    NumaConfig config = baseConfig();
+    auto wl = makeWorkload(BenchmarkId::Ocean, WorkloadScale::Test, true);
+    NumaSystem a(config, *wl);
+    NumaSystem b(config, *wl);
+    const Tick ta = a.run().execTimeNs;
+    const Tick tb = b.run().execTimeNs;
+    EXPECT_EQ(ta, tb);
+}
+
+class BenchmarkRuns : public ::testing::TestWithParam<BenchmarkId>
+{
+};
+
+TEST_P(BenchmarkRuns, CompletesUnderEveryPolicy)
+{
+    auto wl = makeWorkload(GetParam(), WorkloadScale::Test, true);
+    Tick lru_time = 0;
+    for (PolicyKind kind :
+         {PolicyKind::Lru, PolicyKind::Dcl, PolicyKind::Acl}) {
+        NumaConfig config = baseConfig();
+        config.policy = kind;
+        NumaSystem sys(config, *wl);
+        NumaResult res = sys.run();
+        EXPECT_GT(res.totalOps, 0u);
+        EXPECT_GT(res.execTimeNs, 0u);
+        if (kind == PolicyKind::Lru)
+            lru_time = res.execTimeNs;
+        else
+            EXPECT_LT(res.execTimeNs, lru_time * 2) // sane ballpark
+                << policyKindName(kind);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkRuns,
+                         ::testing::ValuesIn(paperBenchmarks()),
+                         [](const auto &info) {
+                             return benchmarkName(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Latency correlator (Table 3 machinery)
+// ---------------------------------------------------------------------------
+
+TEST(Correlator, PairsConsecutiveMissesPerProcBlock)
+{
+    LatencyCorrelator corr(1);
+    MissService s;
+    s.requester = 1;
+    s.block = 7;
+    s.write = false;
+    s.stateAtArrival = DirEntry::State::Uncached;
+    s.unloadedLatency = 100;
+    corr.observe(s);           // first miss: no pair yet
+    EXPECT_EQ(corr.totalPairs(), 0u);
+    corr.observe(s);           // same class, same latency
+    EXPECT_EQ(corr.totalPairs(), 1u);
+    EXPECT_DOUBLE_EQ(corr.matchedPct(), 100.0);
+
+    s.stateAtArrival = DirEntry::State::Shared;
+    s.unloadedLatency = 150;
+    corr.observe(s);           // class change + latency change
+    EXPECT_EQ(corr.totalPairs(), 2u);
+    const int rd_u = LatencyCorrelator::classOf(false,
+                                                DirEntry::State::Uncached);
+    const int rd_s = LatencyCorrelator::classOf(false,
+                                                DirEntry::State::Shared);
+    EXPECT_EQ(corr.cell(rd_u, rd_s).count, 1u);
+    EXPECT_EQ(corr.cell(rd_u, rd_s).mismatches, 1u);
+    EXPECT_DOUBLE_EQ(corr.avgErrorCycles(rd_u, rd_s), 50.0);
+}
+
+TEST(Correlator, DistinctProcessorsTrackedSeparately)
+{
+    LatencyCorrelator corr(1);
+    MissService a;
+    a.requester = 0;
+    a.block = 7;
+    a.unloadedLatency = 100;
+    MissService b = a;
+    b.requester = 1;
+    corr.observe(a);
+    corr.observe(b);
+    EXPECT_EQ(corr.totalPairs(), 0u); // different (proc, block) keys
+}
+
+TEST(Correlator, Table3RunShowsDominantLatencyStability)
+{
+    // The paper's headline: ~93% of consecutive misses to the same
+    // block by the same processor have unchanged unloaded latency.
+    // At our scaled-down problem sizes the exact figure differs, but
+    // stability must dominate.
+    NumaConfig config = baseConfig();
+    config.replacementHints = false; // Table 3 protocol
+    auto wl = makeWorkload(BenchmarkId::Ocean, WorkloadScale::Test, true);
+    NumaSystem sys(config, *wl);
+    sys.run();
+    const LatencyCorrelator &corr = sys.correlator();
+    EXPECT_GT(corr.totalPairs(), 100u);
+    EXPECT_GT(corr.matchedPct(), 60.0);
+}
+
+} // namespace
+} // namespace csr

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * csrsim -- command-line driver for the csr simulators.
+ *
+ * Two modes:
+ *
+ *   csrsim trace --benchmark barnes --policy dcl \
+ *                [--mapping random|first-touch] [--ratio 8] [--haf 0.3]
+ *                [--scale test|small|full] [--assoc 4] [--l2 16384]
+ *                [--alias-bits 0] [--depreciation 2.0]
+ *                [--save-trace FILE | --load-trace FILE]
+ *       Replays a sampled-processor trace (Section 3 study) and
+ *       prints hits/misses, aggregate cost and savings over LRU.
+ *
+ *   csrsim numa  --benchmark raytrace --policy dcl \
+ *                [--clock 500|1000] [--hints 0|1] [--scale ...]
+ *                [--alias-bits 0] [--store-weight 1.0]
+ *       Runs the 16-node CC-NUMA machine (Section 4 study) under LRU
+ *       and the chosen policy and prints the execution-time delta.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "cost/StaticCostModels.h"
+#include "numa/NumaSystem.h"
+#include "sim/TraceStudy.h"
+#include "trace/TraceIO.h"
+#include "trace/WorkloadFactory.h"
+#include "util/Logging.h"
+#include "util/Table.h"
+
+using namespace csr;
+
+namespace
+{
+
+/** Minimal --key value argument parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 2; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0)
+                csr_fatal("unexpected argument '%s'", key.c_str());
+            key = key.substr(2);
+            if (i + 1 >= argc)
+                csr_fatal("missing value for --%s", key.c_str());
+            values_[key] = argv[++i];
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : std::atof(
+                                                    it->second.c_str());
+    }
+
+    std::uint64_t
+    getInt(const std::string &key, std::uint64_t fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end()
+                   ? fallback
+                   : std::strtoull(it->second.c_str(), nullptr, 0);
+    }
+
+    bool has(const std::string &key) const { return values_.count(key); }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+WorkloadScale
+parseScale(const std::string &name)
+{
+    if (name == "test")
+        return WorkloadScale::Test;
+    if (name == "full")
+        return WorkloadScale::Full;
+    if (name == "small")
+        return WorkloadScale::Small;
+    csr_fatal("unknown scale '%s'", name.c_str());
+}
+
+int
+runTrace(const Args &args)
+{
+    const BenchmarkId id = parseBenchmark(args.get("benchmark", "barnes"));
+    const PolicyKind kind = parsePolicyKind(args.get("policy", "dcl"));
+    const WorkloadScale scale = parseScale(args.get("scale", "small"));
+
+    auto workload = makeWorkload(id, scale);
+    SampledTrace trace = buildSampledTrace(*workload, 1);
+
+    if (args.has("load-trace")) {
+        trace.records = loadTrace(args.get("load-trace", ""));
+        inform("loaded %zu records (first-touch homes recomputed from "
+               "the generated trace)", trace.records.size());
+    }
+    if (args.has("save-trace")) {
+        saveTrace(args.get("save-trace", ""), trace.records);
+        inform("saved %zu records", trace.records.size());
+    }
+
+    TraceSimConfig config;
+    config.l2Bytes = args.getInt("l2", config.l2Bytes);
+    config.l2Assoc =
+        static_cast<std::uint32_t>(args.getInt("assoc", config.l2Assoc));
+    const TraceStudy study(trace, config);
+
+    PolicyParams params;
+    params.etdAliasBits =
+        static_cast<unsigned>(args.getInt("alias-bits", 0));
+    params.depreciationFactor = args.getDouble("depreciation", 2.0);
+
+    const double ratio = args.getDouble("ratio", 4.0);
+    const std::string mapping = args.get("mapping", "first-touch");
+    const RandomTwoCost random(CostRatio::finite(ratio),
+                               args.getDouble("haf", 0.3));
+    const FirstTouchTwoCost first_touch(CostRatio::finite(ratio),
+                                        trace.homeOf, trace.sampledProc);
+    const CostModel &model =
+        mapping == "random"
+            ? static_cast<const CostModel &>(random)
+            : static_cast<const CostModel &>(first_touch);
+
+    const TraceSimResult res = study.run(kind, model, params);
+    const double lru_cost = study.lruCost(model);
+
+    TextTable table("trace study: " + benchmarkName(id) + " / " +
+                    res.policyName + " / " + model.describe());
+    table.setHeader({"Metric", "Value"});
+    table.addRow({"sampled refs", TextTable::count(res.sampledRefs)});
+    table.addRow({"L1 hits", TextTable::count(res.l1Hits)});
+    table.addRow({"L2 hits", TextTable::count(res.l2Hits)});
+    table.addRow({"L2 misses", TextTable::count(res.l2Misses)});
+    table.addRow({"invalidations",
+                  TextTable::count(res.invalidationsReceived)});
+    table.addRow({"aggregate cost",
+                  TextTable::num(res.aggregateCost, 0)});
+    table.addRow({"LRU cost", TextTable::num(lru_cost, 0)});
+    table.addRow({"savings over LRU (%)",
+                  TextTable::num(relativeCostSavings(
+                      lru_cost, res.aggregateCost), 2)});
+    table.print(std::cout);
+
+    if (!res.policyStats.all().empty()) {
+        TextTable stats("policy counters");
+        stats.setHeader({"Counter", "Value"});
+        for (const auto &[name, value] : res.policyStats.all())
+            stats.addRow({name, TextTable::count(value)});
+        stats.print(std::cout);
+    }
+    return 0;
+}
+
+int
+runNuma(const Args &args)
+{
+    const BenchmarkId id =
+        parseBenchmark(args.get("benchmark", "raytrace"));
+    const PolicyKind kind = parsePolicyKind(args.get("policy", "dcl"));
+    const WorkloadScale scale = parseScale(args.get("scale", "small"));
+
+    NumaConfig config;
+    config.cycleNs = args.getInt("clock", 500) >= 1000 ? 1 : 2;
+    config.replacementHints = args.getInt("hints", 1) != 0;
+    config.policyParams.etdAliasBits =
+        static_cast<unsigned>(args.getInt("alias-bits", 0));
+    config.storeCostWeight = args.getDouble("store-weight", 1.0);
+
+    auto workload = makeWorkload(id, scale, /*numa_sized=*/true);
+
+    config.policy = PolicyKind::Lru;
+    NumaSystem lru(config, *workload);
+    const NumaResult base = lru.run();
+
+    config.policy = kind;
+    NumaSystem sys(config, *workload);
+    const NumaResult res = sys.run();
+
+    TextTable table("numa study: " + benchmarkName(id) + " @ " +
+                    (config.cycleNs == 1 ? "1GHz" : "500MHz"));
+    table.setHeader({"Metric", "LRU", res.policyName});
+    table.addRow({"exec time (ms)",
+                  TextTable::num(static_cast<double>(base.execTimeNs) /
+                                     1e6, 3),
+                  TextTable::num(static_cast<double>(res.execTimeNs) /
+                                     1e6, 3)});
+    table.addRow({"misses", TextTable::count(base.totalMisses),
+                  TextTable::count(res.totalMisses)});
+    table.addRow({"avg miss latency (ns)",
+                  TextTable::num(base.avgMissLatencyNs, 1),
+                  TextTable::num(res.avgMissLatencyNs, 1)});
+    table.print(std::cout);
+    std::cout << "execution time reduction: "
+              << TextTable::num(
+                     100.0 *
+                         (static_cast<double>(base.execTimeNs) -
+                          static_cast<double>(res.execTimeNs)) /
+                         static_cast<double>(base.execTimeNs),
+                     2)
+              << "%\n";
+    return 0;
+}
+
+void
+usage()
+{
+    std::cerr
+        << "usage: csrsim trace|numa [--key value ...]\n"
+           "  common: --benchmark barnes|lu|ocean|raytrace\n"
+           "          --policy lru|gd|bcl|dcl|acl|opt|costopt\n"
+           "          --scale test|small|full  --alias-bits N\n"
+           "  trace:  --mapping random|first-touch --ratio R --haf F\n"
+           "          --assoc N --l2 BYTES --depreciation F\n"
+           "          --save-trace FILE --load-trace FILE\n"
+           "  numa:   --clock 500|1000 --hints 0|1 --store-weight W\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string mode = argv[1];
+    const Args args(argc, argv);
+    if (mode == "trace")
+        return runTrace(args);
+    if (mode == "numa")
+        return runNuma(args);
+    usage();
+    return 1;
+}
