@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_assoc.dir/bench_ablation_assoc.cc.o"
+  "CMakeFiles/bench_ablation_assoc.dir/bench_ablation_assoc.cc.o.d"
+  "bench_ablation_assoc"
+  "bench_ablation_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

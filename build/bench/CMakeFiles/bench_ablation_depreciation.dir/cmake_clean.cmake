@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_depreciation.dir/bench_ablation_depreciation.cc.o"
+  "CMakeFiles/bench_ablation_depreciation.dir/bench_ablation_depreciation.cc.o.d"
+  "bench_ablation_depreciation"
+  "bench_ablation_depreciation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_depreciation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

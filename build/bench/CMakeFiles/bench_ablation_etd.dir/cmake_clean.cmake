@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_etd.dir/bench_ablation_etd.cc.o"
+  "CMakeFiles/bench_ablation_etd.dir/bench_ablation_etd.cc.o.d"
+  "bench_ablation_etd"
+  "bench_ablation_etd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_etd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_migration.dir/bench_extension_migration.cc.o"
+  "CMakeFiles/bench_extension_migration.dir/bench_extension_migration.cc.o.d"
+  "bench_extension_migration"
+  "bench_extension_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_penalty.dir/bench_extension_penalty.cc.o"
+  "CMakeFiles/bench_extension_penalty.dir/bench_extension_penalty.cc.o.d"
+  "bench_extension_penalty"
+  "bench_extension_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_offline_bound.dir/bench_offline_bound.cc.o"
+  "CMakeFiles/bench_offline_bound.dir/bench_offline_bound.cc.o.d"
+  "bench_offline_bound"
+  "bench_offline_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_offline_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

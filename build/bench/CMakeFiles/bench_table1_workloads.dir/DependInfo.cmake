@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_workloads.cc" "bench/CMakeFiles/bench_table1_workloads.dir/bench_table1_workloads.cc.o" "gcc" "bench/CMakeFiles/bench_table1_workloads.dir/bench_table1_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/csr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/numa/CMakeFiles/csr_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/csr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/csr_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/csr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/csr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_first_touch.dir/bench_table2_first_touch.cc.o"
+  "CMakeFiles/bench_table2_first_touch.dir/bench_table2_first_touch.cc.o.d"
+  "bench_table2_first_touch"
+  "bench_table2_first_touch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_first_touch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

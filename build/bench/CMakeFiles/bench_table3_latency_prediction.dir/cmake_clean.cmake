@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_latency_prediction.dir/bench_table3_latency_prediction.cc.o"
+  "CMakeFiles/bench_table3_latency_prediction.dir/bench_table3_latency_prediction.cc.o.d"
+  "bench_table3_latency_prediction"
+  "bench_table3_latency_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_latency_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

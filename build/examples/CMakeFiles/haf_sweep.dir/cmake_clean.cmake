@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haf_sweep.dir/haf_sweep.cpp.o"
+  "CMakeFiles/haf_sweep.dir/haf_sweep.cpp.o.d"
+  "haf_sweep"
+  "haf_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haf_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

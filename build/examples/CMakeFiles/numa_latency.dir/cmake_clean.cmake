@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_latency.dir/numa_latency.cpp.o"
+  "CMakeFiles/numa_latency.dir/numa_latency.cpp.o.d"
+  "numa_latency"
+  "numa_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

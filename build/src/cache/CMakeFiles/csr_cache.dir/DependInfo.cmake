@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/HwOverhead.cc" "src/cache/CMakeFiles/csr_cache.dir/HwOverhead.cc.o" "gcc" "src/cache/CMakeFiles/csr_cache.dir/HwOverhead.cc.o.d"
+  "/root/repo/src/cache/PolicyFactory.cc" "src/cache/CMakeFiles/csr_cache.dir/PolicyFactory.cc.o" "gcc" "src/cache/CMakeFiles/csr_cache.dir/PolicyFactory.cc.o.d"
+  "/root/repo/src/cache/StackPolicyBase.cc" "src/cache/CMakeFiles/csr_cache.dir/StackPolicyBase.cc.o" "gcc" "src/cache/CMakeFiles/csr_cache.dir/StackPolicyBase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/csr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_cache.dir/HwOverhead.cc.o"
+  "CMakeFiles/csr_cache.dir/HwOverhead.cc.o.d"
+  "CMakeFiles/csr_cache.dir/PolicyFactory.cc.o"
+  "CMakeFiles/csr_cache.dir/PolicyFactory.cc.o.d"
+  "CMakeFiles/csr_cache.dir/StackPolicyBase.cc.o"
+  "CMakeFiles/csr_cache.dir/StackPolicyBase.cc.o.d"
+  "libcsr_cache.a"
+  "libcsr_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_cost.dir/CostLib.cc.o"
+  "CMakeFiles/csr_cost.dir/CostLib.cc.o.d"
+  "CMakeFiles/csr_cost.dir/MigrationCost.cc.o"
+  "CMakeFiles/csr_cost.dir/MigrationCost.cc.o.d"
+  "libcsr_cost.a"
+  "libcsr_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

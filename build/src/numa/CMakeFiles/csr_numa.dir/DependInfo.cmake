@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numa/CacheController.cc" "src/numa/CMakeFiles/csr_numa.dir/CacheController.cc.o" "gcc" "src/numa/CMakeFiles/csr_numa.dir/CacheController.cc.o.d"
+  "/root/repo/src/numa/Directory.cc" "src/numa/CMakeFiles/csr_numa.dir/Directory.cc.o" "gcc" "src/numa/CMakeFiles/csr_numa.dir/Directory.cc.o.d"
+  "/root/repo/src/numa/LatencyCorrelator.cc" "src/numa/CMakeFiles/csr_numa.dir/LatencyCorrelator.cc.o" "gcc" "src/numa/CMakeFiles/csr_numa.dir/LatencyCorrelator.cc.o.d"
+  "/root/repo/src/numa/Network.cc" "src/numa/CMakeFiles/csr_numa.dir/Network.cc.o" "gcc" "src/numa/CMakeFiles/csr_numa.dir/Network.cc.o.d"
+  "/root/repo/src/numa/NumaSystem.cc" "src/numa/CMakeFiles/csr_numa.dir/NumaSystem.cc.o" "gcc" "src/numa/CMakeFiles/csr_numa.dir/NumaSystem.cc.o.d"
+  "/root/repo/src/numa/Processor.cc" "src/numa/CMakeFiles/csr_numa.dir/Processor.cc.o" "gcc" "src/numa/CMakeFiles/csr_numa.dir/Processor.cc.o.d"
+  "/root/repo/src/numa/Protocol.cc" "src/numa/CMakeFiles/csr_numa.dir/Protocol.cc.o" "gcc" "src/numa/CMakeFiles/csr_numa.dir/Protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/csr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/csr_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/csr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/csr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

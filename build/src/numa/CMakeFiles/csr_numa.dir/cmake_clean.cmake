@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_numa.dir/CacheController.cc.o"
+  "CMakeFiles/csr_numa.dir/CacheController.cc.o.d"
+  "CMakeFiles/csr_numa.dir/Directory.cc.o"
+  "CMakeFiles/csr_numa.dir/Directory.cc.o.d"
+  "CMakeFiles/csr_numa.dir/LatencyCorrelator.cc.o"
+  "CMakeFiles/csr_numa.dir/LatencyCorrelator.cc.o.d"
+  "CMakeFiles/csr_numa.dir/Network.cc.o"
+  "CMakeFiles/csr_numa.dir/Network.cc.o.d"
+  "CMakeFiles/csr_numa.dir/NumaSystem.cc.o"
+  "CMakeFiles/csr_numa.dir/NumaSystem.cc.o.d"
+  "CMakeFiles/csr_numa.dir/Processor.cc.o"
+  "CMakeFiles/csr_numa.dir/Processor.cc.o.d"
+  "CMakeFiles/csr_numa.dir/Protocol.cc.o"
+  "CMakeFiles/csr_numa.dir/Protocol.cc.o.d"
+  "libcsr_numa.a"
+  "libcsr_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

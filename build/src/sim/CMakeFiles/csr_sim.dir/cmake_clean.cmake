@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_sim.dir/TraceSimulator.cc.o"
+  "CMakeFiles/csr_sim.dir/TraceSimulator.cc.o.d"
+  "CMakeFiles/csr_sim.dir/TraceStudy.cc.o"
+  "CMakeFiles/csr_sim.dir/TraceStudy.cc.o.d"
+  "libcsr_sim.a"
+  "libcsr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

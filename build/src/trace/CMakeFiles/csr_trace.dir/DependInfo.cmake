@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/BarnesWorkload.cc" "src/trace/CMakeFiles/csr_trace.dir/BarnesWorkload.cc.o" "gcc" "src/trace/CMakeFiles/csr_trace.dir/BarnesWorkload.cc.o.d"
+  "/root/repo/src/trace/LuWorkload.cc" "src/trace/CMakeFiles/csr_trace.dir/LuWorkload.cc.o" "gcc" "src/trace/CMakeFiles/csr_trace.dir/LuWorkload.cc.o.d"
+  "/root/repo/src/trace/OceanWorkload.cc" "src/trace/CMakeFiles/csr_trace.dir/OceanWorkload.cc.o" "gcc" "src/trace/CMakeFiles/csr_trace.dir/OceanWorkload.cc.o.d"
+  "/root/repo/src/trace/RaytraceWorkload.cc" "src/trace/CMakeFiles/csr_trace.dir/RaytraceWorkload.cc.o" "gcc" "src/trace/CMakeFiles/csr_trace.dir/RaytraceWorkload.cc.o.d"
+  "/root/repo/src/trace/SampledTrace.cc" "src/trace/CMakeFiles/csr_trace.dir/SampledTrace.cc.o" "gcc" "src/trace/CMakeFiles/csr_trace.dir/SampledTrace.cc.o.d"
+  "/root/repo/src/trace/StackDistance.cc" "src/trace/CMakeFiles/csr_trace.dir/StackDistance.cc.o" "gcc" "src/trace/CMakeFiles/csr_trace.dir/StackDistance.cc.o.d"
+  "/root/repo/src/trace/TraceIO.cc" "src/trace/CMakeFiles/csr_trace.dir/TraceIO.cc.o" "gcc" "src/trace/CMakeFiles/csr_trace.dir/TraceIO.cc.o.d"
+  "/root/repo/src/trace/WorkloadFactory.cc" "src/trace/CMakeFiles/csr_trace.dir/WorkloadFactory.cc.o" "gcc" "src/trace/CMakeFiles/csr_trace.dir/WorkloadFactory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/csr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

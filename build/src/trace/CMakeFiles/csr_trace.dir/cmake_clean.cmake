@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_trace.dir/BarnesWorkload.cc.o"
+  "CMakeFiles/csr_trace.dir/BarnesWorkload.cc.o.d"
+  "CMakeFiles/csr_trace.dir/LuWorkload.cc.o"
+  "CMakeFiles/csr_trace.dir/LuWorkload.cc.o.d"
+  "CMakeFiles/csr_trace.dir/OceanWorkload.cc.o"
+  "CMakeFiles/csr_trace.dir/OceanWorkload.cc.o.d"
+  "CMakeFiles/csr_trace.dir/RaytraceWorkload.cc.o"
+  "CMakeFiles/csr_trace.dir/RaytraceWorkload.cc.o.d"
+  "CMakeFiles/csr_trace.dir/SampledTrace.cc.o"
+  "CMakeFiles/csr_trace.dir/SampledTrace.cc.o.d"
+  "CMakeFiles/csr_trace.dir/StackDistance.cc.o"
+  "CMakeFiles/csr_trace.dir/StackDistance.cc.o.d"
+  "CMakeFiles/csr_trace.dir/TraceIO.cc.o"
+  "CMakeFiles/csr_trace.dir/TraceIO.cc.o.d"
+  "CMakeFiles/csr_trace.dir/WorkloadFactory.cc.o"
+  "CMakeFiles/csr_trace.dir/WorkloadFactory.cc.o.d"
+  "libcsr_trace.a"
+  "libcsr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

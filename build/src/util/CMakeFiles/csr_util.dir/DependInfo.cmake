@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/Logging.cc" "src/util/CMakeFiles/csr_util.dir/Logging.cc.o" "gcc" "src/util/CMakeFiles/csr_util.dir/Logging.cc.o.d"
+  "/root/repo/src/util/Random.cc" "src/util/CMakeFiles/csr_util.dir/Random.cc.o" "gcc" "src/util/CMakeFiles/csr_util.dir/Random.cc.o.d"
+  "/root/repo/src/util/Stats.cc" "src/util/CMakeFiles/csr_util.dir/Stats.cc.o" "gcc" "src/util/CMakeFiles/csr_util.dir/Stats.cc.o.d"
+  "/root/repo/src/util/Table.cc" "src/util/CMakeFiles/csr_util.dir/Table.cc.o" "gcc" "src/util/CMakeFiles/csr_util.dir/Table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_util.dir/Logging.cc.o"
+  "CMakeFiles/csr_util.dir/Logging.cc.o.d"
+  "CMakeFiles/csr_util.dir/Random.cc.o"
+  "CMakeFiles/csr_util.dir/Random.cc.o.d"
+  "CMakeFiles/csr_util.dir/Stats.cc.o"
+  "CMakeFiles/csr_util.dir/Stats.cc.o.d"
+  "CMakeFiles/csr_util.dir/Table.cc.o"
+  "CMakeFiles/csr_util.dir/Table.cc.o.d"
+  "libcsr_util.a"
+  "libcsr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

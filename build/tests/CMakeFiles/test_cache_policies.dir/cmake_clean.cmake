@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_policies.dir/test_cache_policies.cc.o"
+  "CMakeFiles/test_cache_policies.dir/test_cache_policies.cc.o.d"
+  "test_cache_policies"
+  "test_cache_policies.pdb"
+  "test_cache_policies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_cache_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_numa[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_directory[1]_include.cmake")
+include("/root/repo/build/tests/test_stack_distance[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csrsim.dir/csrsim.cc.o"
+  "CMakeFiles/csrsim.dir/csrsim.cc.o.d"
+  "csrsim"
+  "csrsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csrsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
