@@ -6,15 +6,12 @@
  * victims to choose from, so higher associativity widens the
  * opportunity (and the ETD grows with s-1 entries).  Sweeps s in
  * {2, 4, 8} at a fixed 16 KB capacity for DCL under both cost
- * mappings at r=4.
+ * mappings at r=4, on the parallel sweep harness.
  */
 
 #include <iostream>
-#include <vector>
 
 #include "BenchCommon.h"
-#include "cost/StaticCostModels.h"
-#include "sim/TraceStudy.h"
 
 using namespace csr;
 
@@ -24,39 +21,31 @@ main()
     const WorkloadScale scale = bench::scaleFromEnv();
     bench::banner("Ablation: L2 associativity (DCL, r=4)", scale);
 
-    const std::vector<std::uint32_t> assocs = {2, 4, 8};
+    const SweepResult sweep =
+        bench::runSweep(presetGrid("ablation-assoc"));
 
-    for (bool random_mapping : {true, false}) {
-        TextTable table(std::string("DCL savings over LRU (%) -- ") +
-                        (random_mapping ? "random mapping, HAF=0.3"
-                                        : "first-touch mapping"));
-        std::vector<std::string> header = {"Benchmark"};
-        for (std::uint32_t assoc : assocs)
-            header.push_back(std::to_string(assoc) + "-way");
-        table.setHeader(header);
-
-        for (BenchmarkId id : paperBenchmarks()) {
-            const SampledTrace trace = bench::sampledTrace(id, scale);
-            std::vector<std::string> row = {benchmarkName(id)};
-            for (std::uint32_t assoc : assocs) {
-                TraceSimConfig config;
-                config.l2Assoc = assoc;
-                const TraceStudy study(trace, config);
-                const RandomTwoCost random(CostRatio::finite(4), 0.3);
-                const FirstTouchTwoCost first_touch(
-                    CostRatio::finite(4), trace.homeOf,
-                    trace.sampledProc);
-                const CostModel &model =
-                    random_mapping
-                        ? static_cast<const CostModel &>(random)
-                        : static_cast<const CostModel &>(first_touch);
-                row.push_back(TextTable::num(
-                    study.savingsPct(PolicyKind::Dcl, model), 2));
-            }
-            table.addRow(row);
-        }
+    for (CostMapping mapping :
+         {CostMapping::Random, CostMapping::FirstTouch}) {
+        const auto pane = bench::filterCells(
+            sweep, [&](const SweepCellResult &res) {
+                return res.cell.mapping == mapping;
+            });
+        TextTable table = bench::pivot(
+            std::string("DCL savings over LRU (%) -- ") +
+                (mapping == CostMapping::Random
+                     ? "random mapping, HAF=0.3"
+                     : "first-touch mapping"),
+            "Benchmark", pane,
+            [](const SweepCellResult &res) {
+                return benchmarkName(res.cell.benchmark);
+            },
+            [](const SweepCellResult &res) {
+                return std::to_string(res.cell.l2Assoc) + "-way";
+            },
+            bench::savingsOf);
         table.print(std::cout);
         std::cout << "\n";
     }
+    bench::printSweepTiming(sweep);
     return 0;
 }

@@ -5,17 +5,14 @@
  * Section 3.1 scanned 2 KB..512 KB before settling on 16 KB (primary
  * working sets fit, secondary do not).  This bench sweeps the L2 size
  * at fixed 4-way associativity for DCL under the first-touch mapping
- * at r=4: savings should collapse once the secondary working set fits
- * (nothing left to reserve) and shrink at tiny sizes (reuse moves
- * beyond the reservation band).
+ * at r=4, on the parallel sweep harness: savings should collapse once
+ * the secondary working set fits (nothing left to reserve) and shrink
+ * at tiny sizes (reuse moves beyond the reservation band).
  */
 
 #include <iostream>
-#include <vector>
 
 #include "BenchCommon.h"
-#include "cost/StaticCostModels.h"
-#include "sim/TraceStudy.h"
 
 using namespace csr;
 
@@ -26,31 +23,19 @@ main()
     bench::banner("Ablation: L2 capacity (DCL, first touch, r=4)",
                   scale);
 
-    const std::vector<std::uint64_t> sizes = {
-        4 * 1024, 8 * 1024, 16 * 1024, 64 * 1024, 256 * 1024,
-    };
+    const SweepResult sweep =
+        bench::runSweep(presetGrid("ablation-cachesize"));
 
-    TextTable table("DCL savings over LRU (%) and LRU L2 miss rate");
-    std::vector<std::string> header = {"Benchmark"};
-    for (std::uint64_t size : sizes)
-        header.push_back(std::to_string(size / 1024) + "KB");
-    table.setHeader(header);
-
-    for (BenchmarkId id : paperBenchmarks()) {
-        const SampledTrace trace = bench::sampledTrace(id, scale);
-        std::vector<std::string> row = {benchmarkName(id)};
-        for (std::uint64_t size : sizes) {
-            TraceSimConfig config;
-            config.l2Bytes = size;
-            const TraceStudy study(trace, config);
-            const FirstTouchTwoCost model(CostRatio::finite(4),
-                                          trace.homeOf,
-                                          trace.sampledProc);
-            row.push_back(TextTable::num(
-                study.savingsPct(PolicyKind::Dcl, model), 2));
-        }
-        table.addRow(row);
-    }
+    TextTable table = bench::pivot(
+        "DCL savings over LRU (%)", "Benchmark", sweep.cells,
+        [](const SweepCellResult &res) {
+            return benchmarkName(res.cell.benchmark);
+        },
+        [](const SweepCellResult &res) {
+            return std::to_string(res.cell.l2Bytes / 1024) + "KB";
+        },
+        bench::savingsOf);
     table.print(std::cout);
+    bench::printSweepTiming(sweep);
     return 0;
 }

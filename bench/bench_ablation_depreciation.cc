@@ -5,17 +5,15 @@
  * The paper depreciates a reserved block's cost by *twice* the
  * sacrificed block's cost, "a way to hedge against the bet" (Section
  * 2.3).  This bench sweeps the factor {0.5, 1, 2, 4} for BCL and DCL
- * under the first-touch mapping at r=4 to show the design point: a
- * small factor chases reservations too long (losses on LU-like
- * workloads grow), a large one gives up savings.
+ * under the first-touch mapping at r=4, on the parallel sweep
+ * harness, to show the design point: a small factor chases
+ * reservations too long (losses on LU-like workloads grow), a large
+ * one gives up savings.
  */
 
 #include <iostream>
-#include <vector>
 
 #include "BenchCommon.h"
-#include "cost/StaticCostModels.h"
-#include "sim/TraceStudy.h"
 
 using namespace csr;
 
@@ -26,34 +24,29 @@ main()
     bench::banner("Ablation: Acost depreciation factor (first touch, "
                   "r=4)", scale);
 
-    const std::vector<double> factors = {0.5, 1.0, 2.0, 4.0};
+    const SweepResult sweep =
+        bench::runSweep(presetGrid("ablation-depreciation"));
 
     for (PolicyKind kind : {PolicyKind::Bcl, PolicyKind::Dcl}) {
-        TextTable table(policyKindName(kind) +
-                        " -- savings over LRU (%) by depreciation "
-                        "factor");
-        std::vector<std::string> header = {"Benchmark"};
-        for (double factor : factors)
-            header.push_back("x" + TextTable::num(factor, 1));
-        table.setHeader(header);
-
-        for (BenchmarkId id : paperBenchmarks()) {
-            const SampledTrace trace = bench::sampledTrace(id, scale);
-            const TraceStudy study(trace);
-            const FirstTouchTwoCost model(CostRatio::finite(4),
-                                          trace.homeOf,
-                                          trace.sampledProc);
-            std::vector<std::string> row = {benchmarkName(id)};
-            for (double factor : factors) {
-                PolicyParams params;
-                params.depreciationFactor = factor;
-                row.push_back(TextTable::num(
-                    study.savingsPct(kind, model, params), 2));
-            }
-            table.addRow(row);
-        }
+        const auto pane = bench::filterCells(
+            sweep, [&](const SweepCellResult &res) {
+                return res.cell.policy == kind;
+            });
+        TextTable table = bench::pivot(
+            policyKindName(kind) +
+                " -- savings over LRU (%) by depreciation factor",
+            "Benchmark", pane,
+            [](const SweepCellResult &res) {
+                return benchmarkName(res.cell.benchmark);
+            },
+            [](const SweepCellResult &res) {
+                return "x" +
+                       TextTable::num(res.cell.depreciationFactor, 1);
+            },
+            bench::savingsOf);
         table.print(std::cout);
         std::cout << "\n";
     }
+    bench::printSweepTiming(sweep);
     return 0;
 }

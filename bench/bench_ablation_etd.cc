@@ -5,16 +5,14 @@
  * Section 2.4/4.3: the ETD can store only a few low-order tag bits;
  * false matches make depreciation more aggressive but cannot affect
  * correctness.  Sweeps alias width {full, 8, 4, 2 bits} for DCL and
- * ACL under the first-touch mapping at r=4.  Expected: the effect is
- * marginal (the paper measured execution-time deltas under 2%).
+ * ACL under the first-touch mapping at r=4, on the parallel sweep
+ * harness.  Expected: the effect is marginal (the paper measured
+ * execution-time deltas under 2%).
  */
 
 #include <iostream>
-#include <vector>
 
 #include "BenchCommon.h"
-#include "cost/StaticCostModels.h"
-#include "sim/TraceStudy.h"
 
 using namespace csr;
 
@@ -25,34 +23,31 @@ main()
     bench::banner("Ablation: ETD tag aliasing (first touch, r=4)",
                   scale);
 
-    const std::vector<unsigned> widths = {0, 8, 4, 2};
+    const SweepResult sweep =
+        bench::runSweep(presetGrid("ablation-etd"));
 
     for (PolicyKind kind : {PolicyKind::Dcl, PolicyKind::Acl}) {
-        TextTable table(policyKindName(kind) +
-                        " -- savings over LRU (%) by ETD tag width");
-        std::vector<std::string> header = {"Benchmark"};
-        for (unsigned width : widths)
-            header.push_back(width == 0 ? "full"
-                                        : std::to_string(width) + "b");
-        table.setHeader(header);
-
-        for (BenchmarkId id : paperBenchmarks()) {
-            const SampledTrace trace = bench::sampledTrace(id, scale);
-            const TraceStudy study(trace);
-            const FirstTouchTwoCost model(CostRatio::finite(4),
-                                          trace.homeOf,
-                                          trace.sampledProc);
-            std::vector<std::string> row = {benchmarkName(id)};
-            for (unsigned width : widths) {
-                PolicyParams params;
-                params.etdAliasBits = width;
-                row.push_back(TextTable::num(
-                    study.savingsPct(kind, model, params), 2));
-            }
-            table.addRow(row);
-        }
+        const auto pane = bench::filterCells(
+            sweep, [&](const SweepCellResult &res) {
+                return res.cell.policy == kind;
+            });
+        TextTable table = bench::pivot(
+            policyKindName(kind) +
+                " -- savings over LRU (%) by ETD tag width",
+            "Benchmark", pane,
+            [](const SweepCellResult &res) {
+                return benchmarkName(res.cell.benchmark);
+            },
+            [](const SweepCellResult &res) {
+                return res.cell.etdAliasBits == 0
+                           ? std::string("full")
+                           : std::to_string(res.cell.etdAliasBits) +
+                                 "b";
+            },
+            bench::savingsOf);
         table.print(std::cout);
         std::cout << "\n";
     }
+    bench::printSweepTiming(sweep);
     return 0;
 }

@@ -8,8 +8,14 @@
  * and Ocean) to expose the regimes: a fully serialized core converts
  * aggregate-latency savings directly into time; a deeply overlapped
  * one hides them.
+ *
+ * Each (benchmark, MLP point) is an independent pair of NUMA
+ * simulations, fanned out across a ThreadPool ($CSR_JOBS workers);
+ * every task builds its own deterministic workload, so results do not
+ * depend on the worker count.
  */
 
+#include <future>
 #include <iostream>
 #include <vector>
 
@@ -27,6 +33,32 @@ struct IlpPoint
     std::uint32_t storeBuffer;
 };
 
+/** DCL's execution-time reduction over LRU at one MLP point. */
+double
+timeReductionPct(BenchmarkId id, WorkloadScale scale,
+                 const IlpPoint &point)
+{
+    NumaConfig config;
+    config.cycleNs = 2;
+    config.mshrs = point.mshrs;
+    config.storeBufferDepth = point.storeBuffer;
+
+    config.policy = PolicyKind::Lru;
+    auto lru_workload = makeWorkload(id, scale, /*numa_sized=*/true);
+    NumaSystem lru(config, *lru_workload);
+    const Tick lru_time = lru.run().execTimeNs;
+
+    config.policy = PolicyKind::Dcl;
+    auto dcl_workload = makeWorkload(id, scale, /*numa_sized=*/true);
+    NumaSystem dcl(config, *dcl_workload);
+    const Tick dcl_time = dcl.run().execTimeNs;
+
+    return 100.0 *
+           (static_cast<double>(lru_time) -
+            static_cast<double>(dcl_time)) /
+           static_cast<double>(lru_time);
+}
+
 } // namespace
 
 int
@@ -39,6 +71,19 @@ main()
     const std::vector<IlpPoint> points = {
         {1, 1}, {4, 1}, {8, 1}, {8, 8},
     };
+    const std::vector<BenchmarkId> benchmarks = {
+        BenchmarkId::Raytrace, BenchmarkId::Ocean,
+    };
+
+    ThreadPool pool(bench::jobsFromEnv());
+    std::vector<std::future<double>> futures;
+    for (BenchmarkId id : benchmarks) {
+        for (const IlpPoint &point : points) {
+            futures.push_back(pool.submit([id, scale, point] {
+                return timeReductionPct(id, scale, point);
+            }));
+        }
+    }
 
     TextTable table("DCL execution-time reduction over LRU (%)");
     std::vector<std::string> header = {"Benchmark"};
@@ -47,27 +92,11 @@ main()
                          ",sb=" + std::to_string(point.storeBuffer));
     table.setHeader(header);
 
-    for (BenchmarkId id : {BenchmarkId::Raytrace, BenchmarkId::Ocean}) {
-        auto workload = makeWorkload(id, scale, /*numa_sized=*/true);
+    std::size_t next = 0;
+    for (BenchmarkId id : benchmarks) {
         std::vector<std::string> row = {benchmarkName(id)};
-        for (const IlpPoint &point : points) {
-            NumaConfig config;
-            config.cycleNs = 2;
-            config.mshrs = point.mshrs;
-            config.storeBufferDepth = point.storeBuffer;
-            config.policy = PolicyKind::Lru;
-            NumaSystem lru(config, *workload);
-            const Tick lru_time = lru.run().execTimeNs;
-            config.policy = PolicyKind::Dcl;
-            NumaSystem dcl(config, *workload);
-            const Tick dcl_time = dcl.run().execTimeNs;
-            row.push_back(TextTable::num(
-                100.0 *
-                    (static_cast<double>(lru_time) -
-                     static_cast<double>(dcl_time)) /
-                    static_cast<double>(lru_time),
-                2));
-        }
+        for (std::size_t i = 0; i < points.size(); ++i)
+            row.push_back(TextTable::num(futures[next++].get(), 2));
         table.addRow(row);
     }
     table.print(std::cout);

@@ -10,14 +10,15 @@
  * toward HAF=1; savings grow with r but taper; the infinite ratio is
  * the upper envelope; DCL tops BCL nearly everywhere and ACL sits
  * slightly below DCL.
+ *
+ * The whole 4 x 4 x 6 x 13 grid runs through the parallel sweep
+ * harness ($CSR_JOBS workers); each (benchmark, policy) pane is then
+ * pivoted out of the one result set.
  */
 
 #include <iostream>
-#include <vector>
 
 #include "BenchCommon.h"
-#include "cost/StaticCostModels.h"
-#include "sim/TraceStudy.h"
 
 using namespace csr;
 
@@ -28,40 +29,30 @@ main()
     bench::banner("Figure 3: relative cost savings, random cost mapping",
                   scale);
 
-    const std::vector<CostRatio> ratios = {
-        CostRatio::finite(2),  CostRatio::finite(4),
-        CostRatio::finite(8),  CostRatio::finite(16),
-        CostRatio::finite(32), CostRatio::makeInfinite(),
-    };
-    const std::vector<double> hafs = {0.0, 0.01, 0.05, 0.1, 0.2, 0.3,
-                                      0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
-                                      1.0};
+    const SweepResult sweep = bench::runSweep(presetGrid("fig3"));
 
     for (BenchmarkId id : paperBenchmarks()) {
-        const SampledTrace trace = bench::sampledTrace(id, scale);
-        const TraceStudy study(trace);
-
         for (PolicyKind kind : paperPolicies()) {
-            TextTable table(benchmarkName(id) + " / " +
-                            policyKindName(kind) +
-                            " -- relative cost savings over LRU (%)");
-            std::vector<std::string> header = {"HAF"};
-            for (const CostRatio &ratio : ratios)
-                header.push_back(ratio.label());
-            table.setHeader(header);
-
-            for (double haf : hafs) {
-                std::vector<std::string> row = {TextTable::num(haf, 2)};
-                for (const CostRatio &ratio : ratios) {
-                    const RandomTwoCost model(ratio, haf);
-                    row.push_back(TextTable::num(
-                        study.savingsPct(kind, model), 2));
-                }
-                table.addRow(row);
-            }
+            const auto pane = bench::filterCells(
+                sweep, [&](const SweepCellResult &res) {
+                    return res.cell.benchmark == id &&
+                           res.cell.policy == kind;
+                });
+            TextTable table = bench::pivot(
+                benchmarkName(id) + " / " + policyKindName(kind) +
+                    " -- relative cost savings over LRU (%)",
+                "HAF", pane,
+                [](const SweepCellResult &res) {
+                    return TextTable::num(res.cell.haf, 2);
+                },
+                [](const SweepCellResult &res) {
+                    return res.cell.ratio.label();
+                },
+                bench::savingsOf);
             table.print(std::cout);
             std::cout << "\n";
         }
     }
+    bench::printSweepTiming(sweep);
     return 0;
 }

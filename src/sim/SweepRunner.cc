@@ -1,0 +1,533 @@
+#include "sim/SweepRunner.h"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <cstdlib>
+#include <tuple>
+#include <utility>
+
+#include "cost/StaticCostModels.h"
+#include "util/Logging.h"
+#include "util/Random.h"
+#include "util/ThreadPool.h"
+
+namespace csr
+{
+
+namespace
+{
+
+std::uint64_t
+mixInto(std::uint64_t h, std::uint64_t v)
+{
+    return hashMix64(h ^ (v + 0x9E3779B97F4A7C15ull + (h << 6) +
+                          (h >> 2)));
+}
+
+std::uint64_t
+mixDouble(std::uint64_t h, double v)
+{
+    return mixInto(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+std::vector<std::string>
+splitList(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t end = s.find(sep, start);
+        if (end == std::string::npos) {
+            out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+double
+parseNumberFor(const std::string &key, const std::string &v)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+        csr_fatal("grid key '%s': '%s' is not a number",
+                  key.c_str(), v.c_str());
+    return parsed;
+}
+
+std::uint64_t
+parseUIntFor(const std::string &key, const std::string &v)
+{
+    char *end = nullptr;
+    const std::uint64_t parsed = std::strtoull(v.c_str(), &end, 0);
+    if (end == v.c_str() || *end != '\0')
+        csr_fatal("grid key '%s': '%s' is not an unsigned integer",
+                  key.c_str(), v.c_str());
+    return parsed;
+}
+
+WorkloadScale
+parseScaleName(const std::string &name)
+{
+    const std::string s = lowered(name);
+    if (s == "test")
+        return WorkloadScale::Test;
+    if (s == "small")
+        return WorkloadScale::Small;
+    if (s == "full")
+        return WorkloadScale::Full;
+    csr_fatal("unknown scale '%s' (test|small|full)", name.c_str());
+}
+
+/** (benchmark, l2Bytes, assoc): what a TraceStudy is keyed by. */
+using StudyKey = std::tuple<BenchmarkId, std::uint64_t, std::uint32_t>;
+
+StudyKey
+studyKeyOf(const SweepCell &cell)
+{
+    return {cell.benchmark, cell.l2Bytes, cell.l2Assoc};
+}
+
+SweepRunner::TraceMap
+buildTracesWith(ThreadPool &pool,
+                const std::vector<BenchmarkId> &benchmarks,
+                WorkloadScale scale)
+{
+    std::vector<BenchmarkId> unique = benchmarks;
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()),
+                 unique.end());
+
+    std::vector<std::shared_ptr<const SampledTrace>> built(unique.size());
+    parallelFor(pool, unique.size(), [&](std::size_t i) {
+        auto workload = makeWorkload(unique[i], scale);
+        built[i] = std::make_shared<const SampledTrace>(
+            buildSampledTrace(*workload, /*sampled=*/1));
+    });
+
+    SweepRunner::TraceMap traces;
+    for (std::size_t i = 0; i < unique.size(); ++i)
+        traces.emplace(unique[i], std::move(built[i]));
+    return traces;
+}
+
+} // namespace
+
+std::string
+costMappingName(CostMapping mapping)
+{
+    switch (mapping) {
+      case CostMapping::Random:
+        return "random";
+      case CostMapping::FirstTouch:
+        return "first-touch";
+    }
+    return "?";
+}
+
+CostMapping
+parseCostMapping(const std::string &name)
+{
+    const std::string s = lowered(name);
+    if (s == "random")
+        return CostMapping::Random;
+    if (s == "first-touch" || s == "firsttouch" || s == "ft")
+        return CostMapping::FirstTouch;
+    csr_fatal("unknown cost mapping '%s' (random|first-touch)",
+              name.c_str());
+}
+
+std::uint64_t
+SweepCell::mappingHash() const
+{
+    std::uint64_t h = 0xC0517B10ull;
+    h = mixInto(h, static_cast<std::uint64_t>(benchmark));
+    h = mixInto(h, static_cast<std::uint64_t>(mapping));
+    h = mixDouble(h, ratio.low);
+    h = mixDouble(h, ratio.high);
+    h = mixInto(h, ratio.infinite ? 1 : 0);
+    h = mixDouble(h, mapping == CostMapping::Random ? haf : 0.0);
+    h = mixInto(h, static_cast<std::uint64_t>(scale));
+    return h;
+}
+
+std::uint64_t
+SweepCell::hash() const
+{
+    std::uint64_t h = mappingHash();
+    h = mixInto(h, static_cast<std::uint64_t>(policy));
+    h = mixInto(h, l2Bytes);
+    h = mixInto(h, l2Assoc);
+    h = mixInto(h, etdAliasBits);
+    h = mixDouble(h, depreciationFactor);
+    return h;
+}
+
+std::string
+SweepCell::label() const
+{
+    std::string out = benchmarkName(benchmark) + "/" +
+                      policyKindName(policy) + "/" +
+                      costMappingName(mapping) + "/" + ratio.label();
+    if (mapping == CostMapping::Random)
+        out += "/haf=" + TextTable::num(haf, 2);
+    return out;
+}
+
+std::vector<SweepCell>
+SweepGrid::expand() const
+{
+    // The HAF axis only parameterizes the random mapping; collapse it
+    // for first-touch cells instead of emitting duplicates.
+    const std::vector<double> one_haf = {0.0};
+
+    std::vector<SweepCell> cells;
+    for (BenchmarkId benchmark : benchmarks) {
+        for (PolicyKind policy : policies) {
+            for (CostMapping mapping : mappings) {
+                const auto &mapping_hafs =
+                    mapping == CostMapping::Random ? hafs : one_haf;
+                for (const CostRatio &ratio : ratios) {
+                    for (double haf : mapping_hafs) {
+                        for (std::uint64_t l2 : l2Sizes) {
+                            for (std::uint32_t assoc : assocs) {
+                                for (unsigned alias : aliasBits) {
+                                    for (double depr : depreciations) {
+                                        SweepCell cell;
+                                        cell.benchmark = benchmark;
+                                        cell.policy = policy;
+                                        cell.mapping = mapping;
+                                        cell.ratio = ratio;
+                                        cell.haf = haf;
+                                        cell.l2Bytes = l2;
+                                        cell.l2Assoc = assoc;
+                                        cell.etdAliasBits = alias;
+                                        cell.depreciationFactor = depr;
+                                        cell.scale = scale;
+                                        cells.push_back(cell);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return cells;
+}
+
+TextTable
+SweepResult::toTable(const std::string &title) const
+{
+    TextTable table(title);
+    table.setHeader({"#", "Benchmark", "Policy", "Mapping", "Ratio",
+                     "HAF", "L2", "Assoc", "Alias", "Depr",
+                     "L2 misses", "Agg cost", "LRU cost",
+                     "Savings (%)"});
+    for (const SweepCellResult &res : cells) {
+        const SweepCell &cell = res.cell;
+        table.addRow({
+            std::to_string(res.index),
+            benchmarkName(cell.benchmark),
+            policyKindName(cell.policy),
+            costMappingName(cell.mapping),
+            cell.ratio.label(),
+            cell.mapping == CostMapping::Random
+                ? TextTable::num(cell.haf, 2)
+                : "-",
+            std::to_string(cell.l2Bytes / 1024) + "KB",
+            std::to_string(cell.l2Assoc),
+            cell.etdAliasBits == 0
+                ? "full"
+                : std::to_string(cell.etdAliasBits) + "b",
+            TextTable::num(cell.depreciationFactor, 1),
+            TextTable::count(res.l2Misses),
+            TextTable::num(res.aggregateCost, 4),
+            TextTable::num(res.lruCost, 4),
+            TextTable::num(res.savingsPct, 2),
+        });
+    }
+    return table;
+}
+
+TextTable
+SweepResult::timingTable() const
+{
+    TextTable table("sweep timing");
+    table.setHeader({"Metric", "Value"});
+    table.addRow({"jobs", std::to_string(jobs)});
+    table.addRow({"cells", std::to_string(cells.size())});
+    table.addRow({"wall (s)", TextTable::num(wallSec, 3)});
+    table.addRow({"setup (s)", TextTable::num(setupSec, 3)});
+    table.addRow({"task total (s)", TextTable::num(taskSecTotal, 3)});
+    table.addRow({"task max (s)", TextTable::num(taskSecMax, 3)});
+    table.addRow({"speedup",
+                  TextTable::num(wallSec > 0.0
+                                     ? taskSecTotal / wallSec
+                                     : 0.0, 2)});
+    table.addRow({"cells/s",
+                  TextTable::num(wallSec > 0.0
+                                     ? static_cast<double>(cells.size()) /
+                                           wallSec
+                                     : 0.0, 2)});
+    return table;
+}
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs ? jobs : ThreadPool::defaultThreads())
+{
+}
+
+SweepRunner::TraceMap
+SweepRunner::buildTraces(const std::vector<BenchmarkId> &benchmarks,
+                         WorkloadScale scale) const
+{
+    ThreadPool pool(jobs_);
+    return buildTracesWith(pool, benchmarks, scale);
+}
+
+SweepResult
+SweepRunner::run(const SweepGrid &grid) const
+{
+    const std::vector<SweepCell> cells = grid.expand();
+    if (cells.empty())
+        csr_fatal("sweep grid expands to zero cells");
+
+    WallTimer total;
+    ThreadPool pool(jobs_);
+
+    // Setup phase 1: one sampled trace per benchmark.
+    const TraceMap traces =
+        buildTracesWith(pool, grid.benchmarks, grid.scale);
+
+    // Setup phase 2: one TraceStudy (LRU replay + miss profile) per
+    // unique (benchmark, geometry).  Cells only read these afterward.
+    std::vector<StudyKey> study_keys;
+    for (const SweepCell &cell : cells) {
+        const StudyKey key = studyKeyOf(cell);
+        if (std::find(study_keys.begin(), study_keys.end(), key) ==
+            study_keys.end())
+            study_keys.push_back(key);
+    }
+    std::vector<std::shared_ptr<const TraceStudy>> built(
+        study_keys.size());
+    parallelFor(pool, study_keys.size(), [&](std::size_t i) {
+        const auto &[benchmark, l2_bytes, assoc] = study_keys[i];
+        TraceSimConfig config;
+        config.l2Bytes = l2_bytes;
+        config.l2Assoc = assoc;
+        built[i] = std::make_shared<const TraceStudy>(
+            *traces.at(benchmark), config);
+    });
+    std::map<StudyKey, std::shared_ptr<const TraceStudy>> studies;
+    for (std::size_t i = 0; i < study_keys.size(); ++i)
+        studies.emplace(study_keys[i], std::move(built[i]));
+
+    SweepResult result;
+    result.jobs = jobs_;
+    result.setupSec = total.elapsedSec();
+    result.cells.resize(cells.size());
+
+    // Every cell is independent: its own policy, cost model and
+    // result slot, seeded purely from the cell's configuration hash.
+    ParallelTiming timing;
+    parallelFor(pool, cells.size(), [&](std::size_t i) {
+        WallTimer task_timer;
+        const SweepCell &cell = cells[i];
+        const TraceStudy &study = *studies.at(studyKeyOf(cell));
+        const SampledTrace &trace = *traces.at(cell.benchmark);
+        const std::uint64_t seed = cell.hash();
+
+        PolicyParams params;
+        params.etdAliasBits = cell.etdAliasBits;
+        params.depreciationFactor = cell.depreciationFactor;
+        params.seed = seed;
+
+        const RandomTwoCost random(cell.ratio, cell.haf,
+                                   cell.mappingHash());
+        const FirstTouchTwoCost first_touch(cell.ratio, trace.homeOf,
+                                            trace.sampledProc);
+        const CostModel &model =
+            cell.mapping == CostMapping::Random
+                ? static_cast<const CostModel &>(random)
+                : static_cast<const CostModel &>(first_touch);
+
+        const TraceSimResult sim =
+            study.run(cell.policy, model, params);
+        const double lru_cost = study.lruCost(model);
+
+        SweepCellResult &out = result.cells[i];
+        out.cell = cell;
+        out.index = i;
+        out.seed = seed;
+        out.sampledRefs = sim.sampledRefs;
+        out.l2Hits = sim.l2Hits;
+        out.l2Misses = sim.l2Misses;
+        out.aggregateCost = sim.aggregateCost;
+        out.lruCost = lru_cost;
+        out.savingsPct =
+            relativeCostSavings(lru_cost, sim.aggregateCost);
+        out.taskSec = task_timer.elapsedSec();
+        timing.recordTask(out.taskSec);
+    });
+
+    result.wallSec = total.elapsedSec();
+    result.taskSecTotal = timing.taskSecTotal();
+    result.taskSecMax = timing.taskSecMax();
+    return result;
+}
+
+SweepGrid
+presetGrid(const std::string &name)
+{
+    SweepGrid grid;
+    if (name == "table1") {
+        // The Table 1 workloads under every paper policy and both
+        // mappings at the headline operating point (r=4, HAF=0.3).
+        grid.mappings = {CostMapping::Random, CostMapping::FirstTouch};
+        return grid;
+    }
+    if (name == "fig3") {
+        grid.mappings = {CostMapping::Random};
+        grid.ratios = {
+            CostRatio::finite(2),  CostRatio::finite(4),
+            CostRatio::finite(8),  CostRatio::finite(16),
+            CostRatio::finite(32), CostRatio::makeInfinite(),
+        };
+        grid.hafs = {0.0, 0.01, 0.05, 0.1, 0.2, 0.3, 0.4,
+                     0.5, 0.6,  0.7,  0.8, 0.9, 1.0};
+        return grid;
+    }
+    if (name == "ablation-assoc") {
+        grid.policies = {PolicyKind::Dcl};
+        grid.mappings = {CostMapping::Random, CostMapping::FirstTouch};
+        grid.assocs = {2, 4, 8};
+        return grid;
+    }
+    if (name == "ablation-cachesize") {
+        grid.policies = {PolicyKind::Dcl};
+        grid.mappings = {CostMapping::FirstTouch};
+        grid.l2Sizes = {4 * 1024, 8 * 1024, 16 * 1024, 64 * 1024,
+                        256 * 1024};
+        return grid;
+    }
+    if (name == "ablation-depreciation") {
+        grid.policies = {PolicyKind::Bcl, PolicyKind::Dcl};
+        grid.mappings = {CostMapping::FirstTouch};
+        grid.depreciations = {0.5, 1.0, 2.0, 4.0};
+        return grid;
+    }
+    if (name == "ablation-etd") {
+        grid.policies = {PolicyKind::Dcl, PolicyKind::Acl};
+        grid.mappings = {CostMapping::FirstTouch};
+        grid.aliasBits = {0, 8, 4, 2};
+        return grid;
+    }
+    if (name == "smoke") {
+        grid.benchmarks = {BenchmarkId::Lu};
+        grid.policies = {PolicyKind::Dcl};
+        grid.scale = WorkloadScale::Test;
+        return grid;
+    }
+    csr_fatal("unknown sweep preset '%s' (table1|fig3|ablation-assoc|"
+              "ablation-cachesize|ablation-depreciation|ablation-etd|"
+              "smoke)", name.c_str());
+}
+
+SweepGrid
+parseGridSpec(const std::string &spec)
+{
+    if (spec.find('=') == std::string::npos)
+        return presetGrid(spec);
+
+    SweepGrid grid;
+    for (const std::string &field : splitList(spec, ';')) {
+        if (field.empty())
+            continue;
+        const std::size_t eq = field.find('=');
+        if (eq == std::string::npos)
+            csr_fatal("malformed grid field '%s' (want key=v1,v2,...)",
+                      field.c_str());
+        const std::string key = field.substr(0, eq);
+        const std::vector<std::string> values =
+            splitList(field.substr(eq + 1), ',');
+        if (values.empty() || values.front().empty())
+            csr_fatal("empty value list for grid key '%s'",
+                      key.c_str());
+
+        if (key == "benchmarks") {
+            grid.benchmarks.clear();
+            for (const auto &v : values)
+                grid.benchmarks.push_back(parseBenchmark(v));
+        } else if (key == "policies") {
+            grid.policies.clear();
+            for (const auto &v : values)
+                grid.policies.push_back(parsePolicyKind(v));
+        } else if (key == "mappings") {
+            grid.mappings.clear();
+            for (const auto &v : values)
+                grid.mappings.push_back(parseCostMapping(v));
+        } else if (key == "ratios") {
+            grid.ratios.clear();
+            for (const auto &v : values) {
+                if (lowered(v) == "inf") {
+                    grid.ratios.push_back(CostRatio::makeInfinite());
+                } else {
+                    const double ratio = parseNumberFor(key, v);
+                    if (ratio <= 0.0)
+                        csr_fatal("cost ratio %g must be positive",
+                                  ratio);
+                    grid.ratios.push_back(CostRatio::finite(ratio));
+                }
+            }
+        } else if (key == "hafs") {
+            grid.hafs.clear();
+            for (const auto &v : values) {
+                const double haf = parseNumberFor(key, v);
+                if (haf < 0.0 || haf > 1.0)
+                    csr_fatal("HAF %g out of [0,1]", haf);
+                grid.hafs.push_back(haf);
+            }
+        } else if (key == "l2") {
+            grid.l2Sizes.clear();
+            for (const auto &v : values)
+                grid.l2Sizes.push_back(parseUIntFor(key, v));
+        } else if (key == "assocs") {
+            grid.assocs.clear();
+            for (const auto &v : values)
+                grid.assocs.push_back(
+                    static_cast<std::uint32_t>(parseUIntFor(key, v)));
+        } else if (key == "alias-bits") {
+            grid.aliasBits.clear();
+            for (const auto &v : values)
+                grid.aliasBits.push_back(
+                    static_cast<unsigned>(parseUIntFor(key, v)));
+        } else if (key == "depreciations") {
+            grid.depreciations.clear();
+            for (const auto &v : values)
+                grid.depreciations.push_back(parseNumberFor(key, v));
+        } else if (key == "scale") {
+            grid.scale = parseScaleName(values.front());
+        } else {
+            csr_fatal("unknown grid key '%s'", key.c_str());
+        }
+    }
+    return grid;
+}
+
+} // namespace csr

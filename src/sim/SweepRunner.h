@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Parallel experiment sweep engine.
+ *
+ * The paper's evaluation is a grid: {policy} x {benchmark} x {cost
+ * mapping} x {cost ratio, HAF} x {geometry, tunables}.  Every cell is
+ * an independent trace-study simulation, so the grid is
+ * embarrassingly parallel.  SweepRunner expands a declarative
+ * SweepGrid into cells, fans them out across a bounded ThreadPool,
+ * and aggregates the results in stable grid order.
+ *
+ * Determinism: every stochastic input of a cell is seeded from the
+ * cell's own configuration hash (see SweepCell::hash()), never from a
+ * shared generator, so results are bit-identical regardless of thread
+ * count or completion order.  Expensive shared state -- the sampled
+ * trace of a benchmark and the LRU miss profile of a (trace,
+ * geometry) pair -- is built once per unique key (itself in parallel)
+ * and then only read concurrently.
+ */
+
+#ifndef CSR_SIM_SWEEPRUNNER_H
+#define CSR_SIM_SWEEPRUNNER_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/PolicyFactory.h"
+#include "cost/CostModel.h"
+#include "sim/TraceStudy.h"
+#include "trace/SampledTrace.h"
+#include "trace/WorkloadFactory.h"
+#include "util/Stats.h"
+#include "util/Table.h"
+
+namespace csr
+{
+
+/** Which Section 3 static cost mapping a cell uses. */
+enum class CostMapping
+{
+    Random,     ///< RandomTwoCost(ratio, HAF)
+    FirstTouch, ///< FirstTouchTwoCost from the trace's home map
+};
+
+std::string costMappingName(CostMapping mapping);
+
+/** Parse "random" / "first-touch" (case-insensitive); fatal on
+ *  unknown names. */
+CostMapping parseCostMapping(const std::string &name);
+
+/**
+ * One point of a sweep: a full trace-study simulation configuration.
+ */
+struct SweepCell
+{
+    BenchmarkId benchmark = BenchmarkId::Barnes;
+    PolicyKind policy = PolicyKind::Dcl;
+    CostMapping mapping = CostMapping::Random;
+    CostRatio ratio = CostRatio::finite(4);
+    /** High-cost access fraction; only meaningful for Random. */
+    double haf = 0.3;
+    std::uint64_t l2Bytes = 16 * 1024;
+    std::uint32_t l2Assoc = 4;
+    unsigned etdAliasBits = 0;
+    double depreciationFactor = 2.0;
+    WorkloadScale scale = WorkloadScale::Small;
+
+    /**
+     * Stable 64-bit hash of every configuration field.  Used as the
+     * seed of all of the cell's random draws, so a cell's result is a
+     * pure function of its configuration.
+     */
+    std::uint64_t hash() const;
+
+    /**
+     * Hash of the cost-mapping fields only (benchmark, mapping,
+     * ratio, HAF, scale).  Seeds RandomTwoCost, so every policy
+     * evaluated at one experiment point sees the *same* cost mapping
+     * -- the paper compares policies under a single mapping.
+     */
+    std::uint64_t mappingHash() const;
+
+    /** Compact "barnes/dcl/random/r=4/haf=0.30" style label. */
+    std::string label() const;
+};
+
+/**
+ * Declarative cross product of sweep dimensions.  expand() emits the
+ * cells in a stable nested-loop order (benchmark outermost,
+ * depreciation innermost); FirstTouch mappings ignore the HAF axis,
+ * so it is collapsed for them rather than duplicating cells.
+ */
+struct SweepGrid
+{
+    WorkloadScale scale = WorkloadScale::Small;
+    std::vector<BenchmarkId> benchmarks = paperBenchmarks();
+    std::vector<PolicyKind> policies = paperPolicies();
+    std::vector<CostMapping> mappings = {CostMapping::Random};
+    std::vector<CostRatio> ratios = {CostRatio::finite(4)};
+    std::vector<double> hafs = {0.3};
+    std::vector<std::uint64_t> l2Sizes = {16 * 1024};
+    std::vector<std::uint32_t> assocs = {4};
+    std::vector<unsigned> aliasBits = {0};
+    std::vector<double> depreciations = {2.0};
+
+    std::vector<SweepCell> expand() const;
+};
+
+/** Result of one cell's simulation. */
+struct SweepCellResult
+{
+    SweepCell cell;
+    std::size_t index = 0;    ///< position in the expanded grid
+    std::uint64_t seed = 0;   ///< cell.hash(), the seed actually used
+    std::uint64_t sampledRefs = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    double aggregateCost = 0.0;
+    double lruCost = 0.0;
+    double savingsPct = 0.0;
+    double taskSec = 0.0;     ///< wall clock of this cell's task
+};
+
+/** Results of a whole sweep, in stable grid order. */
+struct SweepResult
+{
+    std::vector<SweepCellResult> cells;
+    unsigned jobs = 1;
+    double wallSec = 0.0;       ///< whole sweep, including setup
+    double setupSec = 0.0;      ///< trace + LRU-profile construction
+    double taskSecTotal = 0.0;  ///< sum of per-cell task times
+    double taskSecMax = 0.0;
+
+    /** Flat per-cell table (one row per cell, grid order). */
+    TextTable toTable(const std::string &title = "sweep") const;
+
+    /** Jobs / wall / task-seconds / speedup / throughput summary. */
+    TextTable timingTable() const;
+};
+
+/**
+ * The engine.  jobs == 0 means one worker per hardware thread.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(unsigned jobs = 0);
+
+    /** Run every cell of @p grid; results come back in grid order. */
+    SweepResult run(const SweepGrid &grid) const;
+
+    using TraceMap =
+        std::map<BenchmarkId, std::shared_ptr<const SampledTrace>>;
+
+    /** Build the sampled traces of @p benchmarks in parallel (the
+     *  engine's setup phase, also useful on its own, e.g. Table 1). */
+    TraceMap buildTraces(const std::vector<BenchmarkId> &benchmarks,
+                         WorkloadScale scale) const;
+
+    unsigned jobs() const { return jobs_; }
+
+  private:
+    unsigned jobs_;
+};
+
+/** Named grid presets mirroring the paper's tables and figures:
+ *  "table1", "fig3", "ablation-assoc", "ablation-cachesize",
+ *  "ablation-depreciation", "ablation-etd", "smoke". */
+SweepGrid presetGrid(const std::string &name);
+
+/**
+ * Parse a grid specification: either a preset name, or a semicolon
+ * separated "key=v1,v2,..." list with keys benchmarks, policies,
+ * mappings, ratios (numbers or "inf"), hafs, l2, assocs, alias-bits,
+ * depreciations, scale.  Unset keys keep SweepGrid defaults.  Fatal
+ * on malformed input.
+ */
+SweepGrid parseGridSpec(const std::string &spec);
+
+} // namespace csr
+
+#endif // CSR_SIM_SWEEPRUNNER_H

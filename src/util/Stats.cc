@@ -127,6 +127,71 @@ Histogram::percentile(double frac) const
 }
 
 void
+ParallelTiming::recordTask(double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.add(seconds);
+}
+
+void
+ParallelTiming::setWallSec(double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    wallSec_ = seconds;
+}
+
+std::uint64_t
+ParallelTiming::taskCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tasks_.count();
+}
+
+double
+ParallelTiming::taskSecTotal() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tasks_.sum();
+}
+
+double
+ParallelTiming::taskSecMean() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tasks_.mean();
+}
+
+double
+ParallelTiming::taskSecMax() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tasks_.max();
+}
+
+double
+ParallelTiming::wallSec() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return wallSec_;
+}
+
+double
+ParallelTiming::speedup() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return wallSec_ > 0.0 ? tasks_.sum() / wallSec_ : 0.0;
+}
+
+double
+ParallelTiming::tasksPerSec() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return wallSec_ > 0.0
+               ? static_cast<double>(tasks_.count()) / wallSec_
+               : 0.0;
+}
+
+void
 StatGroup::inc(const std::string &name, std::uint64_t by)
 {
     counters_[name] += by;

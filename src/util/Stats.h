@@ -11,8 +11,10 @@
 #ifndef CSR_UTIL_STATS_H
 #define CSR_UTIL_STATS_H
 
+#include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -104,6 +106,60 @@ class StatGroup
 
   private:
     std::map<std::string, std::uint64_t> counters_;
+};
+
+/**
+ * Monotonic wall-clock stopwatch.  Starts on construction.
+ */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+    double
+    elapsedSec() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Timing summary for a batch of parallel tasks.  Workers record the
+ * wall-clock seconds of each task (thread-safe); the coordinator sets
+ * the batch's total wall time once the pool has drained.  The
+ * speedup() of task-seconds over wall-seconds is how the sweep engine
+ * makes its parallelism observable.
+ */
+class ParallelTiming
+{
+  public:
+    /** Record one finished task (safe to call from any thread). */
+    void recordTask(double seconds);
+
+    /** Set the whole batch's wall-clock duration. */
+    void setWallSec(double seconds);
+
+    std::uint64_t taskCount() const;
+    double taskSecTotal() const;
+    double taskSecMean() const;
+    double taskSecMax() const;
+    double wallSec() const;
+    /** Aggregate task time over wall time (1.0 when serial). */
+    double speedup() const;
+    /** Completed tasks per wall-clock second. */
+    double tasksPerSec() const;
+
+  private:
+    mutable std::mutex mutex_;
+    RunningStat tasks_;
+    double wallSec_ = 0.0;
 };
 
 } // namespace csr

@@ -106,11 +106,26 @@ TextTable::print(std::ostream &os) const
 void
 TextTable::printCsv(std::ostream &os) const
 {
-    auto emit = [&os](const std::vector<std::string> &row) {
+    // RFC-4180 quoting: grouped numbers like "6,115" must stay one
+    // field.
+    auto emit_field = [&os](const std::string &field) {
+        if (field.find_first_of(",\"\n") == std::string::npos) {
+            os << field;
+            return;
+        }
+        os << '"';
+        for (char c : field) {
+            if (c == '"')
+                os << '"';
+            os << c;
+        }
+        os << '"';
+    };
+    auto emit = [&](const std::vector<std::string> &row) {
         for (std::size_t i = 0; i < row.size(); ++i) {
             if (i)
                 os << ',';
-            os << row[i];
+            emit_field(row[i]);
         }
         os << '\n';
     };

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Bounded worker-thread pool.
+ *
+ * The sweep engine fans hundreds of independent simulation tasks out
+ * across a fixed number of workers.  Tasks are type-erased closures;
+ * submit() hands back a std::future so results and *exceptions*
+ * propagate to the caller (a worker never dies on a throwing task).
+ * Destruction drains the queue -- every submitted task runs before
+ * the workers join, so no future is ever left with a broken promise.
+ */
+
+#ifndef CSR_UTIL_THREADPOOL_H
+#define CSR_UTIL_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace csr
+{
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (0 means one per hardware thread). */
+    explicit ThreadPool(unsigned threads = 0)
+    {
+        if (threads == 0)
+            threads = defaultThreads();
+        workers_.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    /** Runs every queued task, then joins the workers. */
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (auto &worker : workers_)
+            worker.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned
+    numThreads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Hardware concurrency, with a floor of one. */
+    static unsigned
+    defaultThreads()
+    {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw ? hw : 1;
+    }
+
+    /**
+     * Queue a nullary callable.  The returned future yields the
+     * callable's result, or rethrows whatever it threw.
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using Result = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> future = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return future;
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> job;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock, [this] {
+                    return stopping_ || !queue_.empty();
+                });
+                if (queue_.empty())
+                    return; // stopping and drained
+                job = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            job();
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+/**
+ * Run fn(i) for every i in [0, n) on the pool and wait for all of
+ * them.  If any invocation throws, the first exception (in index
+ * order) is rethrown after every task has finished.
+ */
+template <typename Fn>
+void
+parallelFor(ThreadPool &pool, std::size_t n, Fn &&fn)
+{
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        futures.push_back(pool.submit([&fn, i] { fn(i); }));
+    std::exception_ptr first;
+    for (auto &future : futures) {
+        try {
+            future.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace csr
+
+#endif // CSR_UTIL_THREADPOOL_H
