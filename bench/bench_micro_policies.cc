@@ -3,14 +3,24 @@
  * Microbenchmark (google-benchmark): per-access overhead of each
  * replacement policy implementation, to back the Section 5 claim
  * that the algorithms' work per access is trivial.  Measures the
- * full owner protocol (lookup + policy access + victim/fill) on the
+ * CacheModel protocol (lookup + policy access + victim/fill) on the
  * paper's 16 KB 4-way geometry over a mixed-locality address stream.
+ *
+ * Besides the normal console output, the run is summarized into a
+ * small JSON file (BENCH_micro.json by default, or --json <path>)
+ * with per-policy ns/access and accesses/sec plus the total wall
+ * clock, so CI can archive machine-readable numbers.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cache/CacheModel.h"
 #include "cache/PolicyFactory.h"
-#include "cache/TagArray.h"
 #include "util/Random.h"
 
 namespace
@@ -22,8 +32,7 @@ void
 runPolicy(benchmark::State &state, PolicyKind kind)
 {
     const CacheGeometry geom(16 * 1024, 4, 64);
-    PolicyPtr policy = makePolicy(kind, geom);
-    TagArray tags(geom);
+    CacheModel cache(geom, makePolicy(kind, geom));
     Rng rng(42);
 
     // Pre-generate a mixed stream: hot set + streaming tail.
@@ -43,15 +52,10 @@ runPolicy(benchmark::State &state, PolicyKind kind)
         const Addr addr = stream[i++ & 0xFFFF];
         const std::uint32_t set = geom.setIndex(addr);
         const Addr tag = geom.tag(addr);
-        const int hit_way = tags.findWay(set, tag);
-        policy->access(set, tag, hit_way);
+        const int hit_way = cache.access(set, tag);
         if (hit_way == kInvalidWay) {
-            int way = tags.findInvalidWay(set);
-            if (way == kInvalidWay)
-                way = policy->selectVictim(set);
-            tags.install(set, static_cast<std::uint32_t>(way), tag);
-            policy->fill(set, way, tag,
-                         static_cast<Cost>(1 + cost_rng.nextBelow(8)));
+            cache.fillVictimOrFree(
+                set, tag, static_cast<Cost>(1 + cost_rng.nextBelow(8)));
         }
         benchmark::DoNotOptimize(hit_way);
     }
@@ -70,6 +74,95 @@ BENCHMARK(BM_Bcl);
 BENCHMARK(BM_Dcl);
 BENCHMARK(BM_Acl);
 
+/** Console reporter that also records one JSON row per benchmark. */
+class JsonCaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Row
+    {
+        std::string name;
+        std::int64_t iterations = 0;
+        double nsPerAccess = 0.0;
+        double accessesPerSec = 0.0;
+    };
+
+    std::vector<Row> rows;
+
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const auto &run : reports) {
+            Row row;
+            row.name = run.benchmark_name();
+            row.iterations = run.iterations;
+            if (run.iterations > 0 && run.real_accumulated_time > 0.0) {
+                row.nsPerAccess = 1e9 * run.real_accumulated_time /
+                                  static_cast<double>(run.iterations);
+                row.accessesPerSec = static_cast<double>(run.iterations) /
+                                     run.real_accumulated_time;
+            }
+            rows.push_back(std::move(row));
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+};
+
+void
+writeJson(const std::string &path, const JsonCaptureReporter &reporter,
+          double wall_sec)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "bench_micro_policies: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"wallSec\": %.6f,\n  \"benchmarks\": [\n",
+                 wall_sec);
+    for (std::size_t i = 0; i < reporter.rows.size(); ++i) {
+        const auto &row = reporter.rows[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"iterations\": %lld, "
+                     "\"nsPerAccess\": %.4f, \"accessesPerSec\": %.1f}%s\n",
+                     row.name.c_str(),
+                     static_cast<long long>(row.iterations),
+                     row.nsPerAccess, row.accessesPerSec,
+                     i + 1 < reporter.rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel off our own --json flag before benchmark::Initialize sees
+    // the argument vector.
+    std::string json_path = "BENCH_micro.json";
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    int filtered_argc = static_cast<int>(args.size());
+
+    benchmark::Initialize(&filtered_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+        return 1;
+
+    JsonCaptureReporter reporter;
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall_sec =
+        std::chrono::duration<double>(t1 - t0).count();
+
+    writeJson(json_path, reporter, wall_sec);
+    benchmark::Shutdown();
+    return 0;
+}

@@ -29,9 +29,9 @@ namespace
 
 /**
  * LRU that victimizes the cheaper of the two lowest-locality blocks.
- * Deriving from StackPolicyBase provides the recency stack, per-line
- * cost/tag mirrors and the invalidation plumbing; only victim
- * selection needs writing.
+ * Deriving from StackPolicyBase provides the recency stack, read
+ * access to the CacheModel's per-line cost/tag state and the
+ * invalidation plumbing; only victim selection needs writing.
  */
 class CheapestOfTwoPolicy : public StackPolicyBase
 {

@@ -12,8 +12,8 @@
 
 #include <iostream>
 
+#include "cache/CacheModel.h"
 #include "cache/PolicyFactory.h"
-#include "cache/TagArray.h"
 #include "cost/StaticCostModels.h"
 #include "util/Random.h"
 
@@ -23,30 +23,24 @@ namespace
 {
 
 /** Replay `accesses` through a cache with the given policy and return
- *  the aggregate miss cost.  This is the full owner protocol every
- *  csr simulator uses; see ReplacementPolicy.h for the contract. */
+ *  the aggregate miss cost.  The CacheModel runs the same access
+ *  protocol every csr simulator uses; see CacheModel.h. */
 double
 replay(PolicyKind kind, const std::vector<Addr> &accesses,
        const CostModel &cost)
 {
     const CacheGeometry geom(16 * 1024, 4, 64); // paper's L2
-    PolicyPtr policy = makePolicy(kind, geom);
-    TagArray tags(geom);
+    CacheModel cache(geom, makePolicy(kind, geom));
     double aggregate = 0.0;
 
     for (Addr addr : accesses) {
         const std::uint32_t set = geom.setIndex(addr);
         const Addr tag = geom.tag(addr);
-        const int hit_way = tags.findWay(set, tag);
-        policy->access(set, tag, hit_way); // recency + ETD lookup
-        if (hit_way != kInvalidWay)
+        if (cache.access(set, tag) != kInvalidWay) // recency + ETD lookup
             continue; // hits are free
-        aggregate += cost.missCost(geom.blockAddr(addr));
-        int way = tags.findInvalidWay(set);
-        if (way == kInvalidWay)
-            way = policy->selectVictim(set); // may reserve a block
-        tags.install(set, static_cast<std::uint32_t>(way), tag);
-        policy->fill(set, way, tag, cost.missCost(geom.blockAddr(addr)));
+        const Cost c = cost.missCost(geom.blockAddr(addr));
+        aggregate += c;
+        cache.fillVictimOrFree(set, tag, c); // may reserve a block
     }
     return aggregate;
 }

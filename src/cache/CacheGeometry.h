@@ -8,6 +8,7 @@
 #define CSR_CACHE_CACHEGEOMETRY_H
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "util/Logging.h"
@@ -16,6 +17,18 @@
 
 namespace csr
 {
+
+/**
+ * Invalid cache geometry.  Thrown (rather than aborting) so that
+ * drivers can surface a clean message naming the offending parameter
+ * -- a bad --l2 / --assoc on the csrsim command line is user error,
+ * not a program bug.
+ */
+class CacheGeometryError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /**
  * Geometry of a set-associative cache.
@@ -31,15 +44,32 @@ class CacheGeometry
      * @param size_bytes  total capacity in bytes
      * @param assoc       number of ways per set
      * @param block_bytes line size in bytes (the paper uses 64 B)
+     * @throws CacheGeometryError naming the offending parameter when a
+     *         quantity is not a power of two or the sizes are
+     *         inconsistent.
      */
     CacheGeometry(std::uint64_t size_bytes, std::uint32_t assoc,
                   std::uint32_t block_bytes)
         : sizeBytes_(size_bytes), assoc_(assoc), blockBytes_(block_bytes)
     {
-        csr_assert(isPow2(size_bytes) && isPow2(assoc) && isPow2(block_bytes),
-                   "cache geometry must be powers of two");
-        csr_assert(size_bytes >= static_cast<std::uint64_t>(assoc) *
-                   block_bytes, "cache smaller than one set");
+        if (!isPow2(size_bytes))
+            throw CacheGeometryError(
+                "cache size (" + std::to_string(size_bytes) +
+                " bytes) must be a power of two");
+        if (!isPow2(assoc))
+            throw CacheGeometryError(
+                "associativity (" + std::to_string(assoc) +
+                ") must be a power of two");
+        if (!isPow2(block_bytes))
+            throw CacheGeometryError(
+                "block size (" + std::to_string(block_bytes) +
+                " bytes) must be a power of two");
+        if (size_bytes < static_cast<std::uint64_t>(assoc) * block_bytes)
+            throw CacheGeometryError(
+                "cache size (" + std::to_string(size_bytes) +
+                " bytes) is smaller than one set (" +
+                std::to_string(assoc) + " ways x " +
+                std::to_string(block_bytes) + " bytes)");
         numSets_ = static_cast<std::uint32_t>(
             size_bytes / (static_cast<std::uint64_t>(assoc) * block_bytes));
         blockBits_ = floorLog2(block_bytes);

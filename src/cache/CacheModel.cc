@@ -1,0 +1,49 @@
+#include "cache/CacheModel.h"
+
+#include <algorithm>
+
+namespace csr
+{
+
+CacheModel::CacheModel(const CacheGeometry &geom, PolicyPtr policy)
+    : geom_(geom), wordsPerSet_((geom.assoc() + 63) / 64),
+      wordMasks_(wordsPerSet_, ~std::uint64_t{0}),
+      tags_(static_cast<std::size_t>(geom.numSets()) * geom.assoc(), 0),
+      costs_(static_cast<std::size_t>(geom.numSets()) * geom.assoc(), 0.0),
+      aux_(static_cast<std::size_t>(geom.numSets()) * geom.assoc(), 0),
+      valid_(static_cast<std::size_t>(geom.numSets()) * wordsPerSet_, 0),
+      policy_(std::move(policy))
+{
+    if (geom_.assoc() % 64 != 0) {
+        wordMasks_.back() =
+            (std::uint64_t{1} << (geom_.assoc() % 64)) - 1;
+    }
+    if (policy_) {
+        csr_assert(policy_->geometry().numSets() == geom_.numSets() &&
+                   policy_->geometry().assoc() == geom_.assoc(),
+                   "policy geometry does not match the cache");
+        policy_->bind(*this);
+    }
+}
+
+std::uint64_t
+CacheModel::countValid() const
+{
+    std::uint64_t n = 0;
+    for (const std::uint64_t word : valid_)
+        n += static_cast<std::uint64_t>(__builtin_popcountll(word));
+    return n;
+}
+
+void
+CacheModel::reset()
+{
+    std::fill(valid_.begin(), valid_.end(), 0);
+    std::fill(tags_.begin(), tags_.end(), 0);
+    std::fill(costs_.begin(), costs_.end(), 0.0);
+    std::fill(aux_.begin(), aux_.end(), 0);
+    if (policy_)
+        policy_->reset();
+}
+
+} // namespace csr

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * CacheModel -- the single owner of a cache's per-(set, way) state and
+ * of the one true access protocol every csr driver uses.
+ *
+ * The model keeps the state in a flat structure-of-arrays layout: one
+ * contiguous tag array, one contiguous cost array, one contiguous
+ * owner-defined aux word per line (MESI state, dirty bits, ...), and a
+ * per-set valid bitmask -- no nested vectors and no per-set heap
+ * allocations, so a set probe touches a handful of adjacent cache
+ * lines instead of chasing pointers.
+ *
+ * The replacement policy attached to the model reads tag/cost state
+ * *from* the model (see ReplacementPolicy::bind) instead of mirroring
+ * it; recency order is the policy's own state.  Policy-less models
+ * (e.g. the direct-mapped L1 filters) use the raw install/invalidate
+ * entry points only.
+ *
+ * Protocol (identical to what TraceSimulator, the NUMA
+ * CacheController, the tests and the benches previously hand-rolled):
+ *
+ *   1. access(set, tag) -- lookup + policy notification; returns the
+ *      hit way or kInvalidWay.
+ *   2. on a miss, fillVictimOrFree(set, tag, cost, aux, evict_fn) --
+ *      picks the lowest free way, or asks the policy for a victim and
+ *      hands it to @p evict_fn *before* overwriting (writebacks, L1
+ *      inclusion scrubs, victim bookkeeping).  The policy is NOT told
+ *      about the eviction through invalidate(): the ETD must retain
+ *      the victim's tag (that is DCL's whole point).
+ *   3. invalidateTag(set, tag) for external (coherence)
+ *      invalidations -- the policy is always told, even for
+ *      non-resident tags, so a matching ETD entry can be scrubbed.
+ */
+
+#ifndef CSR_CACHE_CACHEMODEL_H
+#define CSR_CACHE_CACHEMODEL_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cache/ReplacementPolicy.h"
+#include "util/Logging.h"
+
+namespace csr
+{
+
+/**
+ * Flat tag/cost/aux store plus the shared access protocol.
+ */
+class CacheModel
+{
+  public:
+    /**
+     * @param geom   cache geometry
+     * @param policy replacement policy bound to this model, or nullptr
+     *               for a policy-less store (direct-mapped filters)
+     */
+    explicit CacheModel(const CacheGeometry &geom,
+                        PolicyPtr policy = nullptr);
+
+    const CacheGeometry &geometry() const { return geom_; }
+
+    /** The bound policy, or nullptr. */
+    ReplacementPolicy *policy() { return policy_.get(); }
+    const ReplacementPolicy *policy() const { return policy_.get(); }
+
+    // --- flat state accessors --------------------------------------------
+
+    bool
+    isValid(std::uint32_t set, int way) const
+    {
+        return (validWord(set, way) >> bitOf(way)) & 1u;
+    }
+
+    /** Tag of a line; stale after invalidation until the next fill. */
+    Addr tagAt(std::uint32_t set, int way) const
+    {
+        return tags_[idx(set, way)];
+    }
+
+    /** Predicted next-miss cost of a line. */
+    Cost costAt(std::uint32_t set, int way) const
+    {
+        return costs_[idx(set, way)];
+    }
+
+    /** Owner-defined word (coherence state, dirty bit, ...). */
+    std::uint32_t auxAt(std::uint32_t set, int way) const
+    {
+        return aux_[idx(set, way)];
+    }
+
+    void setAux(std::uint32_t set, int way, std::uint32_t aux)
+    {
+        aux_[idx(set, way)] = aux;
+    }
+
+    /** Valid lines in one set. */
+    int
+    validCountOf(std::uint32_t set) const
+    {
+        int n = 0;
+        for (std::uint32_t w = 0; w < wordsPerSet_; ++w)
+            n += __builtin_popcountll(valid_[set * wordsPerSet_ + w]);
+        return n;
+    }
+
+    /** Valid lines across the whole array (tests). */
+    std::uint64_t countValid() const;
+
+    // --- lookup (no side effects) ----------------------------------------
+
+    /** Way holding @p tag, or kInvalidWay.  Only valid ways match. */
+    int
+    lookup(std::uint32_t set, Addr tag) const
+    {
+        const Addr *tags = &tags_[idx(set, 0)];
+        for (std::uint32_t w = 0; w < wordsPerSet_; ++w) {
+            // Branchless equality sweep (vectorizes): build a match
+            // bitmask, then intersect with the valid mask.
+            const std::uint32_t lo = w * 64;
+            const std::uint32_t n =
+                geom_.assoc() - lo < 64 ? geom_.assoc() - lo : 64;
+            std::uint64_t eq = 0;
+            for (std::uint32_t i = 0; i < n; ++i)
+                eq |= std::uint64_t{tags[lo + i] == tag} << i;
+            const std::uint64_t hit =
+                eq & valid_[set * wordsPerSet_ + w];
+            if (hit)
+                return static_cast<int>(lo) + __builtin_ctzll(hit);
+        }
+        return kInvalidWay;
+    }
+
+    /** Lowest-numbered invalid way, or kInvalidWay when the set is
+     *  full. */
+    int
+    findFreeWay(std::uint32_t set) const
+    {
+        for (std::uint32_t w = 0; w < wordsPerSet_; ++w) {
+            const std::uint64_t free =
+                ~valid_[set * wordsPerSet_ + w] & wordMasks_[w];
+            if (free)
+                return static_cast<int>(w * 64) +
+                       __builtin_ctzll(free);
+        }
+        return kInvalidWay;
+    }
+
+    // --- the one true access protocol ------------------------------------
+
+    /**
+     * Notify the bound policy of an access whose lookup the owner has
+     * already performed (recency update on a hit, ETD probe on a
+     * miss).
+     */
+    void
+    noteAccess(std::uint32_t set, Addr tag, int way)
+    {
+        policy_->access(set, tag, way);
+    }
+
+    /** lookup() + noteAccess() in one step.  @return the hit way or
+     *  kInvalidWay. */
+    int
+    access(std::uint32_t set, Addr tag)
+    {
+        const int way = lookup(set, tag);
+        policy_->access(set, tag, way);
+        return way;
+    }
+
+    /**
+     * Install @p tag after a miss: into the lowest free way, else into
+     * the policy's victim.  @p evict is called as
+     * evict(way, victim_tag, victim_aux) for a valid victim *before*
+     * the line is overwritten.  The policy's fill() runs last.
+     * @return the way filled.
+     */
+    template <typename EvictFn>
+    int
+    fillVictimOrFree(std::uint32_t set, Addr tag, Cost cost,
+                     std::uint32_t aux, EvictFn &&evict)
+    {
+        int way = findFreeWay(set);
+        if (way == kInvalidWay) {
+            way = policy_->selectVictim(set);
+            const std::size_t k = idx(set, way);
+            evict(way, tags_[k], aux_[k]);
+        }
+        const std::size_t k = idx(set, way);
+        tags_[k] = tag;
+        costs_[k] = cost;
+        aux_[k] = aux;
+        validWord(set, way) |= std::uint64_t{1} << bitOf(way);
+        policy_->fill(set, way, tag, cost);
+        return way;
+    }
+
+    /** fillVictimOrFree() for owners that need no victim hook. */
+    int
+    fillVictimOrFree(std::uint32_t set, Addr tag, Cost cost,
+                     std::uint32_t aux = 0)
+    {
+        return fillVictimOrFree(set, tag, cost, aux,
+                                [](int, Addr, std::uint32_t) {});
+    }
+
+    /**
+     * External (coherence) invalidation by tag.  The bound policy is
+     * always told -- even when the tag is not resident -- so it can
+     * scrub a matching ETD entry (Section 2.4 of the paper).
+     * @return the way that was invalidated, or kInvalidWay.
+     */
+    int
+    invalidateTag(std::uint32_t set, Addr tag)
+    {
+        const int way = lookup(set, tag);
+        if (policy_)
+            policy_->invalidate(set, tag, way);
+        if (way != kInvalidWay)
+            validWord(set, way) &= ~(std::uint64_t{1} << bitOf(way));
+        return way;
+    }
+
+    /** Refresh the predicted next-miss cost of a resident line (the
+     *  bound policy sees the update through its updateCost hook). */
+    void
+    updateCost(std::uint32_t set, int way, Cost cost)
+    {
+        costs_[idx(set, way)] = cost;
+        if (policy_)
+            policy_->updateCost(set, way, cost);
+    }
+
+    // --- raw entry points (policy-less models, tests) ---------------------
+
+    /** Install a line directly, bypassing the policy (direct-mapped
+     *  L1 filters install at a fixed way). */
+    void
+    install(std::uint32_t set, int way, Addr tag, std::uint32_t aux = 0)
+    {
+        const std::size_t k = idx(set, way);
+        tags_[k] = tag;
+        aux_[k] = aux;
+        validWord(set, way) |= std::uint64_t{1} << bitOf(way);
+    }
+
+    /** Clear one way's valid bit, bypassing the policy. */
+    void
+    invalidateWay(std::uint32_t set, int way)
+    {
+        validWord(set, way) &= ~(std::uint64_t{1} << bitOf(way));
+    }
+
+    /** Invalidate every line and reset the bound policy. */
+    void reset();
+
+  private:
+    std::size_t
+    idx(std::uint32_t set, int way) const
+    {
+        return static_cast<std::size_t>(set) * geom_.assoc() +
+               static_cast<std::size_t>(way);
+    }
+
+    static std::uint32_t bitOf(int way)
+    {
+        return static_cast<std::uint32_t>(way) & 63u;
+    }
+
+    std::uint64_t &validWord(std::uint32_t set, int way)
+    {
+        return valid_[set * wordsPerSet_ +
+                      (static_cast<std::uint32_t>(way) >> 6)];
+    }
+
+    const std::uint64_t &validWord(std::uint32_t set, int way) const
+    {
+        return valid_[set * wordsPerSet_ +
+                      (static_cast<std::uint32_t>(way) >> 6)];
+    }
+
+    CacheGeometry geom_;
+    std::uint32_t wordsPerSet_;
+    /** wordMasks_[w]: mask of the ways covered by valid word w of a
+     *  set (all-ones except a partial final word). */
+    std::vector<std::uint64_t> wordMasks_;
+    std::vector<Addr> tags_;          // per (set, way), contiguous
+    std::vector<Cost> costs_;         // per (set, way), contiguous
+    std::vector<std::uint32_t> aux_;  // per (set, way), contiguous
+    std::vector<std::uint64_t> valid_; // per-set bitmask words
+    PolicyPtr policy_;
+};
+
+} // namespace csr
+
+#endif // CSR_CACHE_CACHEMODEL_H

@@ -48,6 +48,8 @@ class CostSensitiveLruBase : public StackPolicyBase
         : StackPolicyBase(geom), depreciationFactor_(depreciation_factor),
           acost_(geom.numSets(), 0.0), reserved_(geom.numSets(), 0)
     {
+        usesLruHook_ = true;
+        usesHitHook_ = true;
     }
 
     /** Current depreciated cost of the reserved LRU block of a set. */

@@ -50,6 +50,7 @@ class DclPolicy : public CostSensitiveLruBase
                geom.assoc() > 1 ? geom.assoc() - 1 : 1,
                etd_alias_bits)
     {
+        usesMissHook_ = true;
     }
 
     std::string

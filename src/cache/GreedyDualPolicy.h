@@ -31,7 +31,7 @@ namespace csr
 /**
  * GreedyDual for set-associative processor caches.
  *
- * Uses the base-class cost field as the block's *full* miss cost and
+ * Uses the CacheModel's cost field as the block's *full* miss cost and
  * keeps the depreciating credit H separately (the paper's Section 5
  * accounting: GD needs one fixed and one computed cost field per
  * block, i.e. 2s cost fields per set).
@@ -44,6 +44,7 @@ class GreedyDualPolicy : public StackPolicyBase
           credit_(static_cast<std::size_t>(geom.numSets()) * geom.assoc(),
                   0.0)
     {
+        usesHitHook_ = true;
     }
 
     std::string name() const override { return "GD"; }
@@ -86,7 +87,8 @@ class GreedyDualPolicy : public StackPolicyBase
     void
     updateCost(std::uint32_t set, int way, Cost cost) override
     {
-        StackPolicyBase::updateCost(set, way, cost);
+        // The CacheModel has already refreshed the stored cost; only
+        // the credit needs resetting to the new full miss cost.
         credit_[idx(set, way)] = cost;
     }
 

@@ -26,6 +26,7 @@ class LfuPolicy : public StackPolicyBase
         : StackPolicyBase(geom),
           refs_(static_cast<std::size_t>(geom.numSets()) * geom.assoc(), 0)
     {
+        usesHitHook_ = true;
     }
 
     std::string name() const override { return "LFU"; }

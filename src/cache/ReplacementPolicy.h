@@ -2,8 +2,8 @@
  * @file
  * Abstract interface for (cost-sensitive) replacement policies.
  *
- * The cache owner drives the policy through a fixed protocol for every
- * access to a set:
+ * The CacheModel that owns the per-(set, way) tag/cost state drives
+ * the policy through a fixed protocol for every access to a set:
  *
  *   1. access(set, tag, hit_way)  -- always, before any fill.  On a hit,
  *      hit_way is the resident way; on a miss it is kInvalidWay.  This
@@ -39,6 +39,8 @@
 namespace csr
 {
 
+class CacheModel;
+
 /**
  * Base class of all replacement policies.
  */
@@ -50,6 +52,13 @@ class ReplacementPolicy
 
     ReplacementPolicy(const ReplacementPolicy &) = delete;
     ReplacementPolicy &operator=(const ReplacementPolicy &) = delete;
+
+    /**
+     * Attach the policy to the CacheModel that owns the per-(set, way)
+     * tag/cost state it reads.  Called once by the model's
+     * constructor; policies must be driven through a CacheModel.
+     */
+    virtual void bind(CacheModel &model) { model_ = &model; }
 
     /** Short identifier, e.g. "LRU", "BCL". */
     virtual std::string name() const = 0;
@@ -107,6 +116,8 @@ class ReplacementPolicy
   protected:
     CacheGeometry geom_;
     StatGroup stats_;
+    /** The owning CacheModel; set by bind(). */
+    CacheModel *model_ = nullptr;
 };
 
 /** Owning handle used throughout the simulators. */

@@ -8,44 +8,88 @@ namespace csr
 {
 
 StackPolicyBase::StackPolicyBase(const CacheGeometry &geom)
-    : ReplacementPolicy(geom), stacks_(geom.numSets()),
-      costs_(static_cast<std::size_t>(geom.numSets()) * geom.assoc(), 0.0),
-      tags_(static_cast<std::size_t>(geom.numSets()) * geom.assoc(), 0),
-      lastLru_(geom.numSets(), kInvalidWay)
+    : ReplacementPolicy(geom), packed_(geom.assoc() <= 8),
+      packedOrder_(packed_ ? geom.numSets() : 0, 0),
+      order_(packed_ ? 0
+                     : static_cast<std::size_t>(geom.numSets()) *
+                           geom.assoc(),
+             kInvalidWay),
+      count_(geom.numSets(), 0), lastLru_(geom.numSets(), kInvalidWay)
 {
-    for (auto &stack : stacks_)
-        stack.reserve(geom.assoc());
 }
 
 void
 StackPolicyBase::access(std::uint32_t set, Addr tag, int hit_way)
 {
     if (hit_way == kInvalidWay) {
-        onMissAccess(set, tag);
+        if (usesMissHook_)
+            onMissAccess(set, tag);
         return;
     }
-    csr_assert(tags_[idx(set, hit_way)] == tag,
+    csr_assert(model_->tagAt(set, hit_way) == tag,
                "hit way holds a different tag");
-    const int old_pos = posOf(set, hit_way);
-    promoteToMru(set, hit_way);
-    onHit(set, hit_way, old_pos);
-    checkLruChanged(set);
+    int old_pos;
+    if (packed_) {
+        std::uint64_t &w = packedOrder_[set];
+        const std::int32_t p =
+            findByte(w, static_cast<std::uint32_t>(count_[set]),
+                     static_cast<std::uint8_t>(hit_way));
+        if (p < 0)
+            csr_panic("way %d not in stack of set %u", hit_way, set);
+        old_pos = static_cast<int>(p) + 1;
+        // Promote: bytes [0, p) slide up one slot, way lands at MRU.
+        w = ((w & maskBytes(static_cast<std::uint32_t>(p))) << 8) |
+            (w & ~maskBytes(static_cast<std::uint32_t>(p) + 1)) |
+            static_cast<std::uint64_t>(hit_way);
+    } else {
+        old_pos = posOf(set, hit_way);
+        promoteToMru(set, hit_way);
+    }
+    if (usesHitHook_)
+        onHit(set, hit_way, old_pos);
+    if (usesLruHook_)
+        checkLruChanged(set);
 }
 
 void
 StackPolicyBase::fill(std::uint32_t set, int way, Addr tag, Cost cost)
 {
+    (void)tag;
+    (void)cost; // tag and cost are already recorded in the CacheModel
     // The way may still be in the stack if the owner reuses a victim
     // way without an explicit invalidate; scrub it first.
-    auto &stack = stacks_[set];
-    auto it = std::find(stack.begin(), stack.end(), way);
-    if (it != stack.end())
-        stack.erase(it);
-    stack.insert(stack.begin(), way);
-    csr_assert(stack.size() <= geom_.assoc(), "stack overflow");
-    costs_[idx(set, way)] = cost;
-    tags_[idx(set, way)] = tag;
-    checkLruChanged(set);
+    if (packed_) {
+        std::uint64_t &w = packedOrder_[set];
+        std::int32_t p =
+            findByte(w, static_cast<std::uint32_t>(count_[set]),
+                     static_cast<std::uint8_t>(way));
+        if (p < 0) {
+            p = count_[set]++;
+            csr_assert(count_[set] <=
+                       static_cast<std::int32_t>(geom_.assoc()),
+                       "stack overflow");
+        }
+        w = ((w & maskBytes(static_cast<std::uint32_t>(p))) << 8) |
+            (w & ~maskBytes(static_cast<std::uint32_t>(p) + 1)) |
+            static_cast<std::uint64_t>(way);
+    } else {
+        std::int32_t *order = &order_[orderBase(set)];
+        const std::int32_t n = count_[set];
+        std::int32_t pos = n;
+        for (std::int32_t j = 0; j < n; ++j)
+            pos = order[j] == way ? j : pos;
+        if (pos == n) {
+            ++count_[set];
+            csr_assert(count_[set] <=
+                       static_cast<std::int32_t>(geom_.assoc()),
+                       "stack overflow");
+        }
+        for (std::int32_t j = count_[set] - 1; j > 0; --j)
+            order[j] = j <= pos ? order[j - 1] : order[j];
+        order[0] = way;
+    }
+    if (usesLruHook_)
+        checkLruChanged(set);
 }
 
 void
@@ -57,22 +101,16 @@ StackPolicyBase::invalidate(std::uint32_t set, Addr tag, int way)
     }
     onInvalidateWay(set, tag, way);
     removeFromStack(set, way);
-    checkLruChanged(set);
-}
-
-void
-StackPolicyBase::updateCost(std::uint32_t set, int way, Cost cost)
-{
-    costs_[idx(set, way)] = cost;
+    if (usesLruHook_)
+        checkLruChanged(set);
 }
 
 void
 StackPolicyBase::reset()
 {
-    for (auto &stack : stacks_)
-        stack.clear();
-    std::fill(costs_.begin(), costs_.end(), 0.0);
-    std::fill(tags_.begin(), tags_.end(), 0);
+    std::fill(packedOrder_.begin(), packedOrder_.end(), 0);
+    std::fill(order_.begin(), order_.end(), kInvalidWay);
+    std::fill(count_.begin(), count_.end(), 0);
     std::fill(lastLru_.begin(), lastLru_.end(), kInvalidWay);
     stats_.reset();
 }
@@ -80,9 +118,19 @@ StackPolicyBase::reset()
 int
 StackPolicyBase::posOf(std::uint32_t set, int way) const
 {
-    const auto &stack = stacks_[set];
-    for (std::size_t i = 0; i < stack.size(); ++i) {
-        if (stack[i] == way)
+    if (packed_) {
+        const std::int32_t p =
+            findByte(packedOrder_[set],
+                     static_cast<std::uint32_t>(count_[set]),
+                     static_cast<std::uint8_t>(way));
+        if (p < 0)
+            csr_panic("way %d not in stack of set %u", way, set);
+        return static_cast<int>(p) + 1;
+    }
+    const std::int32_t *order = &order_[orderBase(set)];
+    const std::int32_t n = count_[set];
+    for (std::int32_t i = 0; i < n; ++i) {
+        if (order[i] == way)
             return static_cast<int>(i) + 1;
     }
     csr_panic("way %d not in stack of set %u", way, set);
@@ -91,20 +139,59 @@ StackPolicyBase::posOf(std::uint32_t set, int way) const
 void
 StackPolicyBase::promoteToMru(std::uint32_t set, int way)
 {
-    auto &stack = stacks_[set];
-    auto it = std::find(stack.begin(), stack.end(), way);
-    csr_assert(it != stack.end(), "promote of non-resident way");
-    stack.erase(it);
-    stack.insert(stack.begin(), way);
+    if (packed_) {
+        std::uint64_t &w = packedOrder_[set];
+        const std::int32_t p =
+            findByte(w, static_cast<std::uint32_t>(count_[set]),
+                     static_cast<std::uint8_t>(way));
+        if (p < 0)
+            csr_panic("promote of non-resident way %d in set %u", way,
+                      set);
+        w = ((w & maskBytes(static_cast<std::uint32_t>(p))) << 8) |
+            (w & ~maskBytes(static_cast<std::uint32_t>(p) + 1)) |
+            static_cast<std::uint64_t>(way);
+        return;
+    }
+    std::int32_t *order = &order_[orderBase(set)];
+    const std::int32_t n = count_[set];
+    for (std::int32_t i = 0; i < n; ++i) {
+        if (order[i] == way) {
+            for (; i > 0; --i)
+                order[i] = order[i - 1];
+            order[0] = way;
+            return;
+        }
+    }
+    csr_panic("promote of non-resident way %d in set %u", way, set);
 }
 
 void
 StackPolicyBase::removeFromStack(std::uint32_t set, int way)
 {
-    auto &stack = stacks_[set];
-    auto it = std::find(stack.begin(), stack.end(), way);
-    if (it != stack.end())
-        stack.erase(it);
+    if (packed_) {
+        std::uint64_t &w = packedOrder_[set];
+        const std::int32_t p =
+            findByte(w, static_cast<std::uint32_t>(count_[set]),
+                     static_cast<std::uint8_t>(way));
+        if (p < 0)
+            return;
+        // Bytes above p slide down one slot.
+        const std::uint64_t below =
+            maskBytes(static_cast<std::uint32_t>(p));
+        w = (w & below) | ((w >> 8) & ~below);
+        --count_[set];
+        return;
+    }
+    std::int32_t *order = &order_[orderBase(set)];
+    const std::int32_t n = count_[set];
+    for (std::int32_t i = 0; i < n; ++i) {
+        if (order[i] == way) {
+            for (; i < n - 1; ++i)
+                order[i] = order[i + 1];
+            --count_[set];
+            return;
+        }
+    }
 }
 
 void

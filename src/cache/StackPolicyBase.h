@@ -5,11 +5,15 @@
  * The paper describes every algorithm in terms of positions in the LRU
  * stack [Mattson et al.]: position 1 is the MRU block and position s
  * the LRU block of an s-way set.  This base class maintains that stack
- * per set, together with the per-way miss cost c(i) and the tag of the
- * resident block (needed by the ETD in DCL/ACL), and gives derived
- * policies a hook that fires whenever the identity of the LRU block
- * changes -- the moment at which BCL/DCL/ACL reload Acost with the
- * cost of the new LRU block ("upon_entering_LRU_position" in Fig. 1).
+ * per set in a flat, fixed-capacity assoc-stride array (no nested
+ * vectors, no per-set heap allocations) and gives derived policies a
+ * hook that fires whenever the identity of the LRU block changes --
+ * the moment at which BCL/DCL/ACL reload Acost with the cost of the
+ * new LRU block ("upon_entering_LRU_position" in Fig. 1).
+ *
+ * Per-way miss costs and resident tags are NOT mirrored here: they
+ * live in the owning CacheModel, and costOf()/tagOf() read them from
+ * it.
  */
 
 #ifndef CSR_CACHE_STACKPOLICYBASE_H
@@ -18,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cache/CacheModel.h"
 #include "cache/ReplacementPolicy.h"
 
 namespace csr
@@ -37,34 +42,40 @@ class StackPolicyBase : public ReplacementPolicy
     void access(std::uint32_t set, Addr tag, int hit_way) override;
     void fill(std::uint32_t set, int way, Addr tag, Cost cost) override;
     void invalidate(std::uint32_t set, Addr tag, int way) override;
-    void updateCost(std::uint32_t set, int way, Cost cost) override;
     void reset() override;
 
     // --- introspection (tests, stats) ------------------------------------
 
     /** Ways ordered MRU first; only valid ways appear. */
-    const std::vector<int> &stackOf(std::uint32_t set) const
+    std::vector<int>
+    stackOf(std::uint32_t set) const
     {
-        return stacks_[set];
+        std::vector<int> ways;
+        const std::int32_t n = count_[set];
+        ways.reserve(static_cast<std::size_t>(n));
+        for (std::int32_t pos = 1; pos <= n; ++pos)
+            ways.push_back(wayAt(set, static_cast<int>(pos)));
+        return ways;
     }
 
     /** Current LRU way of the set, or kInvalidWay if the set is empty. */
     int
     lruWay(std::uint32_t set) const
     {
-        return stacks_[set].empty() ? kInvalidWay : stacks_[set].back();
+        const std::int32_t n = count_[set];
+        return n == 0 ? kInvalidWay : wayAt(set, static_cast<int>(n));
     }
 
-    /** Predicted next-miss cost of a resident way. */
+    /** Predicted next-miss cost of a resident way (from the model). */
     Cost costOf(std::uint32_t set, int way) const
     {
-        return costs_[idx(set, way)];
+        return model_->costAt(set, way);
     }
 
-    /** Tag mirrored at fill time (used by the ETD). */
+    /** Resident tag (from the model; used by the ETD). */
     Addr tagOf(std::uint32_t set, int way) const
     {
-        return tags_[idx(set, way)];
+        return model_->tagAt(set, way);
     }
 
   protected:
@@ -122,14 +133,21 @@ class StackPolicyBase : public ReplacementPolicy
     int
     wayAt(std::uint32_t set, int pos) const
     {
-        return stacks_[set][static_cast<std::size_t>(pos - 1)];
+        return packed_
+                   ? static_cast<int>(
+                         (packedOrder_[set] >>
+                          (static_cast<std::uint32_t>(pos - 1) * 8)) &
+                         0xFF)
+                   : static_cast<int>(
+                         order_[orderBase(set) +
+                                static_cast<std::size_t>(pos) - 1]);
     }
 
     /** Number of valid ways in the set. */
     int
     stackSize(std::uint32_t set) const
     {
-        return static_cast<int>(stacks_[set].size());
+        return count_[set];
     }
 
     /** Move a resident way to the MRU position. */
@@ -138,6 +156,17 @@ class StackPolicyBase : public ReplacementPolicy
     /** Remove a way from the stack (eviction / invalidation). */
     void removeFromStack(std::uint32_t set, int way);
 
+    /**
+     * Hot-path hook gating: a derived class that overrides
+     * onLruChanged / onHit / onMissAccess must set the matching flag
+     * in its constructor.  The base skips the virtual dispatch (and,
+     * for the LRU hook, the LRU-identity tracking) when no override
+     * exists, which keeps plain LRU/Random at array-op cost.
+     */
+    bool usesLruHook_ = false;
+    bool usesHitHook_ = false;
+    bool usesMissHook_ = false;
+
     std::size_t
     idx(std::uint32_t set, int way) const
     {
@@ -145,20 +174,53 @@ class StackPolicyBase : public ReplacementPolicy
                static_cast<std::size_t>(way);
     }
 
-    void setCost(std::uint32_t set, int way, Cost cost)
+  private:
+    std::size_t
+    orderBase(std::uint32_t set) const
     {
-        costs_[idx(set, way)] = cost;
+        return static_cast<std::size_t>(set) * geom_.assoc();
     }
 
-  private:
+    /** Mask covering the low @p k bytes of a packed order word. */
+    static std::uint64_t
+    maskBytes(std::uint32_t k)
+    {
+        return k >= 8 ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << (8 * k)) - 1;
+    }
+
+    /** Index of the byte equal to @p value among the low @p n bytes
+     *  of @p word, or -1.  Zero-byte bit trick; way ids are unique in
+     *  a stack, so the lowest candidate bit is always a true match. */
+    static std::int32_t
+    findByte(std::uint64_t word, std::uint32_t n, std::uint8_t value)
+    {
+        const std::uint64_t pat = 0x0101010101010101ULL * value;
+        const std::uint64_t x = word ^ pat;
+        std::uint64_t zeros = (x - 0x0101010101010101ULL) & ~x &
+                              0x8080808080808080ULL;
+        zeros &= maskBytes(n);
+        return zeros ? static_cast<std::int32_t>(
+                           __builtin_ctzll(zeros) >> 3)
+                     : -1;
+    }
+
     /** Fire onLruChanged if the LRU identity differs from the cached
      *  one. */
     void checkLruChanged(std::uint32_t set);
 
-    std::vector<std::vector<int>> stacks_; // per set, MRU first
-    std::vector<Cost> costs_;              // per (set, way)
-    std::vector<Addr> tags_;               // per (set, way)
-    std::vector<int> lastLru_;             // per set, for change detection
+    /**
+     * Recency order, MRU first.  For assoc <= 8 (packed_) each set is
+     * one uint64 in packedOrder_, byte p holding the way at stack
+     * position p+1 -- promote/insert/remove are branchless
+     * mask-and-shift ops on a single word.  Larger caches fall back
+     * to the flat assoc-stride int32 array.
+     */
+    bool packed_;
+    std::vector<std::uint64_t> packedOrder_; // one word per set
+    std::vector<std::int32_t> order_; // assoc-stride, MRU first
+    std::vector<std::int32_t> count_; // valid ways per set
+    std::vector<std::int32_t> lastLru_; // per set, for change detection
 };
 
 } // namespace csr

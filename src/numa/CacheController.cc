@@ -11,8 +11,8 @@ CacheController::CacheController(ProcId node, const NumaConfig &config,
     : node_(node), config_(config), events_(events), network_(network),
       homes_(homes), l1Geom_(config.l1Bytes, 1, config.blockBytes),
       l2Geom_(config.l2Bytes, config.l2Assoc, config.blockBytes),
-      l1_(l1Geom_), l2_(l2Geom_),
-      policy_(makePolicy(config.policy, l2Geom_, config.policyParams)),
+      l1_(l1Geom_),
+      l2_(l2Geom_, makePolicy(config.policy, l2Geom_, config.policyParams)),
       predictor_(config.defaultPredictedLatency)
 {
 }
@@ -21,7 +21,7 @@ bool
 CacheController::hasLine(Addr block) const
 {
     const Addr addr = byteOf(block);
-    return l2_.findWay(l2Geom_.setIndex(addr), l2Geom_.tag(addr)) !=
+    return l2_.lookup(l2Geom_.setIndex(addr), l2Geom_.tag(addr)) !=
            kInvalidWay;
 }
 
@@ -29,11 +29,10 @@ LineState
 CacheController::lineState(Addr block) const
 {
     const Addr addr = byteOf(block);
-    const int way = l2_.findWay(l2Geom_.setIndex(addr), l2Geom_.tag(addr));
+    const std::uint32_t set = l2Geom_.setIndex(addr);
+    const int way = l2_.lookup(set, l2Geom_.tag(addr));
     csr_assert(way != kInvalidWay, "lineState of absent block");
-    return static_cast<LineState>(
-        l2_.at(l2Geom_.setIndex(addr), static_cast<std::uint32_t>(way))
-            .aux);
+    return static_cast<LineState>(l2_.auxAt(set, way));
 }
 
 AccessOutcome
@@ -42,35 +41,34 @@ CacheController::access(Addr byte_addr, bool write, MissDone done)
     const Addr block = blockOf(byte_addr);
     const std::uint32_t set = l2Geom_.setIndex(byte_addr);
     const Addr tag = l2Geom_.tag(byte_addr);
-    const int way = l2_.findWay(set, tag);
+    const int way = l2_.lookup(set, tag);
     const bool writable =
         way != kInvalidWay &&
-        static_cast<LineState>(
-            l2_.at(set, static_cast<std::uint32_t>(way)).aux) !=
-            LineState::Shared;
+        static_cast<LineState>(l2_.auxAt(set, way)) != LineState::Shared;
 
     // L1 filter: pure hits only; writes must still consult the L2
     // state (an L1 copy of an S line cannot absorb a store).
     if (way != kInvalidWay && (!write || writable)) {
         const std::uint32_t l1set = l1Geom_.setIndex(byte_addr);
         const bool l1hit =
-            l1_.findWay(l1set, l1Geom_.tag(byte_addr)) != kInvalidWay;
+            l1_.lookup(l1set, l1Geom_.tag(byte_addr)) != kInvalidWay;
         // Recency update (and possible reservation success) in the L2
         // policy happens on every processor access that reaches it;
         // an L1 hit models a filtered access, so only L2 accesses
         // touch the policy.
         if (l1hit) {
             if (write) {
-                l2_.at(set, static_cast<std::uint32_t>(way)).aux =
-                    static_cast<std::uint32_t>(LineState::Modified);
+                l2_.setAux(set, way,
+                           static_cast<std::uint32_t>(
+                               LineState::Modified));
             }
             stats_.inc("l1.hit");
             return AccessOutcome::HitL1;
         }
-        policy_->access(set, tag, way);
+        l2_.noteAccess(set, tag, way);
         if (write) {
-            l2_.at(set, static_cast<std::uint32_t>(way)).aux =
-                static_cast<std::uint32_t>(LineState::Modified);
+            l2_.setAux(set, way,
+                       static_cast<std::uint32_t>(LineState::Modified));
         }
         installL1(block);
         stats_.inc("l2.hit");
@@ -91,10 +89,10 @@ CacheController::access(Addr byte_addr, bool write, MissDone done)
     if (upgrade) {
         csr_assert(write, "read upgrade is impossible");
         // Recency: the S line was accessed.
-        policy_->access(set, tag, way);
+        l2_.noteAccess(set, tag, way);
     } else {
         // ETD lookup happens on every miss (Section 2.4).
-        policy_->access(set, tag, kInvalidWay);
+        l2_.noteAccess(set, tag, kInvalidWay);
     }
 
     Mshr mshr;
@@ -121,7 +119,6 @@ CacheController::receive(const Message &msg)
     const Addr addr = byteOf(msg.block);
     const std::uint32_t set = l2Geom_.setIndex(addr);
     const Addr tag = l2Geom_.tag(addr);
-    const int way = l2_.findWay(set, tag);
 
     switch (msg.type) {
       case MsgType::DataS:
@@ -135,9 +132,8 @@ CacheController::receive(const Message &msg)
         // with it (Section 2.4).  Ack even when we no longer hold
         // the line (it may have been evicted silently or the hint is
         // still in flight).
-        policy_->invalidate(set, tag, way);
+        const int way = l2_.invalidateTag(set, tag);
         if (way != kInvalidWay) {
-            l2_.invalidateWay(set, static_cast<std::uint32_t>(way));
             invalidateL1(msg.block);
             stats_.inc("coh.inv");
         } else {
@@ -155,6 +151,7 @@ CacheController::receive(const Message &msg)
 
       case MsgType::Fetch:
       case MsgType::FetchInv: {
+        const int way = l2_.lookup(set, tag);
         Message resp;
         resp.block = msg.block;
         resp.src = node_;
@@ -164,16 +161,16 @@ CacheController::receive(const Message &msg)
             resp.type = MsgType::FetchStale;
             stats_.inc("coh.fetch_stale");
         } else {
-            TagLine &line = l2_.at(set, static_cast<std::uint32_t>(way));
             resp.type = MsgType::FetchResp;
-            resp.dirty = static_cast<LineState>(line.aux) ==
+            resp.dirty = static_cast<LineState>(l2_.auxAt(set, way)) ==
                          LineState::Modified;
             if (msg.type == MsgType::Fetch) {
-                line.aux = static_cast<std::uint32_t>(LineState::Shared);
+                l2_.setAux(set, way,
+                           static_cast<std::uint32_t>(
+                               LineState::Shared));
                 stats_.inc("coh.downgrade");
             } else {
-                policy_->invalidate(set, tag, way);
-                l2_.invalidateWay(set, static_cast<std::uint32_t>(way));
+                l2_.invalidateTag(set, tag);
                 invalidateL1(msg.block);
                 stats_.inc("coh.fetch_inv");
             }
@@ -210,7 +207,7 @@ CacheController::handleData(const Message &msg)
     const Addr addr = byteOf(msg.block);
     const std::uint32_t set = l2Geom_.setIndex(addr);
     const Addr tag = l2Geom_.tag(addr);
-    const int way = l2_.findWay(set, tag);
+    const int way = l2_.lookup(set, tag);
 
     LineState state = LineState::Shared;
     if (msg.type == MsgType::DataE)
@@ -221,11 +218,9 @@ CacheController::handleData(const Message &msg)
     if (way != kInvalidWay) {
         // Upgrade completion: the S line is still resident.
         csr_assert(msg.type == MsgType::DataM, "unexpected reply state");
-        l2_.at(set, static_cast<std::uint32_t>(way)).aux =
-            static_cast<std::uint32_t>(state);
+        l2_.setAux(set, way, static_cast<std::uint32_t>(state));
         // Refresh the line's predicted next-miss cost.
-        policy_->updateCost(set, static_cast<std::uint32_t>(way),
-                            cost);
+        l2_.updateCost(set, way, cost);
         installL1(msg.block);
     } else {
         installLine(msg.block, state, cost);
@@ -251,24 +246,20 @@ CacheController::installLine(Addr block, LineState state, Cost cost)
     const std::uint32_t set = l2Geom_.setIndex(addr);
     const Addr tag = l2Geom_.tag(addr);
 
-    int way = l2_.findInvalidWay(set);
-    if (way == kInvalidWay) {
-        way = policy_->selectVictim(set);
-        evictWay(set, static_cast<std::uint32_t>(way));
-    }
-    l2_.install(set, static_cast<std::uint32_t>(way), tag,
-                static_cast<std::uint32_t>(state));
-    policy_->fill(set, way, tag, cost);
+    l2_.fillVictimOrFree(
+        set, tag, cost, static_cast<std::uint32_t>(state),
+        [&](int, Addr victim_tag, std::uint32_t victim_aux) {
+            disposeVictim(set, victim_tag, victim_aux);
+        });
     installL1(block);
 }
 
 void
-CacheController::evictWay(std::uint32_t set, std::uint32_t way)
+CacheController::disposeVictim(std::uint32_t set, Addr victim_tag,
+                               std::uint32_t victim_aux)
 {
-    const TagLine &line = l2_.at(set, way);
-    csr_assert(line.valid, "evicting an invalid way");
-    const Addr victim_block = l2Geom_.blockAddrOf(set, line.tag);
-    const auto state = static_cast<LineState>(line.aux);
+    const Addr victim_block = l2Geom_.blockAddrOf(set, victim_tag);
+    const auto state = static_cast<LineState>(victim_aux);
 
     if (state == LineState::Modified) {
         sendToHome(MsgType::PutM, victim_block, events_.now());
@@ -284,7 +275,6 @@ CacheController::evictWay(std::uint32_t set, std::uint32_t way)
     // Note: the policy is NOT told about evictions through
     // invalidate(); selectVictim()/fill() manage the stack, and the
     // ETD must retain the victim's tag (that is DCL's whole point).
-    l2_.invalidateWay(set, way);
     invalidateL1(victim_block);
 }
 
@@ -293,9 +283,9 @@ CacheController::invalidateL1(Addr block)
 {
     const Addr addr = byteOf(block);
     const std::uint32_t set = l1Geom_.setIndex(addr);
-    const int way = l1_.findWay(set, l1Geom_.tag(addr));
+    const int way = l1_.lookup(set, l1Geom_.tag(addr));
     if (way != kInvalidWay)
-        l1_.invalidateWay(set, static_cast<std::uint32_t>(way));
+        l1_.invalidateWay(set, way);
 }
 
 void

@@ -4,14 +4,14 @@
  * L2 with MSHRs, a pluggable (cost-sensitive) replacement policy and
  * the Section 4.1 miss-latency measurement/prediction machinery.
  *
- * The L2 is the coherence point (MESI states live on its lines); the
- * L1 is a strict-subset filter kept inclusive by invalidating on L2
- * eviction/invalidation.  Misses are timestamped at issue; when the
- * data reply arrives, the measured latency becomes both the
- * predictor's new value for the block and the fill cost handed to
- * the replacement policy -- i.e. the predicted cost of the block's
- * *next* miss is the last measured latency, exactly the paper's
- * prediction scheme.
+ * The L2 is the coherence point (MESI states live in its CacheModel's
+ * aux words); the L1 is a strict-subset filter kept inclusive by
+ * invalidating on L2 eviction/invalidation.  Misses are timestamped at
+ * issue; when the data reply arrives, the measured latency becomes
+ * both the predictor's new value for the block and the fill cost
+ * handed to the replacement policy -- i.e. the predicted cost of the
+ * block's *next* miss is the last measured latency, exactly the
+ * paper's prediction scheme.
  */
 
 #ifndef CSR_NUMA_CACHECONTROLLER_H
@@ -21,8 +21,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/CacheModel.h"
 #include "cache/PolicyFactory.h"
-#include "cache/TagArray.h"
 #include "cost/LatencyPredictor.h"
 #include "numa/Directory.h"
 #include "numa/Event.h"
@@ -41,7 +41,7 @@ enum class AccessOutcome
     Miss, ///< an MSHR is (now) pending; completion arrives by callback
 };
 
-/** L2 MESI state kept in the tag array's aux word. */
+/** L2 MESI state kept in the cache model's aux word. */
 enum class LineState : std::uint32_t
 {
     Shared = 1,
@@ -76,7 +76,7 @@ class CacheController
 
     const StatGroup &stats() const { return stats_; }
     const LatencyPredictor &predictor() const { return predictor_; }
-    ReplacementPolicy &policy() { return *policy_; }
+    ReplacementPolicy &policy() { return *l2_.policy(); }
 
     /** Introspection for protocol tests. */
     bool hasLine(Addr block) const;
@@ -98,8 +98,9 @@ class CacheController
     /** Install a block into the L2 (evicting if needed) and the L1. */
     void installLine(Addr block, LineState state, Cost cost);
 
-    /** Evict one L2 way (writeback / hints / L1 scrub). */
-    void evictWay(std::uint32_t set, std::uint32_t way);
+    /** Victim disposal on L2 eviction (writeback / hints / L1 scrub). */
+    void disposeVictim(std::uint32_t set, Addr victim_tag,
+                       std::uint32_t victim_aux);
 
     void invalidateL1(Addr block);
     void installL1(Addr block);
@@ -121,9 +122,8 @@ class CacheController
     HomeMap &homes_;
     CacheGeometry l1Geom_;
     CacheGeometry l2Geom_;
-    TagArray l1_;
-    TagArray l2_;
-    PolicyPtr policy_;
+    CacheModel l1_; ///< direct-mapped filter, policy-less
+    CacheModel l2_; ///< owns the replacement policy; aux = MESI state
     LatencyPredictor predictor_;
     std::unordered_map<Addr, Mshr> mshrs_;
     StatGroup stats_;

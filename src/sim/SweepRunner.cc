@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <tuple>
 #include <utility>
@@ -286,6 +287,51 @@ SweepResult::timingTable() const
                                            wallSec
                                      : 0.0, 2)});
     return table;
+}
+
+void
+SweepResult::writeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        csr_fatal("cannot write sweep JSON to '%s'", path.c_str());
+    std::fprintf(f,
+                 "{\n"
+                 "  \"jobs\": %u,\n"
+                 "  \"wallSec\": %.6f,\n"
+                 "  \"setupSec\": %.6f,\n"
+                 "  \"taskSecTotal\": %.6f,\n"
+                 "  \"taskSecMax\": %.6f,\n"
+                 "  \"cells\": [\n",
+                 jobs, wallSec, setupSec, taskSecTotal, taskSecMax);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const SweepCellResult &res = cells[i];
+        const SweepCell &cell = res.cell;
+        std::fprintf(
+            f,
+            "    {\"index\": %zu, \"benchmark\": \"%s\","
+            " \"policy\": \"%s\", \"mapping\": \"%s\","
+            " \"ratio\": \"%s\", \"haf\": %.4f,"
+            " \"l2Bytes\": %llu, \"assoc\": %u, \"aliasBits\": %u,"
+            " \"depreciation\": %.4f, \"seed\": %llu,"
+            " \"sampledRefs\": %llu, \"l2Hits\": %llu,"
+            " \"l2Misses\": %llu, \"aggregateCost\": %.6f,"
+            " \"lruCost\": %.6f, \"savingsPct\": %.6f}%s\n",
+            res.index, benchmarkName(cell.benchmark).c_str(),
+            policyKindName(cell.policy).c_str(),
+            costMappingName(cell.mapping).c_str(),
+            cell.ratio.label().c_str(), cell.haf,
+            static_cast<unsigned long long>(cell.l2Bytes),
+            cell.l2Assoc, cell.etdAliasBits, cell.depreciationFactor,
+            static_cast<unsigned long long>(res.seed),
+            static_cast<unsigned long long>(res.sampledRefs),
+            static_cast<unsigned long long>(res.l2Hits),
+            static_cast<unsigned long long>(res.l2Misses),
+            res.aggregateCost, res.lruCost, res.savingsPct,
+            i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
 }
 
 SweepRunner::SweepRunner(unsigned jobs)

@@ -138,6 +138,13 @@ struct SweepResult
 
     /** Jobs / wall / task-seconds / speedup / throughput summary. */
     TextTable timingTable() const;
+
+    /**
+     * Machine-readable dump: the timing summary plus one object per
+     * cell, in stable grid order (CI archives these as artifacts).
+     * Fatal if @p path cannot be opened for writing.
+     */
+    void writeJson(const std::string &path) const;
 };
 
 /**

@@ -11,17 +11,15 @@ TraceSimulator::TraceSimulator(const TraceSimConfig &config,
                                PolicyPtr policy,
                                const CostModel &cost_model)
     : config_(config),
-      l1Geom_(config.l1Bytes, 1, config.blockBytes),
-      l2Geom_(config.l2Bytes, config.l2Assoc, config.blockBytes),
-      l1_(l1Geom_), l2_(l2Geom_), policy_(std::move(policy)),
+      l1_(CacheGeometry(config.l1Bytes, 1, config.blockBytes)),
+      l2_(CacheGeometry(config.l2Bytes, config.l2Assoc,
+                        config.blockBytes),
+          std::move(policy)),
       costModel_(cost_model),
       minCostSeen_(std::numeric_limits<Cost>::max())
 {
-    csr_assert(policy_ != nullptr, "null policy");
-    csr_assert(policy_->geometry().numSets() == l2Geom_.numSets() &&
-               policy_->geometry().assoc() == l2Geom_.assoc(),
-               "policy geometry does not match the L2");
-    result_.policyName = policy_->name();
+    csr_assert(l2_.policy() != nullptr, "null policy");
+    result_.policyName = l2_.policy()->name();
 }
 
 TraceSimResult
@@ -37,7 +35,7 @@ TraceSimulator::run(const std::vector<TraceRecord> &records,
             handleSampledAccess(rec.addr);
         }
     }
-    result_.policyStats = policy_->stats();
+    result_.policyStats = l2_.policy()->stats();
     return result_;
 }
 
@@ -47,24 +45,20 @@ TraceSimulator::handleRemoteWrite(Addr addr)
     bool invalidated = false;
 
     if (config_.useL1) {
-        const std::uint32_t set = l1Geom_.setIndex(addr);
-        const int way = l1_.findWay(set, l1Geom_.tag(addr));
+        const CacheGeometry &g = l1_.geometry();
+        const std::uint32_t set = g.setIndex(addr);
+        const int way = l1_.lookup(set, g.tag(addr));
         if (way != kInvalidWay) {
-            l1_.invalidateWay(set, static_cast<std::uint32_t>(way));
+            l1_.invalidateWay(set, way);
             invalidated = true;
         }
     }
 
-    const std::uint32_t set = l2Geom_.setIndex(addr);
-    const Addr tag = l2Geom_.tag(addr);
-    const int way = l2_.findWay(set, tag);
+    const CacheGeometry &g = l2_.geometry();
     // The policy is always told: a matching ETD entry must be
     // scrubbed even when the block is no longer cached (Section 2.4).
-    policy_->invalidate(set, tag, way);
-    if (way != kInvalidWay) {
-        l2_.invalidateWay(set, static_cast<std::uint32_t>(way));
+    if (l2_.invalidateTag(g.setIndex(addr), g.tag(addr)) != kInvalidWay)
         invalidated = true;
-    }
 
     if (invalidated)
         ++result_.invalidationsReceived;
@@ -76,23 +70,23 @@ TraceSimulator::handleSampledAccess(Addr addr)
     ++result_.sampledRefs;
 
     if (config_.useL1) {
-        const std::uint32_t set = l1Geom_.setIndex(addr);
-        if (l1_.findWay(set, l1Geom_.tag(addr)) != kInvalidWay) {
+        const CacheGeometry &g = l1_.geometry();
+        if (l1_.lookup(g.setIndex(addr), g.tag(addr)) != kInvalidWay) {
             ++result_.l1Hits;
             return;
         }
     }
 
-    const std::uint32_t set = l2Geom_.setIndex(addr);
-    const Addr tag = l2Geom_.tag(addr);
-    const int hit_way = l2_.findWay(set, tag);
-    policy_->access(set, tag, hit_way);
+    const CacheGeometry &g = l2_.geometry();
+    const std::uint32_t set = g.setIndex(addr);
+    const Addr tag = g.tag(addr);
+    const int hit_way = l2_.access(set, tag);
 
     if (hit_way != kInvalidWay) {
         ++result_.l2Hits;
     } else {
         ++result_.l2Misses;
-        const Addr block = l2Geom_.blockAddr(addr);
+        const Addr block = g.blockAddr(addr);
         const Cost cost = costModel_.missCost(block);
         result_.aggregateCost += cost;
         if (config_.collectMissProfile)
@@ -102,31 +96,28 @@ TraceSimulator::handleSampledAccess(Addr addr)
         if (cost > minCostSeen_)
             ++result_.highCostMisses;
 
-        int way = l2_.findInvalidWay(set);
-        if (way == kInvalidWay) {
-            way = policy_->selectVictim(set);
-            // Enforce inclusion: the evicted block leaves the L1 too.
-            const Addr victim_block =
-                l2Geom_.blockAddrOf(set, l2_.at(set, way).tag);
-            if (config_.useL1) {
-                const Addr victim_addr = victim_block << l2Geom_.blockBits();
-                const std::uint32_t l1set = l1Geom_.setIndex(victim_addr);
-                const int l1way =
-                    l1_.findWay(l1set, l1Geom_.tag(victim_addr));
-                if (l1way != kInvalidWay)
-                    l1_.invalidateWay(l1set,
-                                      static_cast<std::uint32_t>(l1way));
-            }
-        }
-        l2_.install(set, static_cast<std::uint32_t>(way), tag);
         // The predicted cost of the block's *next* miss under a
         // static model is the same static cost.
-        policy_->fill(set, way, tag, cost);
+        l2_.fillVictimOrFree(
+            set, tag, cost, 0,
+            [&](int, Addr victim_tag, std::uint32_t) {
+                if (!config_.useL1)
+                    return;
+                // Enforce inclusion: the evicted block leaves the L1
+                // too.
+                const Addr victim_addr = g.blockAddrOf(set, victim_tag)
+                                         << g.blockBits();
+                const CacheGeometry &l1g = l1_.geometry();
+                const std::uint32_t l1set = l1g.setIndex(victim_addr);
+                const int l1way = l1_.lookup(l1set, l1g.tag(victim_addr));
+                if (l1way != kInvalidWay)
+                    l1_.invalidateWay(l1set, l1way);
+            });
     }
 
     if (config_.useL1) {
-        const std::uint32_t l1set = l1Geom_.setIndex(addr);
-        l1_.install(l1set, 0, l1Geom_.tag(addr));
+        const CacheGeometry &l1g = l1_.geometry();
+        l1_.install(l1g.setIndex(addr), 0, l1g.tag(addr));
     }
 }
 

@@ -10,7 +10,10 @@
  * policy's ETD.  The figure of merit is the aggregate miss cost of
  * the sampled processor's L2 misses under a static cost model.
  *
- * Timing is not modelled here -- that is the NUMA simulator's job.
+ * Both levels are CacheModel instances; the L1 is policy-less (a
+ * direct-mapped filter), the L2 owns the replacement policy and the
+ * shared access protocol.  Timing is not modelled here -- that is the
+ * NUMA simulator's job.
  */
 
 #ifndef CSR_SIM_TRACESIMULATOR_H
@@ -20,8 +23,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/CacheModel.h"
 #include "cache/PolicyFactory.h"
-#include "cache/TagArray.h"
 #include "cost/CostModel.h"
 #include "trace/TraceRecord.h"
 #include "util/Stats.h"
@@ -90,18 +93,15 @@ class TraceSimulator
                        ProcId sampled_proc);
 
     /** Access to the policy (e.g. to prepare() an offline oracle). */
-    ReplacementPolicy &policy() { return *policy_; }
+    ReplacementPolicy &policy() { return *l2_.policy(); }
 
   private:
     void handleRemoteWrite(Addr addr);
     void handleSampledAccess(Addr addr);
 
     TraceSimConfig config_;
-    CacheGeometry l1Geom_;
-    CacheGeometry l2Geom_;
-    TagArray l1_;
-    TagArray l2_;
-    PolicyPtr policy_;
+    CacheModel l1_; ///< direct-mapped filter, policy-less
+    CacheModel l2_; ///< owns the replacement policy
     const CostModel &costModel_;
     TraceSimResult result_;
     Cost minCostSeen_;

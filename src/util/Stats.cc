@@ -192,13 +192,18 @@ ParallelTiming::tasksPerSec() const
 }
 
 void
-StatGroup::inc(const std::string &name, std::uint64_t by)
+StatGroup::inc(std::string_view name, std::uint64_t by)
 {
-    counters_[name] += by;
+    auto it = counters_.lower_bound(name);
+    if (it != counters_.end() && it->first == name) {
+        it->second += by;
+        return;
+    }
+    counters_.emplace_hint(it, std::string(name), by);
 }
 
 std::uint64_t
-StatGroup::get(const std::string &name) const
+StatGroup::get(std::string_view name) const
 {
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;

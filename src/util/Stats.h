@@ -16,6 +16,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace csr
@@ -93,19 +94,21 @@ class Histogram
 class StatGroup
 {
   public:
-    /** Increment (creating at zero if absent). */
-    void inc(const std::string &name, std::uint64_t by = 1);
+    /** Increment (creating at zero if absent).  Heterogeneous lookup:
+     *  incrementing an existing counter never materializes a
+     *  std::string, so hot simulator paths do not allocate. */
+    void inc(std::string_view name, std::uint64_t by = 1);
     /** Read (zero if absent). */
-    std::uint64_t get(const std::string &name) const;
+    std::uint64_t get(std::string_view name) const;
     /** All counters, sorted by name. */
-    const std::map<std::string, std::uint64_t> &all() const
+    const std::map<std::string, std::uint64_t, std::less<>> &all() const
     {
         return counters_;
     }
     void reset();
 
   private:
-    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, std::uint64_t, std::less<>> counters_;
 };
 
 /**

@@ -2,21 +2,20 @@
  * @file
  * Shared test utilities.
  *
- * MiniCache drives a ReplacementPolicy through the exact owner
- * protocol documented in ReplacementPolicy.h, against a TagArray and
- * a per-block cost table -- a minimal stand-in for the simulators
- * that makes single-set policy scenarios easy to script and assert.
+ * MiniCache wraps a CacheModel and a per-block cost table -- a minimal
+ * stand-in for the simulators that makes single-set policy scenarios
+ * easy to script and assert.  All accesses go through the CacheModel's
+ * shared protocol (the same one TraceSimulator and the NUMA
+ * CacheController use).
  */
 
 #ifndef CSR_TESTS_TESTHELPERS_H
 #define CSR_TESTS_TESTHELPERS_H
 
-#include <functional>
 #include <set>
-#include <vector>
+#include <utility>
 
-#include "cache/ReplacementPolicy.h"
-#include "cache/TagArray.h"
+#include "cache/CacheModel.h"
 #include "cost/StaticCostModels.h"
 
 namespace csr::test
@@ -28,8 +27,7 @@ class MiniCache
   public:
     MiniCache(const CacheGeometry &geom, PolicyPtr policy,
               const CostModel &cost)
-        : geom_(geom), tags_(geom), policy_(std::move(policy)),
-          cost_(&cost)
+        : model_(geom, std::move(policy)), cost_(&cost)
     {
     }
 
@@ -38,24 +36,19 @@ class MiniCache
     bool
     access(Addr addr)
     {
-        const std::uint32_t set = geom_.setIndex(addr);
-        const Addr tag = geom_.tag(addr);
-        const int hit_way = tags_.findWay(set, tag);
-        policy_->access(set, tag, hit_way);
-        if (hit_way != kInvalidWay)
+        const CacheGeometry &geom = model_.geometry();
+        const std::uint32_t set = geom.setIndex(addr);
+        const Addr tag = geom.tag(addr);
+        if (model_.access(set, tag) != kInvalidWay)
             return true;
 
-        int way = tags_.findInvalidWay(set);
-        if (way == kInvalidWay) {
-            way = policy_->selectVictim(set);
-            lastVictimTag_ = tags_.at(set, way).tag;
-            lastVictimValid_ = true;
-        } else {
-            lastVictimValid_ = false;
-        }
-        tags_.install(set, static_cast<std::uint32_t>(way), tag);
-        policy_->fill(set, way, tag,
-                      cost_->missCost(geom_.blockAddr(addr)));
+        lastVictimValid_ = false;
+        model_.fillVictimOrFree(
+            set, tag, cost_->missCost(geom.blockAddr(addr)), 0,
+            [this](int, Addr victim_tag, std::uint32_t) {
+                lastVictimTag_ = victim_tag;
+                lastVictimValid_ = true;
+            });
         return false;
     }
 
@@ -63,23 +56,20 @@ class MiniCache
     void
     invalidate(Addr addr)
     {
-        const std::uint32_t set = geom_.setIndex(addr);
-        const Addr tag = geom_.tag(addr);
-        const int way = tags_.findWay(set, tag);
-        policy_->invalidate(set, tag, way);
-        if (way != kInvalidWay)
-            tags_.invalidateWay(set, static_cast<std::uint32_t>(way));
+        const CacheGeometry &geom = model_.geometry();
+        model_.invalidateTag(geom.setIndex(addr), geom.tag(addr));
     }
 
     /** Resident block addresses of a set (unordered). */
     std::set<Addr>
     residentBlocks(std::uint32_t set) const
     {
+        const CacheGeometry &geom = model_.geometry();
         std::set<Addr> blocks;
-        for (std::uint32_t w = 0; w < geom_.assoc(); ++w) {
-            const TagLine &line = tags_.at(set, w);
-            if (line.valid)
-                blocks.insert(geom_.blockAddrOf(set, line.tag));
+        for (std::uint32_t w = 0; w < geom.assoc(); ++w) {
+            if (model_.isValid(set, static_cast<int>(w)))
+                blocks.insert(geom.blockAddrOf(
+                    set, model_.tagAt(set, static_cast<int>(w))));
         }
         return blocks;
     }
@@ -87,7 +77,8 @@ class MiniCache
     bool
     isResident(Addr addr) const
     {
-        return tags_.findWay(geom_.setIndex(addr), geom_.tag(addr)) !=
+        const CacheGeometry &geom = model_.geometry();
+        return model_.lookup(geom.setIndex(addr), geom.tag(addr)) !=
                kInvalidWay;
     }
 
@@ -96,14 +87,12 @@ class MiniCache
     Addr lastVictimTag() const { return lastVictimTag_; }
     bool lastVictimValid() const { return lastVictimValid_; }
 
-    ReplacementPolicy &policy() { return *policy_; }
-    const CacheGeometry &geometry() const { return geom_; }
-    const TagArray &tags() const { return tags_; }
+    ReplacementPolicy &policy() { return *model_.policy(); }
+    const CacheGeometry &geometry() const { return model_.geometry(); }
+    const CacheModel &model() const { return model_; }
 
   private:
-    CacheGeometry geom_;
-    TagArray tags_;
-    PolicyPtr policy_;
+    CacheModel model_;
     const CostModel *cost_;
     Addr lastVictimTag_ = 0;
     bool lastVictimValid_ = false;

@@ -44,7 +44,7 @@ costs(std::initializer_list<std::pair<Addr, Cost>> entries)
 }
 
 // ---------------------------------------------------------------------------
-// CacheGeometry / TagArray
+// CacheGeometry / CacheModel
 // ---------------------------------------------------------------------------
 
 TEST(CacheGeometry, PaperL2Decomposition)
@@ -68,21 +68,22 @@ TEST(CacheGeometry, DirectMapped)
     EXPECT_EQ(g.assoc(), 1u);
 }
 
-TEST(TagArray, InstallFindInvalidate)
+TEST(CacheModel, InstallLookupInvalidate)
 {
     CacheGeometry g = singleSet(4);
-    TagArray tags(g);
-    EXPECT_EQ(tags.findWay(0, 7), kInvalidWay);
-    EXPECT_EQ(tags.findInvalidWay(0), 0);
-    tags.install(0, 0, 7);
-    tags.install(0, 1, 8);
-    EXPECT_EQ(tags.findWay(0, 7), 0);
-    EXPECT_EQ(tags.findWay(0, 8), 1);
-    EXPECT_EQ(tags.findInvalidWay(0), 2);
-    EXPECT_EQ(tags.countValid(), 2u);
-    tags.invalidateWay(0, 0);
-    EXPECT_EQ(tags.findWay(0, 7), kInvalidWay);
-    EXPECT_EQ(tags.findInvalidWay(0), 0);
+    CacheModel model(g); // policy-less raw store
+    EXPECT_EQ(model.lookup(0, 7), kInvalidWay);
+    EXPECT_EQ(model.findFreeWay(0), 0);
+    model.install(0, 0, 7);
+    model.install(0, 1, 8);
+    EXPECT_EQ(model.lookup(0, 7), 0);
+    EXPECT_EQ(model.lookup(0, 8), 1);
+    EXPECT_EQ(model.findFreeWay(0), 2);
+    EXPECT_EQ(model.countValid(), 2u);
+    EXPECT_EQ(model.validCountOf(0), 2);
+    model.invalidateWay(0, 0);
+    EXPECT_EQ(model.lookup(0, 7), kInvalidWay);
+    EXPECT_EQ(model.findFreeWay(0), 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -140,7 +141,7 @@ TEST(Lru, StackIsPermutationUnderRandomOps)
         EXPECT_EQ(seen.size(), stack.size()) << "duplicate way in stack";
         std::uint32_t valid = 0;
         for (std::uint32_t w = 0; w < g.assoc(); ++w)
-            valid += cache.tags().at(set, w).valid ? 1 : 0;
+            valid += cache.model().isValid(set, static_cast<int>(w)) ? 1 : 0;
         EXPECT_EQ(valid, stack.size()) << "stack != valid lines";
     }
 }
@@ -163,7 +164,7 @@ TEST(GreedyDual, EvictsMinCreditAndDeflates)
     EXPECT_FALSE(cache.isResident(blk(2)));
     EXPECT_TRUE(cache.isResident(blk(1)));
     const std::uint32_t set = 0;
-    const int way1 = cache.tags().findWay(set, cache.geometry().tag(blk(1)));
+    const int way1 = cache.model().lookup(set, cache.geometry().tag(blk(1)));
     EXPECT_DOUBLE_EQ(gd->creditOf(set, way1), 3.0);
 }
 
@@ -177,7 +178,7 @@ TEST(GreedyDual, HitRestoresFullCost)
         cache.access(blk(n));
     cache.access(blk(5)); // deflates block 1 to 3
     EXPECT_TRUE(cache.access(blk(1)));
-    const int way1 = cache.tags().findWay(0, cache.geometry().tag(blk(1)));
+    const int way1 = cache.model().lookup(0, cache.geometry().tag(blk(1)));
     EXPECT_DOUBLE_EQ(gd->creditOf(0, way1), 4.0);
 }
 
@@ -492,9 +493,10 @@ TEST(Dcl, EtdTagsExclusiveWithCacheTags)
         // also be valid in the ETD.
         for (std::uint32_t set = 0; set < g.numSets(); ++set) {
             for (std::uint32_t w = 0; w < g.assoc(); ++w) {
-                const TagLine &line = cache.tags().at(set, w);
-                if (line.valid) {
-                    ASSERT_FALSE(dcl->etd().contains(set, line.tag))
+                const int way = static_cast<int>(w);
+                if (cache.model().isValid(set, way)) {
+                    ASSERT_FALSE(dcl->etd().contains(
+                        set, cache.model().tagAt(set, way)))
                         << "resident tag also in ETD";
                 }
             }
@@ -710,7 +712,10 @@ TEST_P(PolicyStress, SurvivesRandomOpsWithInvariants)
                 ASSERT_EQ(seen.size(), order.size());
                 std::uint32_t valid = 0;
                 for (std::uint32_t w = 0; w < g.assoc(); ++w)
-                    valid += cache.tags().at(set, w).valid ? 1 : 0;
+                    valid += cache.model().isValid(set,
+                                                   static_cast<int>(w))
+                                 ? 1
+                                 : 0;
                 ASSERT_EQ(valid, order.size());
                 if (csl) {
                     ASSERT_GE(csl->acostOf(set), 0.0);

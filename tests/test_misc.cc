@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "cache/BclPolicy.h"
 #include "cache/PolicyFactory.h"
 #include "numa/Directory.h"
@@ -54,9 +56,21 @@ TEST(EventQueueDeath, SchedulingIntoThePastPanics)
     EXPECT_DEATH(q.schedule(5, [] {}), "scheduling into the past");
 }
 
-TEST(GeometryDeath, NonPowerOfTwoRejected)
+TEST(Geometry, NonPowerOfTwoRejectedWithNamedError)
 {
-    EXPECT_DEATH(CacheGeometry(3000, 4, 64), "powers of two");
+    try {
+        CacheGeometry(3000, 4, 64);
+        FAIL() << "expected CacheGeometryError";
+    } catch (const CacheGeometryError &e) {
+        EXPECT_NE(std::string(e.what()).find("cache size"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("power of two"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(CacheGeometry(16 * 1024, 3, 64), CacheGeometryError);
+    EXPECT_THROW(CacheGeometry(16 * 1024, 4, 48), CacheGeometryError);
+    // Cache smaller than one set.
+    EXPECT_THROW(CacheGeometry(128, 4, 64), CacheGeometryError);
 }
 
 // ---------------------------------------------------------------------------

@@ -20,11 +20,18 @@
  *
  *   csrsim sweep --grid table1|fig3|ablation-*|"key=v1,v2;..." \
  *                [--jobs N] [--scale test|small|full] [--csv 0|1]
+ *                [--json FILE]
  *       Expands a declarative policy x workload x cost grid and runs
  *       every cell in parallel on a bounded thread pool (SweepRunner).
  *       Per-cell results go to stdout in stable grid order -- they are
  *       bit-identical for any --jobs value -- and the timing summary
- *       goes to stderr so outputs stay diffable.
+ *       goes to stderr so outputs stay diffable.  --json additionally
+ *       writes the full result as a machine-readable file (the CI
+ *       perf-smoke job archives it).
+ *
+ * Misconfigured cache shapes (non-power-of-two sizes etc.) raise
+ * CacheGeometryError; main() turns that into a one-line diagnostic and
+ * exit code 1 instead of a stack trace.
  */
 
 #include <cstdlib>
@@ -32,6 +39,7 @@
 #include <map>
 #include <string>
 
+#include "cache/CacheGeometry.h"
 #include "cost/StaticCostModels.h"
 #include "numa/NumaSystem.h"
 #include "sim/SweepRunner.h"
@@ -254,6 +262,9 @@ runSweep(const Args &args)
     // Timing to stderr: per-cell results on stdout stay bit-diffable
     // across --jobs values.
     result.timingTable().print(std::cerr);
+
+    if (args.has("json"))
+        result.writeJson(args.get("json", ""));
     return 0;
 }
 
@@ -270,6 +281,7 @@ usage()
            "          --save-trace FILE --load-trace FILE\n"
            "  numa:   --clock 500|1000 --hints 0|1 --store-weight W\n"
            "  sweep:  --grid PRESET|\"key=v1,v2;...\" --jobs N --csv 0|1\n"
+           "          --json FILE\n"
            "          presets: table1 fig3 ablation-assoc\n"
            "            ablation-cachesize ablation-depreciation\n"
            "            ablation-etd smoke\n"
@@ -288,12 +300,17 @@ main(int argc, char **argv)
     }
     const std::string mode = argv[1];
     const Args args(argc, argv);
-    if (mode == "trace")
-        return runTrace(args);
-    if (mode == "numa")
-        return runNuma(args);
-    if (mode == "sweep")
-        return runSweep(args);
+    try {
+        if (mode == "trace")
+            return runTrace(args);
+        if (mode == "numa")
+            return runNuma(args);
+        if (mode == "sweep")
+            return runSweep(args);
+    } catch (const CacheGeometryError &e) {
+        std::cerr << "csrsim: " << e.what() << "\n";
+        return 1;
+    }
     usage();
     return 1;
 }
