@@ -22,8 +22,10 @@
 #include <vector>
 
 #include "sim/SweepRunner.h"
+#include "telemetry/MetricRegistry.h"
 #include "trace/SampledTrace.h"
 #include "trace/WorkloadFactory.h"
+#include "util/Stats.h"
 #include "util/Table.h"
 #include "util/ThreadPool.h"
 
@@ -159,6 +161,41 @@ inline std::string
 savingsOf(const SweepCellResult &cell)
 {
     return TextTable::num(cell.savingsPct, 2);
+}
+
+/**
+ * Percentile summary of latency histograms, one row per series.
+ * Benches that run the NUMA machine print this next to their
+ * execution-time tables so the latency *distribution* behind each
+ * mean is visible (the same data --metrics exports as JSON).
+ */
+inline TextTable
+latencyHistogramTable(
+    const std::string &title,
+    const std::vector<std::pair<std::string, const Histogram *>> &rows)
+{
+    TextTable table(title);
+    table.setHeader({"Series", "Samples", "p50 (ns)", "p90 (ns)",
+                     "p99 (ns)", "overflow"});
+    for (const auto &[label, hist] : rows) {
+        table.addRow({label, TextTable::count(hist->totalCount()),
+                      TextTable::num(hist->percentile(0.50), 1),
+                      TextTable::num(hist->percentile(0.90), 1),
+                      TextTable::num(hist->percentile(0.99), 1),
+                      TextTable::count(hist->overflow())});
+    }
+    return table;
+}
+
+/** Write @p registry as unified metrics JSON when @p path is set
+ *  (the benches' --metrics flag), with a stderr note. */
+inline void
+maybeWriteMetrics(const MetricRegistry &registry, const std::string &path)
+{
+    if (path.empty() || registry.empty())
+        return;
+    registry.writeJson(path);
+    std::cerr << "### wrote metrics to " << path << "\n";
 }
 
 /** Footer making the parallel harness observable (goes to stderr so

@@ -21,6 +21,7 @@
 
 #include "cache/CacheModel.h"
 #include "cache/PolicyFactory.h"
+#include "util/CliArgs.h"
 #include "util/Random.h"
 
 namespace
@@ -138,21 +139,26 @@ writeJson(const std::string &path, const JsonCaptureReporter &reporter,
 int
 main(int argc, char **argv)
 {
-    // Peel off our own --json flag before benchmark::Initialize sees
-    // the argument vector.
-    std::string json_path = "BENCH_micro.json";
-    std::vector<char *> args;
+    // Split the vector: the shared csr flags (--json etc., "--key
+    // value" pairs) go to CliArgs, everything else to
+    // benchmark::Initialize.
+    std::vector<char *> ours = {argv[0]};
+    std::vector<char *> rest;
     for (int i = 0; i < argc; ++i) {
         if (std::string(argv[i]) == "--json" && i + 1 < argc) {
-            json_path = argv[++i];
+            ours.push_back(argv[i]);
+            ours.push_back(argv[++i]);
             continue;
         }
-        args.push_back(argv[i]);
+        rest.push_back(argv[i]);
     }
-    int filtered_argc = static_cast<int>(args.size());
+    const csr::CliArgs cli(static_cast<int>(ours.size()), ours.data());
+    const std::string json_path =
+        cli.has("json") ? cli.jsonPath() : "BENCH_micro.json";
+    int filtered_argc = static_cast<int>(rest.size());
 
-    benchmark::Initialize(&filtered_argc, args.data());
-    if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    benchmark::Initialize(&filtered_argc, rest.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc, rest.data()))
         return 1;
 
     JsonCaptureReporter reporter;

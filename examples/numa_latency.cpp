@@ -37,7 +37,7 @@ int
 main(int argc, char **argv)
 {
     const BenchmarkId id = parseBenchmark(argc > 1 ? argv[1] : "raytrace");
-    const PolicyKind kind = parsePolicyKind(argc > 2 ? argv[2] : "dcl");
+    const PolicyKind kind = requirePolicyKind(argc > 2 ? argv[2] : "dcl");
 
     auto workload = makeWorkload(id, WorkloadScale::Small,
                                  /*numa_sized=*/true);

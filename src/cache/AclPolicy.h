@@ -109,6 +109,7 @@ class AclPolicy : public DclPolicy
             etd_.invalidateAll(set);
             counter_[set] = kEnableValue;
             stats_.inc("acl.reenable");
+            CSR_TRACE_INSTANT_V("policy", "acl.reenable", kEnableValue);
         }
     }
 
@@ -130,6 +131,7 @@ class AclPolicy : public DclPolicy
     {
         if (counter_[set] < kCounterMax)
             ++counter_[set];
+        CSR_TRACE_INSTANT_V("policy", "acl.counter_up", counter_[set]);
     }
 
     void
@@ -137,11 +139,13 @@ class AclPolicy : public DclPolicy
     {
         if (counter_[set] > 0)
             --counter_[set];
+        CSR_TRACE_INSTANT_V("policy", "acl.counter_down", counter_[set]);
         if (counter_[set] == 0) {
             // Mode switch: the ETD's meaning changes, drop stale
             // sacrifice records.
             etd_.invalidateAll(set);
             stats_.inc("acl.disable");
+            CSR_TRACE_INSTANT("policy", "acl.disable");
         }
     }
 

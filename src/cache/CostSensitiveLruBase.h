@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cache/StackPolicyBase.h"
+#include "telemetry/Telemetry.h"
 
 namespace csr
 {
@@ -88,6 +89,8 @@ class CostSensitiveLruBase : public StackPolicyBase
                 if (!reserved_[set]) {
                     reserved_[set] = 1;
                     stats_.inc("csl.reservation.start");
+                    CSR_TRACE_INSTANT_V("policy", "reservation.open",
+                                        acost_[set]);
                 }
                 stats_.inc("csl.reservation.sacrifice");
                 return way;
@@ -98,6 +101,7 @@ class CostSensitiveLruBase : public StackPolicyBase
         if (reserved_[set]) {
             reserved_[set] = 0;
             stats_.inc("csl.reservation.fail");
+            CSR_TRACE_INSTANT("policy", "reservation.expired");
             onReservationFailed(set);
         }
         return wayAt(set, n);
@@ -109,6 +113,8 @@ class CostSensitiveLruBase : public StackPolicyBase
     {
         const Cost amount = depreciationFactor_ * cost;
         acost_[set] = acost_[set] > amount ? acost_[set] - amount : 0.0;
+        CSR_TRACE_INSTANT_V("policy", "reservation.depreciated",
+                            acost_[set]);
     }
 
     /** Hook: a reservation ended because the reserved block was
@@ -135,6 +141,7 @@ class CostSensitiveLruBase : public StackPolicyBase
         if (old_pos == stackSize(set) && reserved_[set]) {
             reserved_[set] = 0;
             stats_.inc("csl.reservation.success");
+            CSR_TRACE_INSTANT("policy", "reservation.success");
             onReservationSucceeded(set);
         }
         (void)way;

@@ -88,6 +88,7 @@ class DclPolicy : public CostSensitiveLruBase
         if (auto cost = etd_.lookupAndInvalidate(set, tag)) {
             // The sacrificed block came back before the reserved one:
             // charge the reservation.
+            CSR_TRACE_INSTANT_V("policy", "etd.hit", *cost);
             depreciate(set, *cost);
             stats_.inc("dcl.etd.hit");
         }

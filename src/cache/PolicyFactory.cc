@@ -46,7 +46,7 @@ makePolicy(PolicyKind kind, const CacheGeometry &geom,
     csr_panic("unhandled PolicyKind %d", static_cast<int>(kind));
 }
 
-PolicyKind
+std::optional<PolicyKind>
 parsePolicyKind(const std::string &name)
 {
     std::string lower = name;
@@ -70,7 +70,35 @@ parsePolicyKind(const std::string &name)
         return PolicyKind::Opt;
     if (lower == "costopt" || lower == "csopt")
         return PolicyKind::CostOpt;
-    csr_fatal("unknown replacement policy '%s'", name.c_str());
+    return std::nullopt;
+}
+
+PolicyKind
+requirePolicyKind(const std::string &name)
+{
+    if (auto kind = parsePolicyKind(name))
+        return *kind;
+    csr_fatal("unknown replacement policy '%s' (valid: %s)",
+              name.c_str(), policyNamesJoined().c_str());
+}
+
+const std::vector<std::string> &
+listPolicyNames()
+{
+    static const std::vector<std::string> names = {
+        "lru", "random", "lfu", "gd", "bcl",
+        "dcl", "acl",    "opt", "costopt",
+    };
+    return names;
+}
+
+std::string
+policyNamesJoined(const std::string &sep)
+{
+    std::string out;
+    for (const std::string &name : listPolicyNames())
+        out += (out.empty() ? "" : sep) + name;
+    return out;
 }
 
 std::string

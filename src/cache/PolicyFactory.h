@@ -8,6 +8,7 @@
 #ifndef CSR_CACHE_POLICYFACTORY_H
 #define CSR_CACHE_POLICYFACTORY_H
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,8 +47,22 @@ PolicyPtr makePolicy(PolicyKind kind, const CacheGeometry &geom,
                      const PolicyParams &params = {});
 
 /** Parse "lru" / "gd" / "bcl" / "dcl" / "acl" / ... (case-insensitive);
- *  fatal on unknown names. */
-PolicyKind parsePolicyKind(const std::string &name);
+ *  std::nullopt on unknown names so callers can report their own
+ *  diagnostic (CLIs print listPolicyNames()). */
+std::optional<PolicyKind> parsePolicyKind(const std::string &name);
+
+/** Like parsePolicyKind but fatal on unknown names, with the valid
+ *  names in the diagnostic.  For contexts with no better recovery
+ *  than exiting (grid specs, bench flags). */
+PolicyKind requirePolicyKind(const std::string &name);
+
+/** The accepted canonical policy names, parse order
+ *  ("lru random lfu gd bcl dcl acl opt costopt"), for error messages
+ *  and --help text. */
+const std::vector<std::string> &listPolicyNames();
+
+/** listPolicyNames() joined with @p sep ("|" for usage strings). */
+std::string policyNamesJoined(const std::string &sep = "|");
 
 /** Display name matching the paper's terminology. */
 std::string policyKindName(PolicyKind kind);

@@ -1,5 +1,6 @@
 #include "numa/CacheController.h"
 
+#include "telemetry/Telemetry.h"
 #include "util/Logging.h"
 
 namespace csr
@@ -196,7 +197,9 @@ CacheController::handleData(const Message &msg)
     const auto latency = static_cast<Cost>(now - mshr.issued);
     predictor_.update(msg.block, latency);
     missLatency_.add(latency);
+    missLatencyHist_.add(latency);
     stats_.inc("l2.fill");
+    CSR_TRACE_INSTANT_V("numa", "l2.fill_latency_ns", latency);
 
     // Replacement cost of the block's next miss: the measured latency,
     // optionally discounted for store misses (penalty weighting,

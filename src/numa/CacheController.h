@@ -130,8 +130,24 @@ class CacheController
     RunningStat missLatency_;
 
   public:
+    /** Shape of the per-node miss-latency histogram; every node uses
+     *  the same buckets so NumaResult can merge them. */
+    static constexpr double kMissLatencyHistLoNs = 0.0;
+    static constexpr double kMissLatencyHistHiNs = 3200.0;
+    static constexpr std::size_t kMissLatencyHistBuckets = 64;
+
     /** Measured miss latencies (ns). */
     const RunningStat &missLatencyStat() const { return missLatency_; }
+
+    /** Measured miss-latency distribution (ns). */
+    const Histogram &missLatencyHistogram() const
+    {
+        return missLatencyHist_;
+    }
+
+  private:
+    Histogram missLatencyHist_{kMissLatencyHistLoNs, kMissLatencyHistHiNs,
+                               kMissLatencyHistBuckets};
 };
 
 } // namespace csr

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/Telemetry.h"
 #include "util/Logging.h"
 
 namespace csr
@@ -71,6 +72,8 @@ DirectoryController::startTransaction(const Message &req)
     auto [it, inserted] = txns_.emplace(req.block, txn);
     csr_assert(inserted, "transaction already in flight");
     stats_.inc(req.type == MsgType::GetS ? "dir.gets" : "dir.getx");
+    CSR_TRACE_INSTANT("numa", req.type == MsgType::GetS ? "dir.txn.gets"
+                                                        : "dir.txn.getx");
 
     if (req.type == MsgType::GetS)
         handleGetS(it->second);
@@ -296,6 +299,7 @@ DirectoryController::complete(Addr block)
             entry.sharers.clear();
             entry.sharers.push_back(entry.owner);
             entry.sharers.push_back(req);
+            CSR_TRACE_INSTANT("numa", "coh.E_to_S");
             sendToCache(MsgType::DataS, block, req, req,
                         txn.req.timestamp);
         } else if (txn.stateAtArrival == DirEntry::State::Shared) {
@@ -304,6 +308,7 @@ DirectoryController::complete(Addr block)
                 entry.sharers.push_back(req);
             }
             entry.state = DirEntry::State::Shared;
+            CSR_TRACE_INSTANT("numa", "coh.S_to_S");
             sendToCache(MsgType::DataS, block, req, req,
                         txn.req.timestamp);
         } else {
@@ -311,6 +316,7 @@ DirectoryController::complete(Addr block)
             entry.state = DirEntry::State::Exclusive;
             entry.owner = req;
             entry.sharers.clear();
+            CSR_TRACE_INSTANT("numa", "coh.U_to_E");
             sendToCache(MsgType::DataE, block, req, req,
                         txn.req.timestamp);
         }
@@ -318,6 +324,7 @@ DirectoryController::complete(Addr block)
         entry.state = DirEntry::State::Exclusive;
         entry.owner = req;
         entry.sharers.clear();
+        CSR_TRACE_INSTANT("numa", "coh.to_M");
         sendToCache(MsgType::DataM, block, req, req, txn.req.timestamp);
     }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/Telemetry.h"
 #include "util/Logging.h"
 
 namespace csr
@@ -117,6 +118,7 @@ MeshNetwork::send(const Message &msg)
         head + Tick{flits - 1} * config_.flitNs + config_.nicNs;
 
     stats_.inc("net.hop_total", hops(msg.src, msg.dst));
+    CSR_TRACE_INSTANT_V("numa", "net.msg_latency_ns", arrival - now);
     events_.schedule(arrival, [this, msg] { sinks_[msg.dst](msg); });
 }
 

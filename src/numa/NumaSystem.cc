@@ -1,5 +1,6 @@
 #include "numa/NumaSystem.h"
 
+#include "telemetry/Telemetry.h"
 #include "util/Logging.h"
 
 namespace csr
@@ -63,6 +64,7 @@ NumaSystem::NumaSystem(const NumaConfig &config,
 NumaResult
 NumaSystem::run()
 {
+    CSR_TRACE_SPAN("numa", "NumaSystem::run");
     for (auto &proc : procs_)
         proc->start();
     events_.run();
@@ -81,6 +83,8 @@ NumaSystem::run()
         const RunningStat &lat = cache->missLatencyStat();
         result.totalMisses += lat.count();
         result.aggregateMissLatencyNs += lat.sum();
+        result.missLatencyStat.merge(lat);
+        result.missLatencyHist.merge(cache->missLatencyHistogram());
         for (const auto &[k, v] : cache->stats().all())
             result.stats.inc("cache." + k, v);
         for (const auto &[k, v] : cache->policy().stats().all())
@@ -100,6 +104,17 @@ NumaSystem::run()
 
     checkCoherenceInvariant();
     return result;
+}
+
+void
+NumaResult::exportMetrics(MetricRegistry &registry) const
+{
+    registry.importCounters(stats, "numa.");
+    registry.setCounter("numa.exec_time_ns", execTimeNs);
+    registry.setCounter("numa.total_ops", totalOps);
+    registry.setCounter("numa.total_misses", totalMisses);
+    registry.mergeStat("numa.miss_latency_ns", missLatencyStat);
+    registry.mergeHistogram("numa.miss_latency_ns", missLatencyHist);
 }
 
 void

@@ -19,6 +19,7 @@
 #include "numa/Network.h"
 #include "numa/NumaConfig.h"
 #include "numa/Processor.h"
+#include "telemetry/MetricRegistry.h"
 #include "trace/Workload.h"
 
 namespace csr
@@ -34,6 +35,16 @@ struct NumaResult
     double avgMissLatencyNs = 0.0;
     double aggregateMissLatencyNs = 0.0;
     StatGroup stats;              ///< merged component counters
+    /** Miss-latency accumulator merged across nodes (ns). */
+    RunningStat missLatencyStat;
+    /** Miss-latency distribution merged across nodes (ns). */
+    Histogram missLatencyHist{CacheController::kMissLatencyHistLoNs,
+                              CacheController::kMissLatencyHistHiNs,
+                              CacheController::kMissLatencyHistBuckets};
+
+    /** Dump everything into the unified metric schema under
+     *  "numa.": counters, the miss-latency stat and its histogram. */
+    void exportMetrics(MetricRegistry &registry) const;
 };
 
 /**

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "cost/StaticCostModels.h"
+#include "telemetry/Telemetry.h"
 #include "util/Logging.h"
 #include "util/Random.h"
 #include "util/ThreadPool.h"
@@ -350,6 +351,7 @@ SweepRunner::buildTraces(const std::vector<BenchmarkId> &benchmarks,
 SweepResult
 SweepRunner::run(const SweepGrid &grid) const
 {
+    CSR_TRACE_SPAN("sweep", "SweepRunner::run");
     const std::vector<SweepCell> cells = grid.expand();
     if (cells.empty())
         csr_fatal("sweep grid expands to zero cells");
@@ -395,6 +397,7 @@ SweepRunner::run(const SweepGrid &grid) const
     parallelFor(pool, cells.size(), [&](std::size_t i) {
         WallTimer task_timer;
         const SweepCell &cell = cells[i];
+        CSR_TRACE_SPAN_DYN("sweep", cell.label());
         const TraceStudy &study = *studies.at(studyKeyOf(cell));
         const SampledTrace &trace = *traces.at(cell.benchmark);
         const std::uint64_t seed = cell.hash();
@@ -523,7 +526,7 @@ parseGridSpec(const std::string &spec)
         } else if (key == "policies") {
             grid.policies.clear();
             for (const auto &v : values)
-                grid.policies.push_back(parsePolicyKind(v));
+                grid.policies.push_back(requirePolicyKind(v));
         } else if (key == "mappings") {
             grid.mappings.clear();
             for (const auto &v : values)

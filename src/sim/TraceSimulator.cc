@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "telemetry/Telemetry.h"
 #include "util/Logging.h"
 
 namespace csr
@@ -88,6 +89,7 @@ TraceSimulator::handleSampledAccess(Addr addr)
         ++result_.l2Misses;
         const Addr block = g.blockAddr(addr);
         const Cost cost = costModel_.missCost(block);
+        CSR_TRACE_INSTANT_V("sim", "l2.miss_cost", cost);
         result_.aggregateCost += cost;
         if (config_.collectMissProfile)
             ++result_.missProfile[block];
@@ -101,6 +103,7 @@ TraceSimulator::handleSampledAccess(Addr addr)
         l2_.fillVictimOrFree(
             set, tag, cost, 0,
             [&](int, Addr victim_tag, std::uint32_t) {
+                CSR_TRACE_INSTANT("sim", "l2.evict");
                 if (!config_.useL1)
                     return;
                 // Enforce inclusion: the evicted block leaves the L1
@@ -119,6 +122,19 @@ TraceSimulator::handleSampledAccess(Addr addr)
         const CacheGeometry &l1g = l1_.geometry();
         l1_.install(l1g.setIndex(addr), 0, l1g.tag(addr));
     }
+}
+
+void
+TraceSimResult::exportMetrics(MetricRegistry &registry) const
+{
+    registry.importCounters(policyStats, "trace.policy.");
+    registry.setCounter("trace.sampled_refs", sampledRefs);
+    registry.setCounter("trace.l1_hits", l1Hits);
+    registry.setCounter("trace.l2_hits", l2Hits);
+    registry.setCounter("trace.l2_misses", l2Misses);
+    registry.setCounter("trace.high_cost_misses", highCostMisses);
+    registry.setCounter("trace.invalidations", invalidationsReceived);
+    registry.stat("trace.aggregate_cost").add(aggregateCost);
 }
 
 double

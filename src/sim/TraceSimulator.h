@@ -26,6 +26,7 @@
 #include "cache/CacheModel.h"
 #include "cache/PolicyFactory.h"
 #include "cost/CostModel.h"
+#include "telemetry/MetricRegistry.h"
 #include "trace/TraceRecord.h"
 #include "util/Stats.h"
 
@@ -71,6 +72,10 @@ struct TraceSimResult
                          static_cast<double>(l2_accesses)
                    : 0.0;
     }
+
+    /** Dump everything into the unified metric schema under
+     *  "trace." (policy counters under "trace.policy."). */
+    void exportMetrics(MetricRegistry &registry) const;
 };
 
 /**

@@ -79,6 +79,14 @@ class BarnesWorkload : public SyntheticWorkload
   public:
     explicit BarnesWorkload(const BarnesParams &params = {});
 
+    /** Params plus the factory's uniform overrides (nonzero
+     *  config.numProcs / seed / targetRefsPerProc win). */
+    BarnesWorkload(const BarnesParams &params,
+                   const WorkloadConfig &config)
+        : BarnesWorkload(applyWorkloadConfig(params, config))
+    {
+    }
+
     std::string name() const override { return "barnes"; }
     ProcId numProcs() const override { return params_.numProcs; }
     std::uint64_t memoryBytes() const override;

@@ -49,6 +49,14 @@ class LuWorkload : public SyntheticWorkload
   public:
     explicit LuWorkload(const LuParams &params = {});
 
+    /** Params plus the factory's uniform overrides (nonzero
+     *  config.numProcs / seed / targetRefsPerProc win).  An
+     *  overridden processor count re-factors the 2-D scatter grid. */
+    LuWorkload(const LuParams &params, const WorkloadConfig &config)
+        : LuWorkload(refactorGrid(applyWorkloadConfig(params, config)))
+    {
+    }
+
     std::string name() const override { return "lu"; }
     ProcId numProcs() const override { return params_.numProcs; }
     std::uint64_t memoryBytes() const override;
@@ -66,6 +74,22 @@ class LuWorkload : public SyntheticWorkload
     Addr subBase(std::uint32_t i, std::uint32_t j) const;
 
   private:
+    /** Make the 2-D scatter grid agree with an overridden numProcs:
+     *  pick the most square rows x cols factorization. */
+    static LuParams
+    refactorGrid(LuParams p)
+    {
+        if (p.procGridRows * p.procGridCols == p.numProcs)
+            return p;
+        std::uint32_t rows = 1;
+        for (std::uint32_t r = 1; r * r <= p.numProcs; ++r)
+            if (p.numProcs % r == 0)
+                rows = r;
+        p.procGridRows = rows;
+        p.procGridCols = p.numProcs / rows;
+        return p;
+    }
+
     LuParams params_;
     std::uint32_t nb_;
     std::uint32_t subBytes_;

@@ -53,6 +53,14 @@ class OceanWorkload : public SyntheticWorkload
   public:
     explicit OceanWorkload(const OceanParams &params = {});
 
+    /** Params plus the factory's uniform overrides (nonzero
+     *  config.numProcs / seed / targetRefsPerProc win). */
+    OceanWorkload(const OceanParams &params,
+                  const WorkloadConfig &config)
+        : OceanWorkload(applyWorkloadConfig(params, config))
+    {
+    }
+
     std::string name() const override { return "ocean"; }
     ProcId numProcs() const override { return params_.numProcs; }
     std::uint64_t memoryBytes() const override;

@@ -65,6 +65,14 @@ class RaytraceWorkload : public SyntheticWorkload
   public:
     explicit RaytraceWorkload(const RaytraceParams &params = {});
 
+    /** Params plus the factory's uniform overrides (nonzero
+     *  config.numProcs / seed / targetRefsPerProc win). */
+    RaytraceWorkload(const RaytraceParams &params,
+                     const WorkloadConfig &config)
+        : RaytraceWorkload(applyWorkloadConfig(params, config))
+    {
+    }
+
     std::string name() const override { return "raytrace"; }
     ProcId numProcs() const override { return params_.numProcs; }
     std::uint64_t memoryBytes() const override;

@@ -34,6 +34,62 @@
 namespace csr
 {
 
+/**
+ * Problem-size presets.
+ *
+ *  - Test:   seconds-long unit-test scale;
+ *  - Small:  the default bench scale (~10^5..10^6 sampled refs), used
+ *            for the table/figure reproductions;
+ *  - Full:   the paper's trace-study scale (tens of millions of
+ *            references); expect multi-minute bench runs.
+ */
+enum class WorkloadScale
+{
+    Test,
+    Small,
+    Full,
+};
+
+/**
+ * Uniform construction parameters for every benchmark.
+ *
+ * The four *Workload classes used to be configured through four
+ * unrelated Params ctor signatures; the factory (and any direct
+ * caller) now describes a workload with one WorkloadConfig.  The
+ * override fields treat zero as "keep the benchmark's default".
+ */
+struct WorkloadConfig
+{
+    /** Benchmark name ("barnes", "lu", "ocean", "raytrace"). */
+    std::string name = "barnes";
+    /** Processor count override (0 = the benchmark's Table 1 count). */
+    ProcId numProcs = 0;
+    /** Generator seed override (0 = the benchmark's fixed seed). */
+    std::uint64_t seed = 0;
+    WorkloadScale scale = WorkloadScale::Small;
+    /** Section 4.2 problem shrink for the NUMA study. */
+    bool numaSized = false;
+    /** Reference budget override (0 = derived from scale). */
+    std::uint64_t targetRefsPerProc = 0;
+};
+
+/**
+ * Apply the uniform WorkloadConfig overrides to any benchmark Params
+ * type (all four have numProcs / seed / targetRefsPerProc fields).
+ */
+template <typename Params>
+Params
+applyWorkloadConfig(Params params, const WorkloadConfig &config)
+{
+    if (config.numProcs)
+        params.numProcs = config.numProcs;
+    if (config.seed)
+        params.seed = config.seed;
+    if (config.targetRefsPerProc)
+        params.targetRefsPerProc = config.targetRefsPerProc;
+    return params;
+}
+
 /** A single processor's deterministic access sequence. */
 class ProcAccessStream
 {

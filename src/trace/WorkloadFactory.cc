@@ -78,8 +78,11 @@ refBudget(WorkloadScale scale, bool numa_sized)
 } // namespace
 
 std::unique_ptr<SyntheticWorkload>
-makeWorkload(BenchmarkId id, WorkloadScale scale, bool numa_sized)
+makeWorkload(const WorkloadConfig &config)
 {
+    const BenchmarkId id = parseBenchmark(config.name);
+    const WorkloadScale scale = config.scale;
+    const bool numa_sized = config.numaSized;
     const std::uint64_t refs = refBudget(scale, numa_sized);
     switch (id) {
       case BenchmarkId::Barnes: {
@@ -99,7 +102,7 @@ makeWorkload(BenchmarkId id, WorkloadScale scale, bool numa_sized)
             p.groupBodies = scale == WorkloadScale::Test ? 8 : 32;
             p.chunkBodies = p.groupBodies;
         }
-        return std::make_unique<BarnesWorkload>(p);
+        return std::make_unique<BarnesWorkload>(p, config);
       }
       case BenchmarkId::Lu: {
         LuParams p;
@@ -108,7 +111,7 @@ makeWorkload(BenchmarkId id, WorkloadScale scale, bool numa_sized)
             p.matrixDim = 128;
         if (numa_sized)
             p.matrixDim = scale == WorkloadScale::Test ? 96 : 256;
-        return std::make_unique<LuWorkload>(p);
+        return std::make_unique<LuWorkload>(p, config);
       }
       case BenchmarkId::Ocean: {
         OceanParams p;
@@ -121,7 +124,7 @@ makeWorkload(BenchmarkId id, WorkloadScale scale, bool numa_sized)
         }
         if (numa_sized)
             p.gridDim = scale == WorkloadScale::Test ? 66 : 258;
-        return std::make_unique<OceanWorkload>(p);
+        return std::make_unique<OceanWorkload>(p, config);
       }
       case BenchmarkId::Raytrace: {
         RaytraceParams p;
@@ -130,10 +133,20 @@ makeWorkload(BenchmarkId id, WorkloadScale scale, bool numa_sized)
             p.sceneBlocks = 4096;
         if (numa_sized)
             p.sceneBlocks = scale == WorkloadScale::Test ? 4096 : 16384;
-        return std::make_unique<RaytraceWorkload>(p);
+        return std::make_unique<RaytraceWorkload>(p, config);
       }
     }
     csr_panic("unhandled BenchmarkId %d", static_cast<int>(id));
+}
+
+std::unique_ptr<SyntheticWorkload>
+makeWorkload(BenchmarkId id, WorkloadScale scale, bool numa_sized)
+{
+    WorkloadConfig config;
+    config.name = benchmarkName(id);
+    config.scale = scale;
+    config.numaSized = numa_sized;
+    return makeWorkload(config);
 }
 
 } // namespace csr

@@ -15,23 +15,8 @@
 namespace csr
 {
 
-/**
- * Problem-size presets.
- *
- *  - Test:   seconds-long unit-test scale;
- *  - Small:  the default bench scale (~10^5..10^6 sampled refs), used
- *            for the table/figure reproductions;
- *  - Full:   the paper's trace-study scale (tens of millions of
- *            references); expect multi-minute bench runs.
- */
-enum class WorkloadScale
-{
-    Test,
-    Small,
-    Full,
-};
-
-/** Benchmark selector. */
+/** Benchmark selector.  (WorkloadScale and WorkloadConfig live in
+ *  trace/Workload.h so the *Workload ctors can consume them.) */
 enum class BenchmarkId
 {
     Barnes,
@@ -49,10 +34,17 @@ std::string benchmarkName(BenchmarkId id);
 /** Parse a benchmark name (case-insensitive); fatal on unknown. */
 BenchmarkId parseBenchmark(const std::string &name);
 
-/** Build a benchmark at a given scale.  The NUMA study uses smaller
- *  problems than the trace study (Section 4.2); pass numa_sized=true
- *  for those (fewer refs per processor, 16-processor Ocean stays at
- *  16, others keep their Table 1 processor counts). */
+/**
+ * Build a benchmark from the unified config: config.name selects the
+ * benchmark (fatal on unknown), config.scale / config.numaSized pick
+ * the problem-size preset (the NUMA study uses smaller problems than
+ * the trace study, Section 4.2), and the nonzero override fields
+ * (numProcs, seed, targetRefsPerProc) replace the preset's values.
+ */
+std::unique_ptr<SyntheticWorkload> makeWorkload(
+    const WorkloadConfig &config);
+
+/** Shorthand for the common (benchmark, scale) case. */
 std::unique_ptr<SyntheticWorkload> makeWorkload(BenchmarkId id,
                                                 WorkloadScale scale,
                                                 bool numa_sized = false);

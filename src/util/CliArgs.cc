@@ -1,0 +1,121 @@
+#include "util/CliArgs.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/Logging.h"
+
+namespace csr
+{
+
+CliArgs::CliArgs(int argc, char **argv, int first)
+    : program_(argc > 0 ? argv[0] : "csr")
+{
+    // Keep just the binary name for diagnostics.
+    const std::size_t slash = program_.find_last_of('/');
+    if (slash != std::string::npos)
+        program_ = program_.substr(slash + 1);
+
+    for (int i = first; i < argc; ++i) {
+        std::string key = argv[i];
+        if (key == "--help" || key == "-h") {
+            help_ = true;
+            continue;
+        }
+        if (key.rfind("--", 0) != 0)
+            csr_fatal("%s: unexpected argument '%s' (flags are "
+                      "--key value)", program_.c_str(), key.c_str());
+        key = key.substr(2);
+        if (i + 1 >= argc)
+            csr_fatal("%s: missing value for --%s", program_.c_str(),
+                      key.c_str());
+        values_[key] = argv[++i];
+    }
+}
+
+std::string
+CliArgs::get(const std::string &key, const std::string &fallback) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+double
+CliArgs::getDouble(const std::string &key, double fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const double parsed = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        csr_fatal("%s: --%s '%s' is not a number", program_.c_str(),
+                  key.c_str(), it->second.c_str());
+    return parsed;
+}
+
+std::uint64_t
+CliArgs::getUInt(const std::string &key, std::uint64_t fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const std::uint64_t parsed =
+        std::strtoull(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        csr_fatal("%s: --%s '%s' is not an unsigned integer",
+                  program_.c_str(), key.c_str(), it->second.c_str());
+    return parsed;
+}
+
+unsigned
+CliArgs::jobs(bool env_fallback) const
+{
+    std::string value = get("jobs", "");
+    if (value.empty() && env_fallback) {
+        const char *env = std::getenv("CSR_JOBS");
+        if (env)
+            value = env;
+    }
+    if (value.empty())
+        return 0;
+    char *end = nullptr;
+    const long jobs = std::strtol(value.c_str(), &end, 0);
+    if (end == value.c_str() || *end != '\0' || jobs < 0 || jobs > 1024)
+        csr_fatal("%s: --jobs '%s' must be an integer in [0,1024] "
+                  "(0 = one per hardware thread)", program_.c_str(),
+                  value.c_str());
+    return static_cast<unsigned>(jobs);
+}
+
+std::uint64_t
+CliArgs::seed(std::uint64_t fallback) const
+{
+    return getUInt("seed", fallback);
+}
+
+void
+CliArgs::requireKnown(const std::vector<std::string> &known) const
+{
+    static const std::vector<std::string> common = {
+        "json", "jobs", "seed", "trace", "metrics",
+    };
+    for (const auto &[key, value] : values_) {
+        (void)value;
+        if (std::find(known.begin(), known.end(), key) != known.end())
+            continue;
+        if (std::find(common.begin(), common.end(), key) !=
+            common.end())
+            continue;
+        std::string valid;
+        for (const std::string &k : known)
+            valid += (valid.empty() ? "--" : " --") + k;
+        for (const std::string &k : common)
+            valid += (valid.empty() ? "--" : " --") + k;
+        csr_fatal("%s: unknown flag --%s (valid: %s)",
+                  program_.c_str(), key.c_str(), valid.c_str());
+    }
+}
+
+} // namespace csr

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared command-line flag parsing.
+ *
+ * csrsim and the bench binaries used to each carry their own ad-hoc
+ * "--key value" loop with slightly different spellings and error
+ * messages.  CliArgs is the one parser: every binary accepts the same
+ * flag grammar (--key value pairs, --help/-h), produces the same
+ * diagnostics, and reads the common flags (--json, --jobs, --seed,
+ * --trace, --metrics, --scale) through the same accessors -- with the
+ * benches' historical environment variables (CSR_JOBS, CSR_SCALE) as
+ * fallback where the callers opt in.
+ */
+
+#ifndef CSR_UTIL_CLIARGS_H
+#define CSR_UTIL_CLIARGS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace csr
+{
+
+class CliArgs
+{
+  public:
+    /**
+     * Parse "--key value" pairs from argv[first..).  "--help"/"-h"
+     * set helpRequested() instead of consuming a value; anything that
+     * is not a --flag, and any --flag missing its value, is fatal
+     * with a uniform diagnostic naming @p program.
+     */
+    CliArgs(int argc, char **argv, int first = 1);
+
+    bool has(const std::string &key) const
+    {
+        return values_.count(key) != 0;
+    }
+
+    std::string get(const std::string &key,
+                    const std::string &fallback) const;
+
+    /** Number; fatal when the value does not parse. */
+    double getDouble(const std::string &key, double fallback) const;
+
+    /** Unsigned integer (base auto-detected); fatal when the value
+     *  does not parse. */
+    std::uint64_t getUInt(const std::string &key,
+                          std::uint64_t fallback) const;
+
+    bool helpRequested() const { return help_; }
+
+    // --- the common flags, one spelling for every binary ------------------
+
+    /** --jobs N, validated to [0,1024] (0 = one per hardware thread);
+     *  falls back to $CSR_JOBS when @p env_fallback and the flag is
+     *  absent. */
+    unsigned jobs(bool env_fallback = false) const;
+
+    /** --seed N. */
+    std::uint64_t seed(std::uint64_t fallback) const;
+
+    /** --json FILE ("" = unset). */
+    std::string jsonPath() const { return get("json", ""); }
+
+    /** --trace FILE: Chrome trace-event output ("" = unset). */
+    std::string tracePath() const { return get("trace", ""); }
+
+    /** --metrics FILE: unified metrics JSON ("" = unset). */
+    std::string metricsPath() const { return get("metrics", ""); }
+
+    /**
+     * Fatal unless every parsed key appears in @p known (the common
+     * flags above are always accepted); the diagnostic lists the
+     * valid keys.  Call after construction for strict binaries.
+     */
+    void requireKnown(const std::vector<std::string> &known) const;
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> values_;
+    bool help_ = false;
+};
+
+} // namespace csr
+
+#endif // CSR_UTIL_CLIARGS_H

@@ -88,6 +88,16 @@ Histogram::add(double x, std::uint64_t weight)
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    csr_assert(sameShape(other), "merging histograms of different shape");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+}
+
+void
 Histogram::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);

@@ -66,7 +66,19 @@ class Histogram
     void add(double x, std::uint64_t weight = 1);
     void reset();
 
+    /** Merge another histogram of identical shape (parallel
+     *  reduction); panics on a shape mismatch. */
+    void merge(const Histogram &other);
+
+    /** True when both histograms cover the same buckets. */
+    bool sameShape(const Histogram &other) const
+    {
+        return lo_ == other.lo_ && width_ == other.width_ &&
+               counts_.size() == other.counts_.size();
+    }
+
     std::size_t numBuckets() const { return counts_.size(); }
+    double bucketWidth() const { return width_; }
     std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
     /** Inclusive lower edge of bucket i. */
     double bucketLo(std::size_t i) const;

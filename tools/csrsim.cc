@@ -8,6 +8,7 @@
  *                [--mapping random|first-touch] [--ratio 8] [--haf 0.3]
  *                [--scale test|small|full] [--assoc 4] [--l2 16384]
  *                [--alias-bits 0] [--depreciation 2.0]
+ *                [--procs N] [--refs N] [--seed N]
  *                [--save-trace FILE | --load-trace FILE]
  *       Replays a sampled-processor trace (Section 3 study) and
  *       prints hits/misses, aggregate cost and savings over LRU.
@@ -29,6 +30,13 @@
  *       writes the full result as a machine-readable file (the CI
  *       perf-smoke job archives it).
  *
+ * Every mode also accepts the telemetry flags:
+ *
+ *   --trace FILE    record the run and export Chrome trace-event JSON
+ *                   (open in https://ui.perfetto.dev);
+ *   --metrics FILE  dump the run's unified metrics (counters, stats,
+ *                   histograms) as JSON.
+ *
  * Misconfigured cache shapes (non-power-of-two sizes etc.) raise
  * CacheGeometryError; main() turns that into a one-line diagnostic and
  * exit code 1 instead of a stack trace.
@@ -36,7 +44,6 @@
 
 #include <cstdlib>
 #include <iostream>
-#include <map>
 #include <string>
 
 #include "cache/CacheGeometry.h"
@@ -44,8 +51,11 @@
 #include "numa/NumaSystem.h"
 #include "sim/SweepRunner.h"
 #include "sim/TraceStudy.h"
+#include "telemetry/MetricRegistry.h"
+#include "telemetry/Tracer.h"
 #include "trace/TraceIO.h"
 #include "trace/WorkloadFactory.h"
+#include "util/CliArgs.h"
 #include "util/Logging.h"
 #include "util/Table.h"
 
@@ -53,53 +63,6 @@ using namespace csr;
 
 namespace
 {
-
-/** Minimal --key value argument parser. */
-class Args
-{
-  public:
-    Args(int argc, char **argv)
-    {
-        for (int i = 2; i < argc; ++i) {
-            std::string key = argv[i];
-            if (key.rfind("--", 0) != 0)
-                csr_fatal("unexpected argument '%s'", key.c_str());
-            key = key.substr(2);
-            if (i + 1 >= argc)
-                csr_fatal("missing value for --%s", key.c_str());
-            values_[key] = argv[++i];
-        }
-    }
-
-    std::string
-    get(const std::string &key, const std::string &fallback) const
-    {
-        auto it = values_.find(key);
-        return it == values_.end() ? fallback : it->second;
-    }
-
-    double
-    getDouble(const std::string &key, double fallback) const
-    {
-        auto it = values_.find(key);
-        return it == values_.end() ? fallback : std::atof(
-                                                    it->second.c_str());
-    }
-
-    std::uint64_t
-    getInt(const std::string &key, std::uint64_t fallback) const
-    {
-        auto it = values_.find(key);
-        return it == values_.end()
-                   ? fallback
-                   : std::strtoull(it->second.c_str(), nullptr, 0);
-    }
-
-    bool has(const std::string &key) const { return values_.count(key); }
-
-  private:
-    std::map<std::string, std::string> values_;
-};
 
 WorkloadScale
 parseScale(const std::string &name)
@@ -110,17 +73,90 @@ parseScale(const std::string &name)
         return WorkloadScale::Full;
     if (name == "small")
         return WorkloadScale::Small;
-    csr_fatal("unknown scale '%s'", name.c_str());
+    csr_fatal("unknown scale '%s' (valid: test small full)", name.c_str());
+}
+
+PolicyKind
+policyFromArgs(const CliArgs &args, const std::string &fallback)
+{
+    const std::string name = args.get("policy", fallback);
+    if (auto kind = parsePolicyKind(name))
+        return *kind;
+    csr_fatal("unknown policy '%s' (valid: %s)", name.c_str(),
+              policyNamesJoined(" ").c_str());
+}
+
+/**
+ * RAII recording session for --trace: enables the tracer for the
+ * scope and exports the Chrome trace JSON on exit.  A default
+ * (pathless) session records nothing.
+ */
+class TraceSession
+{
+  public:
+    explicit TraceSession(const std::string &path) : path_(path)
+    {
+        if (path_.empty())
+            return;
+#if defined(CSR_TELEMETRY_DISABLED)
+        warn("built with CSR_TELEMETRY=OFF: '%s' will contain no "
+             "events", path_.c_str());
+#endif
+        telemetry::Tracer::instance().clear();
+        telemetry::setTracingEnabled(true);
+    }
+
+    ~TraceSession()
+    {
+        if (path_.empty())
+            return;
+        telemetry::setTracingEnabled(false);
+        telemetry::Tracer::instance().writeChromeTrace(path_);
+        inform("wrote %zu trace events to %s",
+               telemetry::Tracer::instance().eventCount(), path_.c_str());
+    }
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+  private:
+    std::string path_;
+};
+
+void
+writeMetricsIfRequested(const CliArgs &args, const MetricRegistry &registry)
+{
+    const std::string path = args.metricsPath();
+    if (path.empty())
+        return;
+    registry.writeJson(path);
+    inform("wrote metrics to %s", path.c_str());
+}
+
+WorkloadConfig
+workloadConfigFromArgs(const CliArgs &args, const std::string &benchmark,
+                       bool numa_sized)
+{
+    WorkloadConfig config;
+    config.name = args.get("benchmark", benchmark);
+    config.scale = parseScale(args.get("scale", "small"));
+    config.numaSized = numa_sized;
+    config.numProcs =
+        static_cast<ProcId>(args.getUInt("procs", 0));
+    config.seed = args.seed(0);
+    config.targetRefsPerProc = args.getUInt("refs", 0);
+    return config;
 }
 
 int
-runTrace(const Args &args)
+runTrace(const CliArgs &args)
 {
-    const BenchmarkId id = parseBenchmark(args.get("benchmark", "barnes"));
-    const PolicyKind kind = parsePolicyKind(args.get("policy", "dcl"));
-    const WorkloadScale scale = parseScale(args.get("scale", "small"));
+    const WorkloadConfig wl =
+        workloadConfigFromArgs(args, "barnes", /*numa_sized=*/false);
+    const BenchmarkId id = parseBenchmark(wl.name);
+    const PolicyKind kind = policyFromArgs(args, "dcl");
 
-    auto workload = makeWorkload(id, scale);
+    auto workload = makeWorkload(wl);
     SampledTrace trace = buildSampledTrace(*workload, 1);
 
     if (args.has("load-trace")) {
@@ -134,14 +170,14 @@ runTrace(const Args &args)
     }
 
     TraceSimConfig config;
-    config.l2Bytes = args.getInt("l2", config.l2Bytes);
+    config.l2Bytes = args.getUInt("l2", config.l2Bytes);
     config.l2Assoc =
-        static_cast<std::uint32_t>(args.getInt("assoc", config.l2Assoc));
+        static_cast<std::uint32_t>(args.getUInt("assoc", config.l2Assoc));
     const TraceStudy study(trace, config);
 
     PolicyParams params;
     params.etdAliasBits =
-        static_cast<unsigned>(args.getInt("alias-bits", 0));
+        static_cast<unsigned>(args.getUInt("alias-bits", 0));
     params.depreciationFactor = args.getDouble("depreciation", 2.0);
 
     const double ratio = args.getDouble("ratio", 4.0);
@@ -155,8 +191,13 @@ runTrace(const Args &args)
             ? static_cast<const CostModel &>(random)
             : static_cast<const CostModel &>(first_touch);
 
-    const TraceSimResult res = study.run(kind, model, params);
-    const double lru_cost = study.lruCost(model);
+    TraceSimResult res;
+    double lru_cost = 0.0;
+    {
+        const TraceSession session(args.tracePath());
+        res = study.run(kind, model, params);
+        lru_cost = study.lruCost(model);
+    }
 
     TextTable table("trace study: " + benchmarkName(id) + " / " +
                     res.policyName + " / " + model.describe());
@@ -182,25 +223,32 @@ runTrace(const Args &args)
             stats.addRow({name, TextTable::count(value)});
         stats.print(std::cout);
     }
+
+    if (!args.metricsPath().empty()) {
+        MetricRegistry registry;
+        res.exportMetrics(registry);
+        registry.stat("trace.lru_cost").add(lru_cost);
+        writeMetricsIfRequested(args, registry);
+    }
     return 0;
 }
 
 int
-runNuma(const Args &args)
+runNuma(const CliArgs &args)
 {
-    const BenchmarkId id =
-        parseBenchmark(args.get("benchmark", "raytrace"));
-    const PolicyKind kind = parsePolicyKind(args.get("policy", "dcl"));
-    const WorkloadScale scale = parseScale(args.get("scale", "small"));
+    const WorkloadConfig wl =
+        workloadConfigFromArgs(args, "raytrace", /*numa_sized=*/true);
+    const BenchmarkId id = parseBenchmark(wl.name);
+    const PolicyKind kind = policyFromArgs(args, "dcl");
 
     NumaConfig config;
-    config.cycleNs = args.getInt("clock", 500) >= 1000 ? 1 : 2;
-    config.replacementHints = args.getInt("hints", 1) != 0;
+    config.cycleNs = args.getUInt("clock", 500) >= 1000 ? 1 : 2;
+    config.replacementHints = args.getUInt("hints", 1) != 0;
     config.policyParams.etdAliasBits =
-        static_cast<unsigned>(args.getInt("alias-bits", 0));
+        static_cast<unsigned>(args.getUInt("alias-bits", 0));
     config.storeCostWeight = args.getDouble("store-weight", 1.0);
 
-    auto workload = makeWorkload(id, scale, /*numa_sized=*/true);
+    auto workload = makeWorkload(wl);
 
     config.policy = PolicyKind::Lru;
     NumaSystem lru(config, *workload);
@@ -208,7 +256,11 @@ runNuma(const Args &args)
 
     config.policy = kind;
     NumaSystem sys(config, *workload);
-    const NumaResult res = sys.run();
+    NumaResult res;
+    {
+        const TraceSession session(args.tracePath());
+        res = sys.run();
+    }
 
     TextTable table("numa study: " + benchmarkName(id) + " @ " +
                     (config.cycleNs == 1 ? "1GHz" : "500MHz"));
@@ -232,29 +284,33 @@ runNuma(const Args &args)
                          static_cast<double>(base.execTimeNs),
                      2)
               << "%\n";
+
+    if (!args.metricsPath().empty()) {
+        MetricRegistry registry;
+        res.exportMetrics(registry);
+        registry.setCounter("numa.lru_exec_time_ns", base.execTimeNs);
+        writeMetricsIfRequested(args, registry);
+    }
     return 0;
 }
 
 int
-runSweep(const Args &args)
+runSweep(const CliArgs &args)
 {
     SweepGrid grid = parseGridSpec(args.get("grid", "table1"));
     if (args.has("scale"))
         grid.scale = parseScale(args.get("scale", "small"));
 
-    const std::string jobsArg = args.get("jobs", "0");
-    char *jobsEnd = nullptr;
-    const long jobs = std::strtol(jobsArg.c_str(), &jobsEnd, 0);
-    if (jobsEnd == jobsArg.c_str() || *jobsEnd != '\0' || jobs < 0 ||
-        jobs > 1024)
-        csr_fatal("--jobs '%s' must be an integer in [0,1024] "
-                  "(0 = one per hardware thread)", jobsArg.c_str());
-    const SweepRunner runner(static_cast<unsigned>(jobs));
-    const SweepResult result = runner.run(grid);
+    const SweepRunner runner(args.jobs());
+    SweepResult result;
+    {
+        const TraceSession session(args.tracePath());
+        result = runner.run(grid);
+    }
 
     TextTable table = result.toTable(
         "sweep: " + std::to_string(result.cells.size()) + " cells");
-    if (args.getInt("csv", 0))
+    if (args.getUInt("csv", 0))
         table.printCsv(std::cout);
     else
         table.print(std::cout);
@@ -264,7 +320,21 @@ runSweep(const Args &args)
     result.timingTable().print(std::cerr);
 
     if (args.has("json"))
-        result.writeJson(args.get("json", ""));
+        result.writeJson(args.jsonPath());
+
+    if (!args.metricsPath().empty()) {
+        MetricRegistry registry;
+        registry.setCounter("sweep.cells", result.cells.size());
+        registry.setCounter("sweep.jobs", result.jobs);
+        registry.recordTimerSec("sweep.wall", result.wallSec);
+        registry.recordTimerSec("sweep.setup", result.setupSec);
+        for (const SweepCellResult &cell : result.cells) {
+            registry.incCounter("sweep.sampled_refs", cell.sampledRefs);
+            registry.incCounter("sweep.l2_misses", cell.l2Misses);
+            registry.stat("sweep.savings_pct").add(cell.savingsPct);
+        }
+        writeMetricsIfRequested(args, registry);
+    }
     return 0;
 }
 
@@ -274,8 +344,11 @@ usage()
     std::cerr
         << "usage: csrsim trace|numa|sweep [--key value ...]\n"
            "  common: --benchmark barnes|lu|ocean|raytrace\n"
-           "          --policy lru|gd|bcl|dcl|acl|opt|costopt\n"
-           "          --scale test|small|full  --alias-bits N\n"
+           "          --policy " << policyNamesJoined() << "\n"
+        << "          --scale test|small|full  --alias-bits N\n"
+           "          --procs N --refs N --seed N\n"
+           "          --trace FILE (Chrome trace JSON, see Perfetto)\n"
+           "          --metrics FILE (unified metrics JSON)\n"
            "  trace:  --mapping random|first-touch --ratio R --haf F\n"
            "          --assoc N --l2 BYTES --depreciation F\n"
            "          --save-trace FILE --load-trace FILE\n"
@@ -299,7 +372,15 @@ main(int argc, char **argv)
         return 1;
     }
     const std::string mode = argv[1];
-    const Args args(argc, argv);
+    if (mode == "--help" || mode == "-h") {
+        usage();
+        return 0;
+    }
+    const CliArgs args(argc, argv, /*first=*/2);
+    if (args.helpRequested()) {
+        usage();
+        return 0;
+    }
     try {
         if (mode == "trace")
             return runTrace(args);
