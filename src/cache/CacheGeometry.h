@@ -8,9 +8,9 @@
 #define CSR_CACHE_CACHEGEOMETRY_H
 
 #include <cstdint>
-#include <stdexcept>
 #include <string>
 
+#include "robust/Errors.h"
 #include "util/Logging.h"
 #include "util/MathUtil.h"
 #include "util/Types.h"
@@ -22,12 +22,16 @@ namespace csr
  * Invalid cache geometry.  Thrown (rather than aborting) so that
  * drivers can surface a clean message naming the offending parameter
  * -- a bad --l2 / --assoc on the csrsim command line is user error,
- * not a program bug.
+ * not a program bug.  Part of the csr::Error hierarchy so drivers
+ * map it to its own exit code (exitcode::kGeometry).
  */
-class CacheGeometryError : public std::runtime_error
+class CacheGeometryError : public Error
 {
   public:
-    using std::runtime_error::runtime_error;
+    explicit CacheGeometryError(const std::string &what)
+        : Error("CacheGeometryError", exitcode::kGeometry, what)
+    {
+    }
 };
 
 /**

@@ -1,6 +1,9 @@
 #include "cache/CacheModel.h"
 
 #include <algorithm>
+#include <string>
+
+#include "robust/Errors.h"
 
 namespace csr
 {
@@ -33,6 +36,39 @@ CacheModel::countValid() const
     for (const std::uint64_t word : valid_)
         n += static_cast<std::uint64_t>(__builtin_popcountll(word));
     return n;
+}
+
+void
+CacheModel::checkInvariants() const
+{
+    for (std::uint32_t set = 0; set < geom_.numSets(); ++set) {
+        for (std::uint32_t w = 0; w < wordsPerSet_; ++w) {
+            const std::uint64_t word = valid_[set * wordsPerSet_ + w];
+            if (word & ~wordMasks_[w])
+                throw InvariantError(
+                    "cache set " + std::to_string(set) +
+                    ": valid bits set beyond associativity");
+        }
+        // Two valid ways holding one tag would make lookup()
+        // ambiguous; the fill/invalidate protocol must never let it
+        // happen.
+        for (std::uint32_t a = 0; a < geom_.assoc(); ++a) {
+            if (!isValid(set, static_cast<int>(a)))
+                continue;
+            for (std::uint32_t b = a + 1; b < geom_.assoc(); ++b) {
+                if (isValid(set, static_cast<int>(b)) &&
+                    tagAt(set, static_cast<int>(a)) ==
+                        tagAt(set, static_cast<int>(b)))
+                    throw InvariantError(
+                        "cache set " + std::to_string(set) +
+                        ": duplicate valid tag in ways " +
+                        std::to_string(a) + " and " +
+                        std::to_string(b));
+            }
+        }
+    }
+    if (policy_)
+        policy_->checkInvariants();
 }
 
 void

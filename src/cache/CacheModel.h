@@ -257,6 +257,12 @@ class CacheModel
     /** Invalidate every line and reset the bound policy. */
     void reset();
 
+    /** --validate pass: structural checks of the flat state (valid
+     *  bits confined to real ways, no duplicate valid tags in a set)
+     *  plus the bound policy's own checks.  Throws InvariantError on
+     *  violation. */
+    void checkInvariants() const;
+
   private:
     std::size_t
     idx(std::uint32_t set, int way) const

@@ -81,6 +81,13 @@ class DclPolicy : public CostSensitiveLruBase
         etd_.reset();
     }
 
+    void
+    checkInvariants() const override
+    {
+        CostSensitiveLruBase::checkInvariants();
+        etd_.checkInvariants();
+    }
+
   protected:
     void
     onMissAccess(std::uint32_t set, Addr tag) override

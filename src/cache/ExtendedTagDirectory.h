@@ -20,8 +20,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "robust/Errors.h"
 #include "util/Logging.h"
 #include "util/Types.h"
 
@@ -161,6 +163,29 @@ class ExtendedTagDirectory
         for (auto &entry : entries_)
             entry.valid = false;
         clock_ = 0;
+    }
+
+    /** --validate: insert() refreshes duplicates in place, so two
+     *  valid entries of a set must never share a masked tag.  Throws
+     *  InvariantError on violation. */
+    void
+    checkInvariants() const
+    {
+        const std::uint32_t num_sets = static_cast<std::uint32_t>(
+            entries_.size() / entriesPerSet_);
+        for (std::uint32_t set = 0; set < num_sets; ++set) {
+            for (const auto &a : cslice(set)) {
+                if (!a.valid)
+                    continue;
+                for (const Entry *b = &a + 1; b != cslice(set).end();
+                     ++b) {
+                    if (b->valid && b->tag == a.tag)
+                        throw InvariantError(
+                            "ETD set " + std::to_string(set) +
+                            ": duplicate valid masked tag");
+                }
+            }
+        }
     }
 
   private:

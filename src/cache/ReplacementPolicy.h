@@ -107,6 +107,11 @@ class ReplacementPolicy
     /** Reset all recency / reservation / ETD state. */
     virtual void reset() = 0;
 
+    /** --validate hook: verify internal state against the bound
+     *  model, throwing InvariantError on corruption.  The default
+     *  has nothing to check. */
+    virtual void checkInvariants() const {}
+
     const CacheGeometry &geometry() const { return geom_; }
 
     /** Policy-internal event counters (reservations, ETD hits, ...). */

@@ -1,7 +1,10 @@
 #include "cache/StackPolicyBase.h"
 
 #include <algorithm>
+#include <string>
+#include <vector>
 
+#include "robust/Errors.h"
 #include "util/Logging.h"
 
 namespace csr
@@ -113,6 +116,42 @@ StackPolicyBase::reset()
     std::fill(count_.begin(), count_.end(), 0);
     std::fill(lastLru_.begin(), lastLru_.end(), kInvalidWay);
     stats_.reset();
+}
+
+void
+StackPolicyBase::checkInvariants() const
+{
+    for (std::uint32_t set = 0; set < geom_.numSets(); ++set) {
+        const std::int32_t n = count_[set];
+        if (n < 0 || n > static_cast<std::int32_t>(geom_.assoc()))
+            throw InvariantError(
+                "recency stack of set " + std::to_string(set) +
+                " has impossible size " + std::to_string(n));
+        if (model_ != nullptr &&
+            n != static_cast<std::int32_t>(model_->validCountOf(set)))
+            throw InvariantError(
+                "recency stack of set " + std::to_string(set) +
+                " holds " + std::to_string(n) + " ways but the model"
+                " has " + std::to_string(model_->validCountOf(set)) +
+                " valid lines");
+        std::vector<char> seen(geom_.assoc(), 0);
+        for (std::int32_t pos = 1; pos <= n; ++pos) {
+            const int way = wayAt(set, static_cast<int>(pos));
+            if (way < 0 ||
+                way >= static_cast<int>(geom_.assoc()) ||
+                seen[static_cast<std::size_t>(way)])
+                throw InvariantError(
+                    "recency stack of set " + std::to_string(set) +
+                    " is not a permutation (way " +
+                    std::to_string(way) + " at position " +
+                    std::to_string(pos) + ")");
+            seen[static_cast<std::size_t>(way)] = 1;
+            if (model_ != nullptr && !model_->isValid(set, way))
+                throw InvariantError(
+                    "recency stack of set " + std::to_string(set) +
+                    " lists invalid way " + std::to_string(way));
+        }
+    }
 }
 
 int

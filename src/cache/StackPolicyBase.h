@@ -44,6 +44,10 @@ class StackPolicyBase : public ReplacementPolicy
     void invalidate(std::uint32_t set, Addr tag, int way) override;
     void reset() override;
 
+    /** --validate: every set's recency stack must be a permutation
+     *  of exactly the model's valid ways. */
+    void checkInvariants() const override;
+
     // --- introspection (tests, stats) ------------------------------------
 
     /** Ways ordered MRU first; only valid ways appear. */

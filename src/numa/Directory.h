@@ -115,6 +115,8 @@ class DirectoryController
     /** Directory state introspection (tests). */
     const DirEntry *entryOf(Addr block) const;
     bool busy(Addr block) const { return txns_.count(block) != 0; }
+    /** In-flight transactions (stall diagnostics). */
+    std::size_t pendingTransactions() const { return txns_.size(); }
     const std::unordered_map<Addr, DirEntry> &entries() const
     {
         return dir_;

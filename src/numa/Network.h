@@ -49,6 +49,16 @@ class MeshNetwork
     /** Unloaded (zero-contention) one-way latency of a message. */
     Tick unloadedLatency(ProcId src, ProcId dst, bool data) const;
 
+    /** Directed links still busy at @p now (stall diagnostics). */
+    std::size_t
+    busyLinks(Tick now) const
+    {
+        std::size_t n = 0;
+        for (const Tick free : linkFree_)
+            n += free > now ? 1 : 0;
+        return n;
+    }
+
     const StatGroup &stats() const { return stats_; }
 
   private:

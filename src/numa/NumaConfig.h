@@ -81,6 +81,19 @@ struct NumaConfig
      *  loads, so blocks that miss on stores are cheaper to evict. */
     double storeCostWeight = 1.0;
 
+    // --- robustness -----------------------------------------------------------
+    /** Hard budget on simulated time (--max-cycles); 0 = unlimited.
+     *  Exceeding it raises SimulationStallError with a diagnostic
+     *  snapshot instead of running forever. */
+    Tick maxSimNs = 0;
+    /** Stall watchdog window (--stall-window): if no processor
+     *  retires an op and no miss completes for this much simulated
+     *  time, the run is declared stalled.  0 disables the watchdog. */
+    Tick stallWindowNs = 10'000'000;
+    /** Run the coherence invariant check every N events (--validate);
+     *  0 checks only at end of run. */
+    std::uint64_t validateEveryEvents = 0;
+
     /** Convenience: ns for n processor cycles. */
     Tick cycles(std::uint32_t n) const { return Tick{n} * cycleNs; }
 };

@@ -72,11 +72,25 @@ class NumaSystem
     EventQueue &events() { return events_; }
 
     /** Verify the single-writer / multi-reader invariant across all
-     *  caches for every block any directory knows about; panics on
-     *  violation.  Called by tests and at end of run(). */
+     *  caches for every block any directory knows about; throws
+     *  InvariantError on violation.  Called by tests, at end of
+     *  run(), and on the validateEveryEvents cadence. */
     void checkCoherenceInvariant() const;
 
+    /**
+     * Human-readable dump of the component state a hang post-mortem
+     * needs: per-node processor progress, MSHR occupancy, directory
+     * pending transactions, network link business and the event
+     * queue depth.  This is what the stall watchdog attaches to
+     * SimulationStallError.
+     */
+    std::string diagnosticSnapshot() const;
+
   private:
+    /** Monotone progress measure: ops issued + misses completed.
+     *  Frozen progress across a stall window means a hang. */
+    std::uint64_t progressCount() const;
+
     NumaConfig config_;
     EventQueue events_;
     HomeMap homes_;

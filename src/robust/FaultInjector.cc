@@ -1,0 +1,98 @@
+#include "robust/FaultInjector.h"
+
+#include "util/Random.h"
+
+namespace csr
+{
+
+namespace
+{
+
+/** Per-thread injection context: draws are a pure function of
+ *  (seed, context, site, index), so each thread keeps its own draw
+ *  indices, reset whenever a new Scope sets a new context. */
+struct ThreadContext
+{
+    bool active = false;
+    std::uint64_t context = 0;
+    std::uint64_t drawIndex[static_cast<unsigned>(FaultSite::Count_)] = {};
+};
+
+thread_local ThreadContext tls_ctx;
+
+} // namespace
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::TraceLoad:
+        return "trace-load";
+      case FaultSite::TraceSim:
+        return "trace-sim";
+      case FaultSite::NumaSim:
+        return "numa-sim";
+      case FaultSite::CheckpointIO:
+        return "checkpoint-io";
+      case FaultSite::Count_:
+        break;
+    }
+    return "?";
+}
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::configure(double rate, std::uint64_t seed)
+{
+    rate_ = rate;
+    seed_ = seed;
+    injected_.store(0, std::memory_order_relaxed);
+}
+
+bool
+FaultInjector::shouldFail(FaultSite site)
+{
+    if (rate_ <= 0.0 || !tls_ctx.active)
+        return false;
+    const unsigned s = static_cast<unsigned>(site);
+    const std::uint64_t index = tls_ctx.drawIndex[s]++;
+    std::uint64_t h = hashMix64(seed_ ^ 0x0F417EC7ull);
+    h = hashMix64(h ^ tls_ctx.context);
+    h = hashMix64(h ^ (std::uint64_t{s} * 0x9E3779B97F4A7C15ull));
+    h = hashMix64(h ^ index);
+    // Top 53 bits -> uniform double in [0, 1).
+    const double draw =
+        static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (draw >= rate_)
+        return false;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+FaultInjector::Scope::Scope(std::uint64_t context)
+    : prevActive_(tls_ctx.active), prevContext_(tls_ctx.context)
+{
+    tls_ctx.active = true;
+    tls_ctx.context = context;
+    for (auto &index : tls_ctx.drawIndex)
+        index = 0;
+}
+
+FaultInjector::Scope::~Scope()
+{
+    tls_ctx.active = prevActive_;
+    tls_ctx.context = prevContext_;
+    // Draw indices are only meaningful inside a scope; entering the
+    // restored outer scope mid-stream is not supported (SweepRunner
+    // opens exactly one scope per attempt), so leave them reset.
+    for (auto &index : tls_ctx.drawIndex)
+        index = 0;
+}
+
+} // namespace csr

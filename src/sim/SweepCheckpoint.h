@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Sweep checkpoint codec: how cell outcomes are journaled to and
+ * restored from the JSONL checkpoint file.
+ *
+ * Layout of a checkpoint:
+ *
+ *   {"type":"header","version":1,"fingerprint":F,"cells":N}
+ *   {"type":"cell","index":i,"hash":H,...counters...,...bit-doubles...}
+ *   {"type":"failure","index":i,"hash":H,"kind":K,"message":M,...}
+ *
+ * The header's fingerprint is a hash over every expanded cell's
+ * configuration hash, in grid order -- resuming against a different
+ * grid (other presets, other axis values, even another ordering) is a
+ * CheckpointError, not silent garbage.  Each cell/failure line also
+ * carries its own cell hash, cross-checked against the expanded grid
+ * on load.
+ *
+ * Doubles that must survive the resume byte-identity contract
+ * (aggregate cost, LRU cost, savings) are stored as 16-hex-digit
+ * IEEE-754 bit patterns, so a restored cell prints exactly what the
+ * original run printed.
+ */
+
+#ifndef CSR_SIM_SWEEPCHECKPOINT_H
+#define CSR_SIM_SWEEPCHECKPOINT_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/SweepRunner.h"
+
+namespace csr
+{
+
+/** Stable hash of a whole expanded grid (order-sensitive). */
+std::uint64_t gridFingerprint(const std::vector<SweepCell> &cells);
+
+/** Encode the journal's first line. */
+std::string checkpointHeaderLine(std::uint64_t fingerprint,
+                                 std::size_t cell_count);
+
+/** Encode one completed cell. */
+std::string checkpointCellLine(const SweepCellResult &result);
+
+/** Encode one failed cell. */
+std::string checkpointFailureLine(const CellFailure &failure);
+
+/** Everything restored from a checkpoint. */
+struct SweepCheckpointState
+{
+    /** A valid header line was found; appending to the file is safe.
+     *  False for a missing/empty file (start a fresh journal). */
+    bool headerValid = false;
+
+    /** Cells with a journaled result; final, skipped on resume. */
+    std::map<std::size_t, SweepCellResult> results;
+    /** Cells whose *last* journaled outcome was a failure.  Not
+     *  final: resume re-runs them (a later cell line in the journal
+     *  supersedes an earlier failure line for the same index). */
+    std::map<std::size_t, CellFailure> failures;
+
+    std::size_t restoredCount() const
+    {
+        return results.size() + failures.size();
+    }
+};
+
+/**
+ * Read and validate @p path against the expanded @p cells.  A missing
+ * or empty file (including one holding only a torn line -- the
+ * signature of a process killed mid-append) restores nothing; a
+ * malformed or mismatched journal raises CheckpointError.  An
+ * unterminated *final* line is discarded silently.
+ */
+SweepCheckpointState loadSweepCheckpoint(
+    const std::string &path, const std::vector<SweepCell> &cells);
+
+} // namespace csr
+
+#endif // CSR_SIM_SWEEPCHECKPOINT_H

@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <bit>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 #include <tuple>
 #include <utility>
 
 #include "cost/StaticCostModels.h"
+#include "robust/CheckpointLog.h"
+#include "robust/FaultInjector.h"
+#include "sim/SweepCheckpoint.h"
 #include "telemetry/Telemetry.h"
 #include "util/Logging.h"
 #include "util/Random.h"
@@ -66,8 +71,8 @@ parseNumberFor(const std::string &key, const std::string &v)
     char *end = nullptr;
     const double parsed = std::strtod(v.c_str(), &end);
     if (end == v.c_str() || *end != '\0')
-        csr_fatal("grid key '%s': '%s' is not a number",
-                  key.c_str(), v.c_str());
+        throw ConfigError("grid key '" + key + "': '" + v +
+                          "' is not a number");
     return parsed;
 }
 
@@ -77,8 +82,8 @@ parseUIntFor(const std::string &key, const std::string &v)
     char *end = nullptr;
     const std::uint64_t parsed = std::strtoull(v.c_str(), &end, 0);
     if (end == v.c_str() || *end != '\0')
-        csr_fatal("grid key '%s': '%s' is not an unsigned integer",
-                  key.c_str(), v.c_str());
+        throw ConfigError("grid key '" + key + "': '" + v +
+                          "' is not an unsigned integer");
     return parsed;
 }
 
@@ -92,7 +97,7 @@ parseScaleName(const std::string &name)
         return WorkloadScale::Small;
     if (s == "full")
         return WorkloadScale::Full;
-    csr_fatal("unknown scale '%s' (test|small|full)", name.c_str());
+    throw ConfigError("unknown scale '" + name + "' (test|small|full)");
 }
 
 /** (benchmark, l2Bytes, assoc): what a TraceStudy is keyed by. */
@@ -149,8 +154,8 @@ parseCostMapping(const std::string &name)
         return CostMapping::Random;
     if (s == "first-touch" || s == "firsttouch" || s == "ft")
         return CostMapping::FirstTouch;
-    csr_fatal("unknown cost mapping '%s' (random|first-touch)",
-              name.c_str());
+    throw ConfigError("unknown cost mapping '" + name +
+                      "' (random|first-touch)");
 }
 
 std::uint64_t
@@ -268,12 +273,38 @@ SweepResult::toTable(const std::string &title) const
 }
 
 TextTable
+SweepResult::failureTable() const
+{
+    TextTable table("failed cells");
+    table.setHeader({"#", "Cell", "Error", "Attempts", "Message"});
+    for (const CellFailure &failure : failures) {
+        // The appendix is a summary; multi-line messages (stall
+        // snapshots) keep only their first line here.
+        std::string brief = failure.message;
+        const std::size_t nl = brief.find('\n');
+        if (nl != std::string::npos)
+            brief = brief.substr(0, nl) + " [...]";
+        table.addRow({
+            std::to_string(failure.index),
+            failure.cell.label(),
+            failure.kind,
+            std::to_string(failure.attempts),
+            brief,
+        });
+    }
+    return table;
+}
+
+TextTable
 SweepResult::timingTable() const
 {
     TextTable table("sweep timing");
     table.setHeader({"Metric", "Value"});
     table.addRow({"jobs", std::to_string(jobs)});
-    table.addRow({"cells", std::to_string(cells.size())});
+    table.addRow({"grid cells", std::to_string(gridCells)});
+    table.addRow({"succeeded", std::to_string(cells.size())});
+    table.addRow({"failed", std::to_string(failures.size())});
+    table.addRow({"resumed", std::to_string(resumedCells)});
     table.addRow({"wall (s)", TextTable::num(wallSec, 3)});
     table.addRow({"setup (s)", TextTable::num(setupSec, 3)});
     table.addRow({"task total (s)", TextTable::num(taskSecTotal, 3)});
@@ -291,20 +322,31 @@ SweepResult::timingTable() const
 }
 
 void
-SweepResult::writeJson(const std::string &path) const
+SweepResult::writeJson(const std::string &path,
+                       bool include_timing) const
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (f == nullptr)
-        csr_fatal("cannot write sweep JSON to '%s'", path.c_str());
+        throw ConfigError("cannot write sweep JSON to '" + path + "'");
+    std::fprintf(f, "{\n");
+    if (include_timing) {
+        // Timing is inherently run-dependent; byte-stable consumers
+        // (the resume-equivalence check) ask for it to be left out.
+        std::fprintf(f,
+                     "  \"jobs\": %u,\n"
+                     "  \"wallSec\": %.6f,\n"
+                     "  \"setupSec\": %.6f,\n"
+                     "  \"taskSecTotal\": %.6f,\n"
+                     "  \"taskSecMax\": %.6f,\n",
+                     jobs, wallSec, setupSec, taskSecTotal,
+                     taskSecMax);
+    }
     std::fprintf(f,
-                 "{\n"
-                 "  \"jobs\": %u,\n"
-                 "  \"wallSec\": %.6f,\n"
-                 "  \"setupSec\": %.6f,\n"
-                 "  \"taskSecTotal\": %.6f,\n"
-                 "  \"taskSecMax\": %.6f,\n"
+                 "  \"gridCells\": %zu,\n"
+                 "  \"succeeded\": %zu,\n"
+                 "  \"failed\": %zu,\n"
                  "  \"cells\": [\n",
-                 jobs, wallSec, setupSec, taskSecTotal, taskSecMax);
+                 gridCells, cells.size(), failures.size());
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const SweepCellResult &res = cells[i];
         const SweepCell &cell = res.cell;
@@ -331,6 +373,19 @@ SweepResult::writeJson(const std::string &path) const
             res.aggregateCost, res.lruCost, res.savingsPct,
             i + 1 < cells.size() ? "," : "");
     }
+    std::fprintf(f, "  ],\n  \"failures\": [\n");
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+        const CellFailure &failure = failures[i];
+        std::fprintf(
+            f,
+            "    {\"index\": %zu, \"cell\": \"%s\","
+            " \"kind\": \"%s\", \"attempts\": %u,"
+            " \"message\": \"%s\"}%s\n",
+            failure.index, jsonEscape(failure.cell.label()).c_str(),
+            jsonEscape(failure.kind).c_str(), failure.attempts,
+            jsonEscape(failure.message).c_str(),
+            i + 1 < failures.size() ? "," : "");
+    }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
 }
@@ -348,30 +403,99 @@ SweepRunner::buildTraces(const std::vector<BenchmarkId> &benchmarks,
     return buildTracesWith(pool, benchmarks, scale);
 }
 
+namespace
+{
+
+/** Deterministic capped exponential backoff before retry @p attempt
+ *  (the one that just failed).  The jitter is a pure function of the
+ *  cell seed and attempt number, so retry schedules are reproducible
+ *  run to run. */
+void
+retrySleep(std::uint64_t base_ms, std::uint64_t seed, unsigned attempt)
+{
+    if (base_ms == 0)
+        return;
+    const unsigned shift = std::min(attempt - 1, 10u);
+    const std::uint64_t capped =
+        std::min<std::uint64_t>(base_ms << shift, 1000);
+    const std::uint64_t jitter =
+        hashMix64(seed ^ (0xBAC0FFull + attempt)) % (capped / 2 + 1);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(capped + jitter));
+}
+
+} // namespace
+
 SweepResult
-SweepRunner::run(const SweepGrid &grid) const
+SweepRunner::run(const SweepGrid &grid, const SweepOptions &options) const
 {
     CSR_TRACE_SPAN("sweep", "SweepRunner::run");
     const std::vector<SweepCell> cells = grid.expand();
     if (cells.empty())
-        csr_fatal("sweep grid expands to zero cells");
+        throw ConfigError("sweep grid expands to zero cells");
+    if (options.maxAttempts == 0)
+        throw ConfigError("sweep maxAttempts must be >= 1");
 
     WallTimer total;
     ThreadPool pool(jobs_);
 
-    // Setup phase 1: one sampled trace per benchmark.
-    const TraceMap traces =
-        buildTracesWith(pool, grid.benchmarks, grid.scale);
+    // Per-cell outcome slots, compacted into the result afterwards.
+    enum class Outcome { Pending, Ok, Failed };
+    struct Slot
+    {
+        Outcome outcome = Outcome::Pending;
+        SweepCellResult result;
+        CellFailure failure;
+    };
+    std::vector<Slot> slots(cells.size());
 
-    // Setup phase 2: one TraceStudy (LRU replay + miss profile) per
-    // unique (benchmark, geometry).  Cells only read these afterward.
+    // Checkpoint: restore completed cells, then (re)open the journal.
+    // A journal without a valid header (missing file, or only a torn
+    // first line) is started from scratch.
+    JsonlWriter journal;
+    std::size_t resumed = 0;
+    if (!options.checkpointPath.empty()) {
+        SweepCheckpointState restored;
+        if (options.resume)
+            restored =
+                loadSweepCheckpoint(options.checkpointPath, cells);
+        journal.open(options.checkpointPath,
+                     /*truncate=*/!restored.headerValid);
+        if (!restored.headerValid)
+            journal.appendLine(checkpointHeaderLine(
+                gridFingerprint(cells), cells.size()));
+        // Only successes are final: a journaled failure means the
+        // cell never produced a result, so resume re-runs it (e.g.
+        // after the transient cause -- a full disk, an injected
+        // fault -- has gone away).  Its new outcome is journaled
+        // again, and the loader lets the later line win.
+        for (auto &[index, res] : restored.results) {
+            slots[index].outcome = Outcome::Ok;
+            slots[index].result = std::move(res);
+        }
+        resumed = restored.results.size();
+    }
+
+    // Setup covers only cells that still have to run -- resuming a
+    // finished sweep rebuilds nothing.
+    std::vector<BenchmarkId> pending_benchmarks;
     std::vector<StudyKey> study_keys;
-    for (const SweepCell &cell : cells) {
-        const StudyKey key = studyKeyOf(cell);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (slots[i].outcome != Outcome::Pending)
+            continue;
+        pending_benchmarks.push_back(cells[i].benchmark);
+        const StudyKey key = studyKeyOf(cells[i]);
         if (std::find(study_keys.begin(), study_keys.end(), key) ==
             study_keys.end())
             study_keys.push_back(key);
     }
+
+    // Setup phase 1: one sampled trace per benchmark.
+    const TraceMap traces =
+        buildTracesWith(pool, pending_benchmarks, grid.scale);
+
+    // Setup phase 2: one TraceStudy (LRU replay + miss profile) per
+    // unique (benchmark, geometry).  Cells only read these afterward.
     std::vector<std::shared_ptr<const TraceStudy>> built(
         study_keys.size());
     parallelFor(pool, study_keys.size(), [&](std::size_t i) {
@@ -379,6 +503,7 @@ SweepRunner::run(const SweepGrid &grid) const
         TraceSimConfig config;
         config.l2Bytes = l2_bytes;
         config.l2Assoc = assoc;
+        config.validateEveryRefs = options.validateEveryRefs;
         built[i] = std::make_shared<const TraceStudy>(
             *traces.at(benchmark), config);
     });
@@ -388,52 +513,113 @@ SweepRunner::run(const SweepGrid &grid) const
 
     SweepResult result;
     result.jobs = jobs_;
+    result.gridCells = cells.size();
+    result.resumedCells = resumed;
     result.setupSec = total.elapsedSec();
-    result.cells.resize(cells.size());
 
     // Every cell is independent: its own policy, cost model and
-    // result slot, seeded purely from the cell's configuration hash.
+    // outcome slot, seeded purely from the cell's configuration hash.
+    // The guard around each attempt is what keeps one bad cell from
+    // taking the grid down: typed failures are recorded, retried up
+    // to maxAttempts, and finally journaled as CellFailures.
     ParallelTiming timing;
     parallelFor(pool, cells.size(), [&](std::size_t i) {
+        Slot &slot = slots[i];
+        if (slot.outcome != Outcome::Pending)
+            return; // restored from the checkpoint
         WallTimer task_timer;
         const SweepCell &cell = cells[i];
         CSR_TRACE_SPAN_DYN("sweep", cell.label());
-        const TraceStudy &study = *studies.at(studyKeyOf(cell));
-        const SampledTrace &trace = *traces.at(cell.benchmark);
         const std::uint64_t seed = cell.hash();
 
-        PolicyParams params;
-        params.etdAliasBits = cell.etdAliasBits;
-        params.depreciationFactor = cell.depreciationFactor;
-        params.seed = seed;
+        std::string fail_kind, fail_message;
+        unsigned attempt = 0;
+        while (slot.outcome == Outcome::Pending) {
+            ++attempt;
+            try {
+                // Fresh fault-injection scope per attempt, so a
+                // retried cell draws new (still deterministic)
+                // decisions.  The shared setup above runs outside
+                // any scope and can never be injected into.
+                FaultInjector::Scope scope(hashMix64(seed ^ attempt));
+                if (options.cellProbe)
+                    options.cellProbe(cell, attempt);
 
-        const RandomTwoCost random(cell.ratio, cell.haf,
-                                   cell.mappingHash());
-        const FirstTouchTwoCost first_touch(cell.ratio, trace.homeOf,
-                                            trace.sampledProc);
-        const CostModel &model =
-            cell.mapping == CostMapping::Random
-                ? static_cast<const CostModel &>(random)
-                : static_cast<const CostModel &>(first_touch);
+                const TraceStudy &study =
+                    *studies.at(studyKeyOf(cell));
+                const SampledTrace &trace =
+                    *traces.at(cell.benchmark);
 
-        const TraceSimResult sim =
-            study.run(cell.policy, model, params);
-        const double lru_cost = study.lruCost(model);
+                PolicyParams params;
+                params.etdAliasBits = cell.etdAliasBits;
+                params.depreciationFactor = cell.depreciationFactor;
+                params.seed = seed;
 
-        SweepCellResult &out = result.cells[i];
-        out.cell = cell;
-        out.index = i;
-        out.seed = seed;
-        out.sampledRefs = sim.sampledRefs;
-        out.l2Hits = sim.l2Hits;
-        out.l2Misses = sim.l2Misses;
-        out.aggregateCost = sim.aggregateCost;
-        out.lruCost = lru_cost;
-        out.savingsPct =
-            relativeCostSavings(lru_cost, sim.aggregateCost);
-        out.taskSec = task_timer.elapsedSec();
-        timing.recordTask(out.taskSec);
+                const RandomTwoCost random(cell.ratio, cell.haf,
+                                           cell.mappingHash());
+                const FirstTouchTwoCost first_touch(
+                    cell.ratio, trace.homeOf, trace.sampledProc);
+                const CostModel &model =
+                    cell.mapping == CostMapping::Random
+                        ? static_cast<const CostModel &>(random)
+                        : static_cast<const CostModel &>(first_touch);
+
+                const TraceSimResult sim =
+                    study.run(cell.policy, model, params);
+                const double lru_cost = study.lruCost(model);
+
+                SweepCellResult &out = slot.result;
+                out.cell = cell;
+                out.index = i;
+                out.seed = seed;
+                out.sampledRefs = sim.sampledRefs;
+                out.l2Hits = sim.l2Hits;
+                out.l2Misses = sim.l2Misses;
+                out.aggregateCost = sim.aggregateCost;
+                out.lruCost = lru_cost;
+                out.savingsPct =
+                    relativeCostSavings(lru_cost, sim.aggregateCost);
+                slot.outcome = Outcome::Ok;
+            } catch (const Error &e) {
+                fail_kind = e.kind();
+                fail_message = e.what();
+            } catch (const std::exception &e) {
+                fail_kind = "std::exception";
+                fail_message = e.what();
+            }
+            if (slot.outcome == Outcome::Ok)
+                break;
+            CSR_TRACE_INSTANT("sweep", "cell-failure");
+            if (attempt >= options.maxAttempts) {
+                slot.failure.cell = cell;
+                slot.failure.index = i;
+                slot.failure.kind = fail_kind;
+                slot.failure.message = fail_message;
+                slot.failure.attempts = attempt;
+                slot.outcome = Outcome::Failed;
+                break;
+            }
+            retrySleep(options.retryBackoffMs, seed, attempt);
+        }
+
+        if (slot.outcome == Outcome::Ok) {
+            slot.result.taskSec = task_timer.elapsedSec();
+            timing.recordTask(slot.result.taskSec);
+            if (journal.isOpen())
+                journal.appendLine(checkpointCellLine(slot.result));
+        } else if (journal.isOpen()) {
+            journal.appendLine(checkpointFailureLine(slot.failure));
+        }
     });
+
+    // Compact the slots into grid order: successes first-class,
+    // failures as the appendix.
+    for (Slot &slot : slots) {
+        if (slot.outcome == Outcome::Ok)
+            result.cells.push_back(std::move(slot.result));
+        else
+            result.failures.push_back(std::move(slot.failure));
+    }
 
     result.wallSec = total.elapsedSec();
     result.taskSecTotal = timing.taskSecTotal();
@@ -493,9 +679,10 @@ presetGrid(const std::string &name)
         grid.scale = WorkloadScale::Test;
         return grid;
     }
-    csr_fatal("unknown sweep preset '%s' (table1|fig3|ablation-assoc|"
-              "ablation-cachesize|ablation-depreciation|ablation-etd|"
-              "smoke)", name.c_str());
+    throw ConfigError("unknown sweep preset '" + name +
+                      "' (table1|fig3|ablation-assoc|"
+                      "ablation-cachesize|ablation-depreciation|"
+                      "ablation-etd|smoke)");
 }
 
 SweepGrid
@@ -510,14 +697,14 @@ parseGridSpec(const std::string &spec)
             continue;
         const std::size_t eq = field.find('=');
         if (eq == std::string::npos)
-            csr_fatal("malformed grid field '%s' (want key=v1,v2,...)",
-                      field.c_str());
+            throw ConfigError("malformed grid field '" + field +
+                              "' (want key=v1,v2,...)");
         const std::string key = field.substr(0, eq);
         const std::vector<std::string> values =
             splitList(field.substr(eq + 1), ',');
         if (values.empty() || values.front().empty())
-            csr_fatal("empty value list for grid key '%s'",
-                      key.c_str());
+            throw ConfigError("empty value list for grid key '" + key +
+                              "'");
 
         if (key == "benchmarks") {
             grid.benchmarks.clear();
@@ -539,8 +726,9 @@ parseGridSpec(const std::string &spec)
                 } else {
                     const double ratio = parseNumberFor(key, v);
                     if (ratio <= 0.0)
-                        csr_fatal("cost ratio %g must be positive",
-                                  ratio);
+                        throw ConfigError(
+                            "cost ratio " + std::to_string(ratio) +
+                            " must be positive");
                     grid.ratios.push_back(CostRatio::finite(ratio));
                 }
             }
@@ -549,7 +737,8 @@ parseGridSpec(const std::string &spec)
             for (const auto &v : values) {
                 const double haf = parseNumberFor(key, v);
                 if (haf < 0.0 || haf > 1.0)
-                    csr_fatal("HAF %g out of [0,1]", haf);
+                    throw ConfigError("HAF " + std::to_string(haf) +
+                                      " out of [0,1]");
                 grid.hafs.push_back(haf);
             }
         } else if (key == "l2") {
@@ -573,7 +762,7 @@ parseGridSpec(const std::string &spec)
         } else if (key == "scale") {
             grid.scale = parseScaleName(values.front());
         } else {
-            csr_fatal("unknown grid key '%s'", key.c_str());
+            throw ConfigError("unknown grid key '" + key + "'");
         }
     }
     return grid;

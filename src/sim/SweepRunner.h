@@ -21,6 +21,7 @@
 #ifndef CSR_SIM_SWEEPRUNNER_H
 #define CSR_SIM_SWEEPRUNNER_H
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -28,6 +29,7 @@
 
 #include "cache/PolicyFactory.h"
 #include "cost/CostModel.h"
+#include "robust/Errors.h"
 #include "sim/TraceStudy.h"
 #include "trace/SampledTrace.h"
 #include "trace/WorkloadFactory.h"
@@ -46,8 +48,8 @@ enum class CostMapping
 
 std::string costMappingName(CostMapping mapping);
 
-/** Parse "random" / "first-touch" (case-insensitive); fatal on
- *  unknown names. */
+/** Parse "random" / "first-touch" (case-insensitive); throws
+ *  ConfigError on unknown names. */
 CostMapping parseCostMapping(const std::string &name);
 
 /**
@@ -123,28 +125,92 @@ struct SweepCellResult
     double taskSec = 0.0;     ///< wall clock of this cell's task
 };
 
+/**
+ * One cell that did not produce a result: the typed error it died
+ * with and how many attempts it was given.  Failures are first-class
+ * sweep output -- they appear in the JSON appendix and the failure
+ * table, and are journaled to checkpoints like successes.
+ */
+struct CellFailure
+{
+    SweepCell cell;
+    std::size_t index = 0;   ///< position in the expanded grid
+    std::string kind;        ///< Error::kind(), or "std::exception"
+    std::string message;     ///< what() of the final attempt
+    unsigned attempts = 1;   ///< attempts consumed (>= 1)
+};
+
 /** Results of a whole sweep, in stable grid order. */
 struct SweepResult
 {
-    std::vector<SweepCellResult> cells;
+    std::vector<SweepCellResult> cells; ///< successes, grid order
+    std::vector<CellFailure> failures;  ///< failed cells, grid order
+    std::size_t gridCells = 0;          ///< size of the expanded grid
+    std::size_t resumedCells = 0;       ///< restored from a checkpoint
     unsigned jobs = 1;
     double wallSec = 0.0;       ///< whole sweep, including setup
     double setupSec = 0.0;      ///< trace + LRU-profile construction
     double taskSecTotal = 0.0;  ///< sum of per-cell task times
     double taskSecMax = 0.0;
 
-    /** Flat per-cell table (one row per cell, grid order). */
+    bool complete() const { return failures.empty(); }
+
+    /** Flat per-cell table (one row per *successful* cell). */
     TextTable toTable(const std::string &title = "sweep") const;
+
+    /** Failure appendix: one row per failed cell (empty table when
+     *  the sweep was complete). */
+    TextTable failureTable() const;
 
     /** Jobs / wall / task-seconds / speedup / throughput summary. */
     TextTable timingTable() const;
 
     /**
-     * Machine-readable dump: the timing summary plus one object per
-     * cell, in stable grid order (CI archives these as artifacts).
-     * Fatal if @p path cannot be opened for writing.
+     * Machine-readable dump: one object per cell in stable grid
+     * order, plus the failure appendix (CI archives these as
+     * artifacts).  @p include_timing adds the wall/setup/task
+     * summary; pass false for byte-stable output across runs (the
+     * checkpoint/resume equivalence contract).  Throws ConfigError if
+     * @p path cannot be opened for writing.
      */
-    void writeJson(const std::string &path) const;
+    void writeJson(const std::string &path,
+                   bool include_timing = true) const;
+};
+
+/**
+ * Robustness knobs of a sweep run.  The defaults reproduce the
+ * historical behaviour (one attempt, no journal) except that a
+ * failing cell no longer takes the whole grid down with it.
+ */
+struct SweepOptions
+{
+    /** Attempts per cell (>= 1).  Retries re-run the cell from
+     *  scratch with a fresh fault-injection scope. */
+    unsigned maxAttempts = 1;
+
+    /** Base backoff before the first retry, doubled per further
+     *  retry and capped at 1s.  Jitter is derived from the cell hash
+     *  so the schedule is deterministic.  0 disables sleeping. */
+    std::uint64_t retryBackoffMs = 10;
+
+    /** Append-only JSONL journal of completed cells; empty = off. */
+    std::string checkpointPath;
+
+    /** Restore finished cells from checkpointPath and only run the
+     *  remainder.  The journal must match the grid (fingerprint). */
+    bool resume = false;
+
+    /** Cadence (in sampled refs) of cache/policy invariant checks
+     *  inside each cell's simulation; 0 = off. */
+    std::uint64_t validateEveryRefs = 0;
+
+    /**
+     * Test hook: runs at the start of every (cell, attempt) inside
+     * the per-cell guard.  A throw here is handled exactly like a
+     * simulator failure, which makes the isolation/retry/checkpoint
+     * machinery testable without a fault-injection build.
+     */
+    std::function<void(const SweepCell &, unsigned attempt)> cellProbe;
 };
 
 /**
@@ -155,8 +221,10 @@ class SweepRunner
   public:
     explicit SweepRunner(unsigned jobs = 0);
 
-    /** Run every cell of @p grid; results come back in grid order. */
-    SweepResult run(const SweepGrid &grid) const;
+    /** Run every cell of @p grid; results come back in grid order.
+     *  Cell failures are isolated (see SweepOptions). */
+    SweepResult run(const SweepGrid &grid,
+                    const SweepOptions &options = {}) const;
 
     using TraceMap =
         std::map<BenchmarkId, std::shared_ptr<const SampledTrace>>;
@@ -181,8 +249,8 @@ SweepGrid presetGrid(const std::string &name);
  * Parse a grid specification: either a preset name, or a semicolon
  * separated "key=v1,v2,..." list with keys benchmarks, policies,
  * mappings, ratios (numbers or "inf"), hafs, l2, assocs, alias-bits,
- * depreciations, scale.  Unset keys keep SweepGrid defaults.  Fatal
- * on malformed input.
+ * depreciations, scale.  Unset keys keep SweepGrid defaults.  Throws
+ * ConfigError on malformed input.
  */
 SweepGrid parseGridSpec(const std::string &spec);
 

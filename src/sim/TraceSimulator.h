@@ -46,6 +46,10 @@ struct TraceSimConfig
     /** Record per-block L2 miss counts in the result (used by
      *  TraceStudy to re-weight an LRU run under many cost models). */
     bool collectMissProfile = false;
+    /** Run CacheModel/policy invariant checks every N sampled refs
+     *  (--validate); 0 disables them.  A violation raises
+     *  InvariantError instead of silently corrupting results. */
+    std::uint64_t validateEveryRefs = 0;
 };
 
 /** Counters and the aggregate cost of one simulation. */
@@ -103,6 +107,8 @@ class TraceSimulator
   private:
     void handleRemoteWrite(Addr addr);
     void handleSampledAccess(Addr addr);
+    /** --validate pass: throws InvariantError on corrupted state. */
+    void checkInvariants() const;
 
     TraceSimConfig config_;
     CacheModel l1_; ///< direct-mapped filter, policy-less

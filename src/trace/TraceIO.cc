@@ -7,6 +7,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "robust/Errors.h"
+#include "robust/FaultInjector.h"
 #include "util/Logging.h"
 
 namespace csr
@@ -18,6 +20,15 @@ namespace
 constexpr char kMagic[4] = {'C', 'S', 'R', 'T'};
 constexpr std::uint32_t kVersion = 1;
 
+/** Header: magic + version + count; each record: addr + meta. */
+constexpr std::uint64_t kHeaderBytes = 4 + 8 + 8;
+constexpr std::uint64_t kRecordBytes = 8 + 4;
+
+/** Cap on the up-front reservation for the declared record count: a
+ *  corrupt header must not be able to demand an absurd allocation.
+ *  Larger (honest) traces grow past this normally. */
+constexpr std::uint64_t kMaxReserveRecords = 1u << 20;
+
 void
 put64(std::ostream &os, std::uint64_t v)
 {
@@ -28,11 +39,16 @@ put64(std::ostream &os, std::uint64_t v)
     os.write(reinterpret_cast<const char *>(buf.data()), 8);
 }
 
+/** Read 8 little-endian bytes at @p offset; TraceFormatError naming
+ *  the offset when the stream cannot deliver them. */
 std::uint64_t
-get64(std::istream &is)
+get64(std::istream &is, std::uint64_t offset, const char *what)
 {
     std::array<unsigned char, 8> buf;
     is.read(reinterpret_cast<char *>(buf.data()), 8);
+    if (!is || is.gcount() != 8)
+        throw TraceFormatError(std::string("truncated trace: ") + what,
+                               offset);
     std::uint64_t v = 0;
     for (int i = 0; i < 8; ++i)
         v |= static_cast<std::uint64_t>(buf[static_cast<std::size_t>(i)])
@@ -59,7 +75,7 @@ writeTraceBinary(std::ostream &os, const std::vector<TraceRecord> &records)
                 static_cast<unsigned char>(meta >> (8 * i));
         os.write(reinterpret_cast<const char *>(buf.data()), 4);
     }
-    return 4 + 16 + records.size() * 12;
+    return kHeaderBytes + records.size() * kRecordBytes;
 }
 
 std::vector<TraceRecord>
@@ -67,28 +83,42 @@ readTraceBinary(std::istream &is)
 {
     char magic[4];
     is.read(magic, 4);
-    if (!is || std::memcmp(magic, kMagic, 4) != 0)
-        csr_fatal("not a CSRT binary trace");
-    const std::uint64_t version = get64(is);
+    if (!is || is.gcount() != 4 ||
+        std::memcmp(magic, kMagic, 4) != 0)
+        throw TraceFormatError("not a CSRT binary trace", 0);
+    const std::uint64_t version = get64(is, 4, "version field");
     if (version != kVersion)
-        csr_fatal("unsupported trace version %llu",
-                  static_cast<unsigned long long>(version));
-    const std::uint64_t count = get64(is);
+        throw TraceFormatError(
+            "unsupported trace version " + std::to_string(version), 4);
+    const std::uint64_t count = get64(is, 12, "record count");
+
     std::vector<TraceRecord> records;
-    records.reserve(count);
+    // Trusting a corrupt count here would hand an attacker-sized
+    // allocation to reserve(); cap it and let honest traces grow.
+    records.reserve(static_cast<std::size_t>(
+        count < kMaxReserveRecords ? count : kMaxReserveRecords));
     for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t offset = kHeaderBytes + i * kRecordBytes;
         TraceRecord rec;
-        rec.addr = get64(is);
+        rec.addr = get64(is, offset,
+                         "address of a declared record");
         std::array<unsigned char, 4> buf;
         is.read(reinterpret_cast<char *>(buf.data()), 4);
-        if (!is)
-            csr_fatal("truncated trace at record %llu",
-                      static_cast<unsigned long long>(i));
+        if (!is || is.gcount() != 4)
+            throw TraceFormatError(
+                "truncated trace at record " + std::to_string(i) +
+                    " of " + std::to_string(count),
+                offset + 8);
         std::uint32_t meta = 0;
         for (int b = 0; b < 4; ++b)
             meta |= static_cast<std::uint32_t>(
                         buf[static_cast<std::size_t>(b)])
                     << (8 * b);
+        if (meta & ~0x1FFFFu)
+            throw TraceFormatError(
+                "record " + std::to_string(i) +
+                    " has reserved meta bits set",
+                offset + 8);
         rec.proc = static_cast<std::uint16_t>(meta & 0xFFFF);
         rec.write = (meta & 0x10000u) != 0;
         records.push_back(rec);
@@ -111,8 +141,11 @@ readTraceText(std::istream &is)
     std::vector<TraceRecord> records;
     std::string line;
     std::uint64_t lineno = 0;
+    std::uint64_t offset = 0;
     while (std::getline(is, line)) {
         ++lineno;
+        const std::uint64_t line_offset = offset;
+        offset += line.size() + 1;
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream ls(line);
@@ -121,8 +154,16 @@ readTraceText(std::istream &is)
         Addr addr = 0;
         ls >> type >> proc >> std::hex >> addr;
         if (!ls || (type != 'R' && type != 'W'))
-            csr_fatal("malformed trace line %llu: '%s'",
-                      static_cast<unsigned long long>(lineno), line.c_str());
+            throw TraceFormatError(
+                "malformed trace line " + std::to_string(lineno) +
+                    ": '" + line + "'",
+                line_offset);
+        if (proc > 0xFFFF)
+            throw TraceFormatError(
+                "trace line " + std::to_string(lineno) +
+                    ": processor id " + std::to_string(proc) +
+                    " out of range",
+                line_offset);
         records.push_back({addr, static_cast<std::uint16_t>(proc),
                            type == 'W'});
     }
@@ -134,18 +175,19 @@ saveTrace(const std::string &path, const std::vector<TraceRecord> &records)
 {
     std::ofstream os(path, std::ios::binary);
     if (!os)
-        csr_fatal("cannot open '%s' for writing", path.c_str());
+        throw ConfigError("cannot open '" + path + "' for writing");
     writeTraceBinary(os, records);
     if (!os)
-        csr_fatal("write failure on '%s'", path.c_str());
+        throw ConfigError("write failure on '" + path + "'");
 }
 
 std::vector<TraceRecord>
 loadTrace(const std::string &path)
 {
+    CSR_FAULT_POINT(FaultSite::TraceLoad, "loadTrace(" + path + ")");
     std::ifstream is(path, std::ios::binary);
     if (!is)
-        csr_fatal("cannot open '%s' for reading", path.c_str());
+        throw ConfigError("cannot open '" + path + "' for reading");
     return readTraceBinary(is);
 }
 

@@ -26,21 +26,27 @@ namespace csr
 std::uint64_t writeTraceBinary(std::ostream &os,
                                const std::vector<TraceRecord> &records);
 
-/** Read a binary trace; fatal on a malformed header or truncation. */
+/** Read a binary trace.  Bounds-checked end to end: a malformed
+ *  header, impossible record count or truncated record raises
+ *  TraceFormatError carrying the byte offset of the failure -- never
+ *  UB, whatever the input. */
 std::vector<TraceRecord> readTraceBinary(std::istream &is);
 
 /** Write records as text, one per line. */
 void writeTraceText(std::ostream &os,
                     const std::vector<TraceRecord> &records);
 
-/** Read a text trace; fatal on malformed lines. */
+/** Read a text trace; TraceFormatError on malformed lines (the
+ *  message names the line, the error carries the byte offset). */
 std::vector<TraceRecord> readTraceText(std::istream &is);
 
-/** Convenience: write binary to a path (fatal on I/O failure). */
+/** Convenience: write binary to a path; ConfigError when the path
+ *  cannot be opened or written. */
 void saveTrace(const std::string &path,
                const std::vector<TraceRecord> &records);
 
-/** Convenience: read binary from a path (fatal on I/O failure). */
+/** Convenience: read binary from a path; ConfigError when the path
+ *  cannot be opened, TraceFormatError when the content is bad. */
 std::vector<TraceRecord> loadTrace(const std::string &path);
 
 } // namespace csr

@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <cstdlib>
 
-#include "util/Logging.h"
+#include "robust/Errors.h"
 
 namespace csr
 {
 
-CliArgs::CliArgs(int argc, char **argv, int first)
+CliArgs::CliArgs(int argc, char **argv, int first,
+                 const std::vector<std::string> &valueless)
     : program_(argc > 0 ? argv[0] : "csr")
 {
     // Keep just the binary name for diagnostics.
@@ -23,12 +24,16 @@ CliArgs::CliArgs(int argc, char **argv, int first)
             continue;
         }
         if (key.rfind("--", 0) != 0)
-            csr_fatal("%s: unexpected argument '%s' (flags are "
-                      "--key value)", program_.c_str(), key.c_str());
+            throw ConfigError(program_ + ": unexpected argument '" + key +
+                              "' (flags are --key value)");
         key = key.substr(2);
+        if (std::find(valueless.begin(), valueless.end(), key) !=
+            valueless.end()) {
+            values_[key] = "1";
+            continue;
+        }
         if (i + 1 >= argc)
-            csr_fatal("%s: missing value for --%s", program_.c_str(),
-                      key.c_str());
+            throw ConfigError(program_ + ": missing value for --" + key);
         values_[key] = argv[++i];
     }
 }
@@ -49,8 +54,8 @@ CliArgs::getDouble(const std::string &key, double fallback) const
     char *end = nullptr;
     const double parsed = std::strtod(it->second.c_str(), &end);
     if (end == it->second.c_str() || *end != '\0')
-        csr_fatal("%s: --%s '%s' is not a number", program_.c_str(),
-                  key.c_str(), it->second.c_str());
+        throw ConfigError(program_ + ": --" + key + " '" + it->second +
+                          "' is not a number");
     return parsed;
 }
 
@@ -64,8 +69,8 @@ CliArgs::getUInt(const std::string &key, std::uint64_t fallback) const
     const std::uint64_t parsed =
         std::strtoull(it->second.c_str(), &end, 0);
     if (end == it->second.c_str() || *end != '\0')
-        csr_fatal("%s: --%s '%s' is not an unsigned integer",
-                  program_.c_str(), key.c_str(), it->second.c_str());
+        throw ConfigError(program_ + ": --" + key + " '" + it->second +
+                          "' is not an unsigned integer");
     return parsed;
 }
 
@@ -83,9 +88,9 @@ CliArgs::jobs(bool env_fallback) const
     char *end = nullptr;
     const long jobs = std::strtol(value.c_str(), &end, 0);
     if (end == value.c_str() || *end != '\0' || jobs < 0 || jobs > 1024)
-        csr_fatal("%s: --jobs '%s' must be an integer in [0,1024] "
-                  "(0 = one per hardware thread)", program_.c_str(),
-                  value.c_str());
+        throw ConfigError(program_ + ": --jobs '" + value +
+                          "' must be an integer in [0,1024] "
+                          "(0 = one per hardware thread)");
     return static_cast<unsigned>(jobs);
 }
 
@@ -113,8 +118,8 @@ CliArgs::requireKnown(const std::vector<std::string> &known) const
             valid += (valid.empty() ? "--" : " --") + k;
         for (const std::string &k : common)
             valid += (valid.empty() ? "--" : " --") + k;
-        csr_fatal("%s: unknown flag --%s (valid: %s)",
-                  program_.c_str(), key.c_str(), valid.c_str());
+        throw ConfigError(program_ + ": unknown flag --" + key +
+                          " (valid: " + valid + ")");
     }
 }
 

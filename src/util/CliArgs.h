@@ -28,11 +28,15 @@ class CliArgs
   public:
     /**
      * Parse "--key value" pairs from argv[first..).  "--help"/"-h"
-     * set helpRequested() instead of consuming a value; anything that
-     * is not a --flag, and any --flag missing its value, is fatal
-     * with a uniform diagnostic naming @p program.
+     * set helpRequested() instead of consuming a value.  Keys listed
+     * in @p valueless are boolean switches: they consume no value and
+     * read back as "1" (so has() and getUInt() both work).  Anything
+     * that is not a --flag, and any non-valueless --flag missing its
+     * value, raises ConfigError with a uniform diagnostic naming the
+     * program.
      */
-    CliArgs(int argc, char **argv, int first = 1);
+    CliArgs(int argc, char **argv, int first = 1,
+            const std::vector<std::string> &valueless = {});
 
     bool has(const std::string &key) const
     {
@@ -42,11 +46,11 @@ class CliArgs
     std::string get(const std::string &key,
                     const std::string &fallback) const;
 
-    /** Number; fatal when the value does not parse. */
+    /** Number; ConfigError when the value does not parse. */
     double getDouble(const std::string &key, double fallback) const;
 
-    /** Unsigned integer (base auto-detected); fatal when the value
-     *  does not parse. */
+    /** Unsigned integer (base auto-detected); ConfigError when the
+     *  value does not parse. */
     std::uint64_t getUInt(const std::string &key,
                           std::uint64_t fallback) const;
 
@@ -72,9 +76,9 @@ class CliArgs
     std::string metricsPath() const { return get("metrics", ""); }
 
     /**
-     * Fatal unless every parsed key appears in @p known (the common
-     * flags above are always accepted); the diagnostic lists the
-     * valid keys.  Call after construction for strict binaries.
+     * ConfigError unless every parsed key appears in @p known (the
+     * common flags above are always accepted); the diagnostic lists
+     * the valid keys.  Call after construction for strict binaries.
      */
     void requireKnown(const std::vector<std::string> &known) const;
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace csr
 {
@@ -9,10 +10,21 @@ namespace csr
 namespace
 {
 
+/** Serialises whole report lines: sweep worker threads all log
+ *  through here, and interleaved half-lines are useless in a
+ *  post-mortem. */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 void
 vreport(const char *tag, const char *file, int line, const char *fmt,
         va_list ap)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "%s: ", tag);
     std::vfprintf(stderr, fmt, ap);
     if (file)
@@ -47,13 +59,16 @@ void
 assertFailImpl(const char *file, int line, const char *cond,
                const char *fmt, ...)
 {
-    std::fprintf(stderr, "panic: assertion '%s' failed: ", cond);
-    va_list ap;
-    va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
-    va_end(ap);
-    std::fprintf(stderr, " @ %s:%d\n", file, line);
-    std::fflush(stderr);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "panic: assertion '%s' failed: ", cond);
+        va_list ap;
+        va_start(ap, fmt);
+        std::vfprintf(stderr, fmt, ap);
+        va_end(ap);
+        std::fprintf(stderr, " @ %s:%d\n", file, line);
+        std::fflush(stderr);
+    }
     std::abort();
 }
 

@@ -229,7 +229,7 @@ TEST(SweepResult, TableHasOneRowPerCell)
     EXPECT_EQ(sweep.toTable().numRows(), sweep.cells.size());
     EXPECT_EQ(sweep.jobs, 2u);
     EXPECT_GT(sweep.wallSec, 0.0);
-    EXPECT_EQ(sweep.timingTable().numRows(), 8u);
+    EXPECT_EQ(sweep.timingTable().numRows(), 11u);
 }
 
 } // namespace

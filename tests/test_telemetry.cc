@@ -22,6 +22,7 @@
 #include "telemetry/Telemetry.h"
 #include "trace/SampledTrace.h"
 #include "trace/WorkloadFactory.h"
+#include "robust/Errors.h"
 #include "util/CliArgs.h"
 
 using namespace csr;
@@ -426,26 +427,37 @@ TEST(CliArgs, HelpFlagSetsHelpRequested)
     EXPECT_TRUE(args.helpRequested());
 }
 
-TEST(CliArgsDeathTest, RejectsMalformedFlags)
+TEST(CliArgs, RejectsMalformedFlags)
 {
     const char *bare[] = {"prog", "value-without-flag"};
-    EXPECT_DEATH(CliArgs(2, const_cast<char **>(bare)),
-                 "unexpected argument");
+    EXPECT_THROW(CliArgs(2, const_cast<char **>(bare)), ConfigError);
 
     const char *dangling[] = {"prog", "--jobs"};
-    EXPECT_DEATH(CliArgs(2, const_cast<char **>(dangling)),
-                 "missing value");
+    EXPECT_THROW(CliArgs(2, const_cast<char **>(dangling)),
+                 ConfigError);
 }
 
-TEST(CliArgsDeathTest, ValidatesNumbersAndKnownFlags)
+TEST(CliArgs, ValidatesNumbersAndKnownFlags)
 {
     const char *bad_jobs[] = {"prog", "--jobs", "many"};
-    EXPECT_DEATH(CliArgs(3, const_cast<char **>(bad_jobs)).jobs(),
-                 "--jobs");
+    EXPECT_THROW(CliArgs(3, const_cast<char **>(bad_jobs)).jobs(),
+                 ConfigError);
 
     const char *unknown[] = {"prog", "--bogus", "1"};
     CliArgs args(3, const_cast<char **>(unknown));
-    EXPECT_DEATH(args.requireKnown({"real"}), "unknown flag --bogus");
+    EXPECT_THROW(args.requireKnown({"real"}), ConfigError);
+}
+
+TEST(CliArgs, ValuelessFlagsConsumeNoValue)
+{
+    const char *argv[] = {"prog", "--resume", "--jobs", "3",
+                          "--validate"};
+    CliArgs args(5, const_cast<char **>(argv), 1,
+                 {"resume", "validate"});
+    EXPECT_TRUE(args.has("resume"));
+    EXPECT_TRUE(args.has("validate"));
+    EXPECT_EQ(args.get("resume", ""), "1");
+    EXPECT_EQ(args.jobs(), 3u);
 }
 
 // ---------------------------------------------------------------------------

@@ -8,7 +8,7 @@
  *                [--mapping random|first-touch] [--ratio 8] [--haf 0.3]
  *                [--scale test|small|full] [--assoc 4] [--l2 16384]
  *                [--alias-bits 0] [--depreciation 2.0]
- *                [--procs N] [--refs N] [--seed N]
+ *                [--procs N] [--refs N] [--seed N] [--validate]
  *                [--save-trace FILE | --load-trace FILE]
  *       Replays a sampled-processor trace (Section 3 study) and
  *       prints hits/misses, aggregate cost and savings over LRU.
@@ -16,19 +16,31 @@
  *   csrsim numa  --benchmark raytrace --policy dcl \
  *                [--clock 500|1000] [--hints 0|1] [--scale ...]
  *                [--alias-bits 0] [--store-weight 1.0]
+ *                [--max-cycles NS] [--stall-window NS] [--validate]
  *       Runs the 16-node CC-NUMA machine (Section 4 study) under LRU
  *       and the chosen policy and prints the execution-time delta.
+ *       A hung protocol is converted into SimulationStallError (exit
+ *       code 5) carrying a per-node diagnostic snapshot instead of
+ *       spinning forever; --max-cycles adds a hard simulated-time
+ *       budget on top of the stall watchdog.
  *
  *   csrsim sweep --grid table1|fig3|ablation-*|"key=v1,v2;..." \
  *                [--jobs N] [--scale test|small|full] [--csv 0|1]
- *                [--json FILE]
+ *                [--json FILE] [--json-timing 0|1]
+ *                [--checkpoint FILE [--resume]] [--retries N]
+ *                [--validate]
  *       Expands a declarative policy x workload x cost grid and runs
  *       every cell in parallel on a bounded thread pool (SweepRunner).
  *       Per-cell results go to stdout in stable grid order -- they are
  *       bit-identical for any --jobs value -- and the timing summary
- *       goes to stderr so outputs stay diffable.  --json additionally
- *       writes the full result as a machine-readable file (the CI
- *       perf-smoke job archives it).
+ *       goes to stderr so outputs stay diffable.  A failing cell is
+ *       retried (--retries) and then recorded as a failure while the
+ *       rest of the grid completes; a sweep with failures prints a
+ *       failure appendix and exits with code 10.  --checkpoint
+ *       journals finished cells to an append-only JSONL file;
+ *       --resume restores them on restart, and a killed-and-resumed
+ *       sweep's grid output is byte-identical to an uninterrupted run
+ *       (pass --json-timing 0 to make the JSON byte-stable too).
  *
  * Every mode also accepts the telemetry flags:
  *
@@ -37,11 +49,22 @@
  *   --metrics FILE  dump the run's unified metrics (counters, stats,
  *                   histograms) as JSON.
  *
- * Misconfigured cache shapes (non-power-of-two sizes etc.) raise
- * CacheGeometryError; main() turns that into a one-line diagnostic and
- * exit code 1 instead of a stack trace.
+ * Fault-injection builds (-DCSR_FAULT_INJECT=ON) additionally honour
+ * --fault-rate F --fault-seed N, seeding deterministic failures at
+ * the compiled probe points.
+ *
+ * Output paths (--trace/--metrics/--json/--checkpoint/--save-trace)
+ * are probed for writability *before* the run starts, so a typo'd
+ * directory fails in milliseconds rather than after an hour of
+ * simulation.
+ *
+ * Errors map to distinct exit codes (see robust/Errors.h): 0 ok,
+ * 2 ConfigError, 3 TraceFormatError, 4 CheckpointError, 5 stall,
+ * 6 geometry, 7 invariant violation, 8 injected fault, 10 sweep
+ * completed with failed cells.
  */
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -49,6 +72,8 @@
 #include "cache/CacheGeometry.h"
 #include "cost/StaticCostModels.h"
 #include "numa/NumaSystem.h"
+#include "robust/Errors.h"
+#include "robust/FaultInjector.h"
 #include "sim/SweepRunner.h"
 #include "sim/TraceStudy.h"
 #include "telemetry/MetricRegistry.h"
@@ -64,6 +89,10 @@ using namespace csr;
 namespace
 {
 
+/** Invariant-check cadence installed by --validate (sampled refs for
+ *  the trace study, events for the NUMA run). */
+constexpr std::uint64_t kValidateCadence = 4096;
+
 WorkloadScale
 parseScale(const std::string &name)
 {
@@ -73,7 +102,8 @@ parseScale(const std::string &name)
         return WorkloadScale::Full;
     if (name == "small")
         return WorkloadScale::Small;
-    csr_fatal("unknown scale '%s' (valid: test small full)", name.c_str());
+    throw ConfigError("unknown scale '" + name +
+                      "' (valid: test small full)");
 }
 
 PolicyKind
@@ -82,8 +112,58 @@ policyFromArgs(const CliArgs &args, const std::string &fallback)
     const std::string name = args.get("policy", fallback);
     if (auto kind = parsePolicyKind(name))
         return *kind;
-    csr_fatal("unknown policy '%s' (valid: %s)", name.c_str(),
-              policyNamesJoined(" ").c_str());
+    throw ConfigError("unknown policy '" + name + "' (valid: " +
+                      policyNamesJoined(" ") + ")");
+}
+
+/**
+ * Fail fast on an unwritable output path: append-open it (touching
+ * but not truncating an existing file) and remove it again if the
+ * probe itself created it.  A typo'd --metrics directory should
+ * abort the run before the simulation, not after.
+ */
+void
+ensureWritable(const std::string &path, const std::string &flag)
+{
+    if (path.empty())
+        return;
+    std::FILE *pre = std::fopen(path.c_str(), "rb");
+    const bool existed = pre != nullptr;
+    if (pre)
+        std::fclose(pre);
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    if (!f)
+        throw ConfigError("--" + flag + ": cannot open '" + path +
+                          "' for writing");
+    std::fclose(f);
+    if (!existed)
+        std::remove(path.c_str());
+}
+
+/** Probe every output path a mode may write, before it runs. */
+void
+checkOutputPaths(const CliArgs &args)
+{
+    ensureWritable(args.tracePath(), "trace");
+    ensureWritable(args.metricsPath(), "metrics");
+    ensureWritable(args.jsonPath(), "json");
+    ensureWritable(args.get("checkpoint", ""), "checkpoint");
+    ensureWritable(args.get("save-trace", ""), "save-trace");
+}
+
+/** Wire --fault-rate/--fault-seed into the process-global injector. */
+void
+configureFaultInjection(const CliArgs &args)
+{
+    const double rate = args.getDouble("fault-rate", 0.0);
+    if (rate < 0.0 || rate > 1.0)
+        throw ConfigError("--fault-rate must be in [0,1]");
+    if (rate > 0.0 && !faultInjectionCompiledIn())
+        warn("this build has no fault-injection probes "
+             "(-DCSR_FAULT_INJECT=OFF); --fault-rate %.3f will inject "
+             "nothing", rate);
+    FaultInjector::instance().configure(rate,
+                                        args.getUInt("fault-seed", 1));
 }
 
 /**
@@ -173,6 +253,8 @@ runTrace(const CliArgs &args)
     config.l2Bytes = args.getUInt("l2", config.l2Bytes);
     config.l2Assoc =
         static_cast<std::uint32_t>(args.getUInt("assoc", config.l2Assoc));
+    if (args.has("validate"))
+        config.validateEveryRefs = kValidateCadence;
     const TraceStudy study(trace, config);
 
     PolicyParams params;
@@ -230,7 +312,7 @@ runTrace(const CliArgs &args)
         registry.stat("trace.lru_cost").add(lru_cost);
         writeMetricsIfRequested(args, registry);
     }
-    return 0;
+    return exitcode::kOk;
 }
 
 int
@@ -247,6 +329,11 @@ runNuma(const CliArgs &args)
     config.policyParams.etdAliasBits =
         static_cast<unsigned>(args.getUInt("alias-bits", 0));
     config.storeCostWeight = args.getDouble("store-weight", 1.0);
+    config.maxSimNs = args.getUInt("max-cycles", config.maxSimNs);
+    config.stallWindowNs =
+        args.getUInt("stall-window", config.stallWindowNs);
+    if (args.has("validate"))
+        config.validateEveryEvents = kValidateCadence;
 
     auto workload = makeWorkload(wl);
 
@@ -291,7 +378,7 @@ runNuma(const CliArgs &args)
         registry.setCounter("numa.lru_exec_time_ns", base.execTimeNs);
         writeMetricsIfRequested(args, registry);
     }
-    return 0;
+    return exitcode::kOk;
 }
 
 int
@@ -301,30 +388,48 @@ runSweep(const CliArgs &args)
     if (args.has("scale"))
         grid.scale = parseScale(args.get("scale", "small"));
 
+    SweepOptions options;
+    options.maxAttempts =
+        static_cast<unsigned>(args.getUInt("retries", 0)) + 1;
+    options.checkpointPath = args.get("checkpoint", "");
+    options.resume = args.has("resume");
+    if (options.resume && options.checkpointPath.empty())
+        throw ConfigError("--resume requires --checkpoint FILE");
+    if (args.has("validate"))
+        options.validateEveryRefs = kValidateCadence;
+
     const SweepRunner runner(args.jobs());
     SweepResult result;
     {
         const TraceSession session(args.tracePath());
-        result = runner.run(grid);
+        result = runner.run(grid, options);
     }
 
     TextTable table = result.toTable(
-        "sweep: " + std::to_string(result.cells.size()) + " cells");
+        "sweep: " + std::to_string(result.cells.size()) + "/" +
+        std::to_string(result.gridCells) + " cells");
     if (args.getUInt("csv", 0))
         table.printCsv(std::cout);
     else
         table.print(std::cout);
+    if (!result.complete())
+        result.failureTable().print(std::cout);
 
     // Timing to stderr: per-cell results on stdout stay bit-diffable
     // across --jobs values.
     result.timingTable().print(std::cerr);
 
     if (args.has("json"))
-        result.writeJson(args.jsonPath());
+        result.writeJson(args.jsonPath(),
+                         args.getUInt("json-timing", 1) != 0);
 
     if (!args.metricsPath().empty()) {
         MetricRegistry registry;
         registry.setCounter("sweep.cells", result.cells.size());
+        registry.setCounter("sweep.grid_cells", result.gridCells);
+        registry.setCounter("sweep.failed_cells",
+                            result.failures.size());
+        registry.setCounter("sweep.resumed_cells", result.resumedCells);
         registry.setCounter("sweep.jobs", result.jobs);
         registry.recordTimerSec("sweep.wall", result.wallSec);
         registry.recordTimerSec("sweep.setup", result.setupSec);
@@ -335,7 +440,7 @@ runSweep(const CliArgs &args)
         }
         writeMetricsIfRequested(args, registry);
     }
-    return 0;
+    return result.complete() ? exitcode::kOk : exitcode::kSweepPartial;
 }
 
 void
@@ -346,20 +451,26 @@ usage()
            "  common: --benchmark barnes|lu|ocean|raytrace\n"
            "          --policy " << policyNamesJoined() << "\n"
         << "          --scale test|small|full  --alias-bits N\n"
-           "          --procs N --refs N --seed N\n"
+           "          --procs N --refs N --seed N --validate\n"
            "          --trace FILE (Chrome trace JSON, see Perfetto)\n"
            "          --metrics FILE (unified metrics JSON)\n"
+           "          --fault-rate F --fault-seed N (inject builds)\n"
            "  trace:  --mapping random|first-touch --ratio R --haf F\n"
            "          --assoc N --l2 BYTES --depreciation F\n"
            "          --save-trace FILE --load-trace FILE\n"
            "  numa:   --clock 500|1000 --hints 0|1 --store-weight W\n"
+           "          --max-cycles NS --stall-window NS\n"
            "  sweep:  --grid PRESET|\"key=v1,v2;...\" --jobs N --csv 0|1\n"
-           "          --json FILE\n"
+           "          --json FILE --json-timing 0|1\n"
+           "          --checkpoint FILE [--resume] --retries N\n"
            "          presets: table1 fig3 ablation-assoc\n"
            "            ablation-cachesize ablation-depreciation\n"
            "            ablation-etd smoke\n"
            "          keys: benchmarks policies mappings ratios hafs\n"
-           "            l2 assocs alias-bits depreciations scale\n";
+           "            l2 assocs alias-bits depreciations scale\n"
+           "  exit codes: 0 ok, 2 config, 3 trace format, 4 checkpoint,\n"
+           "    5 stall, 6 geometry, 7 invariant, 8 injected fault,\n"
+           "    10 sweep finished with failed cells\n";
 }
 
 } // namespace
@@ -369,29 +480,35 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         usage();
-        return 1;
+        return exitcode::kGeneric;
     }
     const std::string mode = argv[1];
     if (mode == "--help" || mode == "-h") {
         usage();
-        return 0;
-    }
-    const CliArgs args(argc, argv, /*first=*/2);
-    if (args.helpRequested()) {
-        usage();
-        return 0;
+        return exitcode::kOk;
     }
     try {
+        const CliArgs args(argc, argv, /*first=*/2,
+                           /*valueless=*/{"resume", "validate"});
+        if (args.helpRequested()) {
+            usage();
+            return exitcode::kOk;
+        }
+        checkOutputPaths(args);
+        configureFaultInjection(args);
         if (mode == "trace")
             return runTrace(args);
         if (mode == "numa")
             return runNuma(args);
         if (mode == "sweep")
             return runSweep(args);
-    } catch (const CacheGeometryError &e) {
+    } catch (const Error &e) {
+        std::cerr << "csrsim: " << e.kind() << ": " << e.what() << "\n";
+        return e.exitCode();
+    } catch (const std::exception &e) {
         std::cerr << "csrsim: " << e.what() << "\n";
-        return 1;
+        return exitcode::kGeneric;
     }
     usage();
-    return 1;
+    return exitcode::kGeneric;
 }
