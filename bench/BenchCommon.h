@@ -3,10 +3,14 @@
  * Shared plumbing for the reproduction benches.
  *
  * Every bench binary regenerates one of the paper's tables or
- * figures.  The problem scale is selected with the CSR_SCALE
- * environment variable: "test" (seconds, sanity), "small" (default;
- * the calibrated scale used in EXPERIMENTS.md), or "full" (closest to
- * the paper's trace lengths; minutes to hours).
+ * figures.  All of them parse the shared flag grammar through
+ * benchArgs(): --scale test|small|full selects the problem scale
+ * ("test" seconds/sanity, "small" the calibrated default of
+ * EXPERIMENTS.md, "full" closest to the paper's trace lengths), and
+ * the common flags (--jobs, --seed, --json, --metrics) mean the same
+ * thing as in csrsim.  The historical CSR_SCALE / CSR_JOBS
+ * environment variables remain as fallbacks when the flags are
+ * absent.
  */
 
 #ifndef CSR_BENCH_BENCHCOMMON_H
@@ -21,10 +25,12 @@
 #include <utility>
 #include <vector>
 
+#include "robust/Errors.h"
 #include "sim/SweepRunner.h"
 #include "telemetry/MetricRegistry.h"
 #include "trace/SampledTrace.h"
 #include "trace/WorkloadFactory.h"
+#include "util/CliArgs.h"
 #include "util/Stats.h"
 #include "util/Table.h"
 #include "util/ThreadPool.h"
@@ -76,7 +82,7 @@ banner(const std::string &what, WorkloadScale scale)
 {
     std::cout << "### " << what << "\n"
               << "### scale=" << scaleName(scale)
-              << "  (set CSR_SCALE=test|small|full)\n\n";
+              << "  (--scale test|small|full, or CSR_SCALE)\n\n";
 }
 
 /** Worker count from $CSR_JOBS (default: one per hardware thread). */
@@ -91,6 +97,62 @@ jobsFromEnv()
 }
 
 /**
+ * Parse a bench binary's command line: the common flags plus --scale
+ * and any bench-specific keys in @p extra_known.  --help prints the
+ * shared usage and exits; a bad flag prints its diagnostic and exits
+ * with the ConfigError code instead of throwing through main.
+ */
+inline CliArgs
+benchArgs(int argc, char **argv,
+          const std::vector<std::string> &extra_known = {})
+{
+    try {
+        const CliArgs args(argc, argv);
+        if (args.helpRequested()) {
+            std::cout << "usage: " << argv[0]
+                      << " [--scale test|small|full] [--jobs N]\n"
+                         "  plus the common flags: --seed N "
+                         "--json FILE --metrics FILE\n";
+            std::exit(exitcode::kOk);
+        }
+        std::vector<std::string> known = {"scale"};
+        known.insert(known.end(), extra_known.begin(),
+                     extra_known.end());
+        args.requireKnown(known);
+        return args;
+    } catch (const Error &e) {
+        std::cerr << e.kind() << ": " << e.what() << "\n";
+        std::exit(e.exitCode());
+    }
+}
+
+/** --scale, falling back to $CSR_SCALE when the flag is absent. */
+inline WorkloadScale
+scaleFrom(const CliArgs &args)
+{
+    if (!args.has("scale"))
+        return scaleFromEnv();
+    const std::string name = args.get("scale", "small");
+    if (name == "test")
+        return WorkloadScale::Test;
+    if (name == "small")
+        return WorkloadScale::Small;
+    if (name == "full")
+        return WorkloadScale::Full;
+    std::cerr << "ConfigError: --scale '" << name
+              << "' must be test|small|full\n";
+    std::exit(exitcode::kConfig);
+}
+
+/** --jobs, falling back to $CSR_JOBS (0 = one per hardware thread). */
+inline unsigned
+jobsFrom(const CliArgs &args)
+{
+    const unsigned jobs = args.jobs(/*env_fallback=*/true);
+    return jobs ? jobs : ThreadPool::defaultThreads();
+}
+
+/**
  * The shared sweep harness: stamp the bench scale onto @p grid, run
  * it on $CSR_JOBS workers and hand the results back for pivoting.
  */
@@ -99,6 +161,15 @@ runSweep(SweepGrid grid)
 {
     grid.scale = scaleFromEnv();
     const SweepRunner runner(jobsFromEnv());
+    return runner.run(grid);
+}
+
+/** Same, with the scale and worker count taken from the flags. */
+inline SweepResult
+runSweep(SweepGrid grid, const CliArgs &args)
+{
+    grid.scale = scaleFrom(args);
+    const SweepRunner runner(jobsFrom(args));
     return runner.run(grid);
 }
 

@@ -16,13 +16,14 @@
 using namespace csr;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const WorkloadScale scale = bench::scaleFromEnv();
+    const CliArgs args = bench::benchArgs(argc, argv);
+    const WorkloadScale scale = bench::scaleFrom(args);
     bench::banner("Ablation: L2 associativity (DCL, r=4)", scale);
 
     const SweepResult sweep =
-        bench::runSweep(presetGrid("ablation-assoc"));
+        bench::runSweep(presetGrid("ablation-assoc"), args);
 
     for (CostMapping mapping :
          {CostMapping::Random, CostMapping::FirstTouch}) {

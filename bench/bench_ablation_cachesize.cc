@@ -17,14 +17,15 @@
 using namespace csr;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const WorkloadScale scale = bench::scaleFromEnv();
+    const CliArgs args = bench::benchArgs(argc, argv);
+    const WorkloadScale scale = bench::scaleFrom(args);
     bench::banner("Ablation: L2 capacity (DCL, first touch, r=4)",
                   scale);
 
     const SweepResult sweep =
-        bench::runSweep(presetGrid("ablation-cachesize"));
+        bench::runSweep(presetGrid("ablation-cachesize"), args);
 
     TextTable table = bench::pivot(
         "DCL savings over LRU (%)", "Benchmark", sweep.cells,

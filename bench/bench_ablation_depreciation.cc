@@ -18,14 +18,15 @@
 using namespace csr;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const WorkloadScale scale = bench::scaleFromEnv();
+    const CliArgs args = bench::benchArgs(argc, argv);
+    const WorkloadScale scale = bench::scaleFrom(args);
     bench::banner("Ablation: Acost depreciation factor (first touch, "
                   "r=4)", scale);
 
     const SweepResult sweep =
-        bench::runSweep(presetGrid("ablation-depreciation"));
+        bench::runSweep(presetGrid("ablation-depreciation"), args);
 
     for (PolicyKind kind : {PolicyKind::Bcl, PolicyKind::Dcl}) {
         const auto pane = bench::filterCells(

@@ -17,14 +17,15 @@
 using namespace csr;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const WorkloadScale scale = bench::scaleFromEnv();
+    const CliArgs args = bench::benchArgs(argc, argv);
+    const WorkloadScale scale = bench::scaleFrom(args);
     bench::banner("Ablation: ETD tag aliasing (first touch, r=4)",
                   scale);
 
     const SweepResult sweep =
-        bench::runSweep(presetGrid("ablation-etd"));
+        bench::runSweep(presetGrid("ablation-etd"), args);
 
     for (PolicyKind kind : {PolicyKind::Dcl, PolicyKind::Acl}) {
         const auto pane = bench::filterCells(

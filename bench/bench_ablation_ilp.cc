@@ -62,9 +62,10 @@ timeReductionPct(BenchmarkId id, WorkloadScale scale,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const WorkloadScale scale = bench::scaleFromEnv();
+    const CliArgs args = bench::benchArgs(argc, argv);
+    const WorkloadScale scale = bench::scaleFrom(args);
     bench::banner("Ablation: MLP vs execution-time savings (DCL, "
                   "500MHz)", scale);
 
@@ -75,7 +76,7 @@ main()
         BenchmarkId::Raytrace, BenchmarkId::Ocean,
     };
 
-    ThreadPool pool(bench::jobsFromEnv());
+    ThreadPool pool(bench::jobsFrom(args));
     std::vector<std::future<double>> futures;
     for (BenchmarkId id : benchmarks) {
         for (const IlpPoint &point : points) {

@@ -21,9 +21,10 @@
 using namespace csr;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const WorkloadScale scale = bench::scaleFromEnv();
+    const CliArgs args = bench::benchArgs(argc, argv);
+    const WorkloadScale scale = bench::scaleFrom(args);
     bench::banner("Analysis: per-set stack distances by cost class "
                   "(16KB 4-way L2 geometry)", scale);
 

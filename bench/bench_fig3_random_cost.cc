@@ -23,13 +23,14 @@
 using namespace csr;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const WorkloadScale scale = bench::scaleFromEnv();
+    const CliArgs args = bench::benchArgs(argc, argv);
+    const WorkloadScale scale = bench::scaleFrom(args);
     bench::banner("Figure 3: relative cost savings, random cost mapping",
                   scale);
 
-    const SweepResult sweep = bench::runSweep(presetGrid("fig3"));
+    const SweepResult sweep = bench::runSweep(presetGrid("fig3"), args);
 
     for (BenchmarkId id : paperBenchmarks()) {
         for (PolicyKind kind : paperPolicies()) {

@@ -43,8 +43,9 @@ printScenario(const std::string &title, const HwOverheadParams &params,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::benchArgs(argc, argv);
     bench::banner("Section 5: hardware overhead over LRU",
                   WorkloadScale::Small);
 

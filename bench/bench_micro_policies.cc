@@ -139,22 +139,18 @@ writeJson(const std::string &path, const JsonCaptureReporter &reporter,
 int
 main(int argc, char **argv)
 {
-    // Split the vector: the shared csr flags (--json etc., "--key
-    // value" pairs) go to CliArgs, everything else to
-    // benchmark::Initialize.
-    std::vector<char *> ours = {argv[0]};
-    std::vector<char *> rest;
-    for (int i = 0; i < argc; ++i) {
-        if (std::string(argv[i]) == "--json" && i + 1 < argc) {
-            ours.push_back(argv[i]);
-            ours.push_back(argv[++i]);
-            continue;
-        }
-        rest.push_back(argv[i]);
-    }
-    const csr::CliArgs cli(static_cast<int>(ours.size()), ours.data());
+    // Lenient parse: the shared csr flags are consumed, every other
+    // token (google-benchmark's --benchmark_* flags) is preserved
+    // verbatim in positionals() for benchmark::Initialize.
+    const csr::CliArgs cli = csr::CliArgs::lenient(argc, argv,
+                                                   /*valued=*/{});
     const std::string json_path =
         cli.has("json") ? cli.jsonPath() : "BENCH_micro.json";
+
+    std::vector<std::string> rest_storage = cli.positionals();
+    std::vector<char *> rest = {argv[0]};
+    for (std::string &token : rest_storage)
+        rest.push_back(token.data());
     int filtered_argc = static_cast<int>(rest.size());
 
     benchmark::Initialize(&filtered_argc, rest.data());

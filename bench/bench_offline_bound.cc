@@ -20,9 +20,10 @@
 using namespace csr;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const WorkloadScale scale = bench::scaleFromEnv();
+    const CliArgs args = bench::benchArgs(argc, argv);
+    const WorkloadScale scale = bench::scaleFrom(args);
     bench::banner("Offline bounds (L2-only hierarchy, first touch, "
                   "r=4)", scale);
 

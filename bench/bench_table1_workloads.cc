@@ -19,12 +19,13 @@
 using namespace csr;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const WorkloadScale scale = bench::scaleFromEnv();
+    const CliArgs args = bench::benchArgs(argc, argv);
+    const WorkloadScale scale = bench::scaleFrom(args);
     bench::banner("Table 1: benchmark characteristics", scale);
 
-    const SweepRunner runner(bench::jobsFromEnv());
+    const SweepRunner runner(bench::jobsFrom(args));
     const SweepRunner::TraceMap traces =
         runner.buildTraces(paperBenchmarks(), scale);
 

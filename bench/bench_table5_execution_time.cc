@@ -62,8 +62,8 @@ struct Variant
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv);
-    const WorkloadScale scale = bench::scaleFromEnv();
+    const CliArgs args = bench::benchArgs(argc, argv);
+    const WorkloadScale scale = bench::scaleFrom(args);
     bench::banner("Table 5: execution-time reduction over LRU (%)",
                   scale);
     printTable4(NumaConfig{});

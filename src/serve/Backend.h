@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The backing store behind csr::serve::CacheService.
+ *
+ * The paper's premise is that a miss's cost is the *latency of
+ * fetching the block*, and that this latency is non-uniform.  In the
+ * serving layer the backend is where that latency lives: every cache
+ * miss turns into a fetch whose measured latency is (a) charged to
+ * the aggregate miss cost and (b) fed into the per-key EWMA latency
+ * tracker that closes the paper's cost loop through
+ * CacheModel::updateCost.
+ *
+ * Implementations must be safe for concurrent calls from every shard
+ * of the service; SyntheticBackend achieves this by being a pure
+ * function of (seed, key, salt).
+ */
+
+#ifndef CSR_SERVE_BACKEND_H
+#define CSR_SERVE_BACKEND_H
+
+#include <cstdint>
+#include <string>
+
+#include "util/Types.h"
+
+namespace csr::serve
+{
+
+/** One backend round trip: the payload and its measured latency. */
+struct BackendResult
+{
+    std::uint64_t value = 0;
+    /** Fetch/store latency in nanoseconds -- the online miss cost. */
+    double latencyNs = 0.0;
+};
+
+/**
+ * Abstract backing store.  @p salt is a caller-maintained per-key
+ * access ordinal; deterministic backends mix it into their jitter so
+ * repeated fetches of one key vary reproducibly.
+ */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    Backend() = default;
+    Backend(const Backend &) = delete;
+    Backend &operator=(const Backend &) = delete;
+
+    /** Read @p key (a cache read miss). */
+    virtual BackendResult fetch(Addr key, std::uint64_t salt) = 0;
+
+    /** Write-through @p value to @p key. */
+    virtual BackendResult store(Addr key, std::uint64_t value,
+                                std::uint64_t salt) = 0;
+
+    /** Human-readable parameter summary for banners and JSON. */
+    virtual std::string describe() const = 0;
+};
+
+} // namespace csr::serve
+
+#endif // CSR_SERVE_BACKEND_H

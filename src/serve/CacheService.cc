@@ -1,0 +1,302 @@
+#include "serve/CacheService.h"
+
+#include <utility>
+
+#include "robust/Errors.h"
+#include "telemetry/MetricRegistry.h"
+#include "telemetry/Telemetry.h"
+#include "util/MathUtil.h"
+#include "util/Random.h"
+
+namespace csr::serve
+{
+
+/**
+ * One shard: a CacheModel + policy behind a mutex, the per-(set, way)
+ * value store, and the per-key latency estimates.
+ */
+struct CacheService::Shard
+{
+    Shard(const CacheGeometry &geom, PolicyPtr policy)
+        : model(geom, std::move(policy)),
+          values(static_cast<std::size_t>(geom.numSets()) * geom.assoc(),
+                 0)
+    {
+    }
+
+    /** Per-key backend-latency estimate (the online cost model). */
+    struct KeyState
+    {
+        double ewmaNs = 0.0;
+        std::uint64_t samples = 0;
+    };
+
+    std::size_t
+    idx(std::uint32_t set, int way) const
+    {
+        return static_cast<std::size_t>(set) * model.geometry().assoc() +
+               static_cast<std::size_t>(way);
+    }
+
+    std::mutex mutex;
+    CacheModel model;
+    std::vector<std::uint64_t> values;
+    std::unordered_map<Addr, KeyState> keys;
+
+    std::uint64_t gets = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t storeHits = 0;
+    std::uint64_t evictions = 0;
+    double missCostNs = 0.0;
+    double storeCostNs = 0.0;
+
+    /** Fold a measured latency into the key's EWMA. */
+    void
+    observe(KeyState &state, double latency_ns, double alpha)
+    {
+        state.ewmaNs = state.samples == 0
+                           ? latency_ns
+                           : alpha * latency_ns +
+                                 (1.0 - alpha) * state.ewmaNs;
+        ++state.samples;
+    }
+};
+
+CacheService::CacheService(const ServeConfig &config, Backend &backend)
+    : config_(config), backend_(backend)
+{
+    if (config_.shards == 0 || !isPow2(config_.shards))
+        throw ConfigError("shard count (" +
+                          std::to_string(config_.shards) +
+                          ") must be a power of two");
+    if (config_.ewmaAlpha <= 0.0 || config_.ewmaAlpha > 1.0)
+        throw ConfigError("EWMA alpha must be in (0,1], got " +
+                          std::to_string(config_.ewmaAlpha));
+    if (config_.policy == PolicyKind::Opt ||
+        config_.policy == PolicyKind::CostOpt)
+        throw ConfigError("offline oracle policies cannot drive an "
+                          "online service (pick one of lru random lfu "
+                          "gd bcl dcl acl)");
+
+    // Throws CacheGeometryError naming the bad parameter.
+    const CacheGeometry geom(config_.shardBytes, config_.assoc,
+                             config_.blockBytes);
+    shardShift_ =
+        64u - static_cast<unsigned>(floorLog2(config_.shards));
+
+    shards_.reserve(config_.shards);
+    for (unsigned s = 0; s < config_.shards; ++s) {
+        // Decorrelate any stochastic policy state across shards while
+        // keeping it a pure function of the configured seed.
+        PolicyParams params = config_.policyParams;
+        params.seed = hashMix64(params.seed + s + 1);
+        shards_.push_back(std::make_unique<Shard>(
+            geom, makePolicy(config_.policy, geom, params)));
+    }
+}
+
+CacheService::~CacheService() = default;
+
+unsigned
+CacheService::shardOf(Addr key) const
+{
+    if (config_.shards == 1)
+        return 0;
+    return static_cast<unsigned>(hashMix64(key) >> shardShift_);
+}
+
+CacheService::Shard &
+CacheService::shardFor(Addr key)
+{
+    return *shards_[shardOf(key)];
+}
+
+std::string
+CacheService::policyName() const
+{
+    return shards_[0]->model.policy()->name();
+}
+
+ServeOpResult
+CacheService::get(Addr key)
+{
+    Shard &shard = shardFor(key);
+    const CacheGeometry &geom = shard.model.geometry();
+    const auto set =
+        static_cast<std::uint32_t>(key & (geom.numSets() - 1));
+    const Addr tag = key >> geom.setBits();
+
+    std::unique_lock<std::mutex> lock(shard.mutex, std::defer_lock);
+    {
+        CSR_TRACE_SPAN("serve", "shard.lock_wait");
+        lock.lock();
+    }
+    ++shard.gets;
+
+    const int way = shard.model.access(set, tag);
+    if (way != kInvalidWay) {
+        ++shard.hits;
+        ServeOpResult result;
+        result.hit = true;
+        result.value = shard.values[shard.idx(set, way)];
+        return result;
+    }
+
+    ++shard.misses;
+    Shard::KeyState &state = shard.keys[key];
+    BackendResult fetched;
+    {
+        CSR_TRACE_SPAN("serve", "backend.fetch");
+        fetched = backend_.fetch(key, state.samples);
+    }
+    shard.observe(state, fetched.latencyNs, config_.ewmaAlpha);
+    shard.missCostNs += fetched.latencyNs;
+
+    const int filled = shard.model.fillVictimOrFree(
+        set, tag, state.ewmaNs, 0, [&](int, Addr, std::uint32_t) {
+            ++shard.evictions;
+            CSR_TRACE_INSTANT("serve", "evict");
+        });
+    shard.values[shard.idx(set, filled)] = fetched.value;
+
+    ServeOpResult result;
+    result.hit = false;
+    result.value = fetched.value;
+    result.backendNs = fetched.latencyNs;
+    return result;
+}
+
+ServeOpResult
+CacheService::put(Addr key, std::uint64_t value)
+{
+    Shard &shard = shardFor(key);
+    const CacheGeometry &geom = shard.model.geometry();
+    const auto set =
+        static_cast<std::uint32_t>(key & (geom.numSets() - 1));
+    const Addr tag = key >> geom.setBits();
+
+    std::unique_lock<std::mutex> lock(shard.mutex, std::defer_lock);
+    {
+        CSR_TRACE_SPAN("serve", "shard.lock_wait");
+        lock.lock();
+    }
+    ++shard.stores;
+
+    Shard::KeyState &state = shard.keys[key];
+    BackendResult stored;
+    {
+        CSR_TRACE_SPAN("serve", "backend.store");
+        stored = backend_.store(key, value, state.samples);
+    }
+    // A write-through round trip is a fresh observation of this key's
+    // backend latency, so it refreshes the cost estimate too.
+    shard.observe(state, stored.latencyNs, config_.ewmaAlpha);
+    shard.storeCostNs += stored.latencyNs;
+
+    ServeOpResult result;
+    result.value = value;
+    result.backendNs = stored.latencyNs;
+
+    const int way = shard.model.access(set, tag);
+    if (way != kInvalidWay) {
+        // Resident: refresh the value and push the new prediction to
+        // the policy -- the online analogue of the paper's dynamic
+        // cost updates (CacheModel::updateCost).
+        ++shard.storeHits;
+        shard.values[shard.idx(set, way)] = value;
+        shard.model.updateCost(set, way, state.ewmaNs);
+        result.hit = true;
+        return result;
+    }
+
+    // Write-allocate, so subsequent reads of a written key hit.
+    const int filled = shard.model.fillVictimOrFree(
+        set, tag, state.ewmaNs, 0, [&](int, Addr, std::uint32_t) {
+            ++shard.evictions;
+            CSR_TRACE_INSTANT("serve", "evict");
+        });
+    shard.values[shard.idx(set, filled)] = value;
+    result.hit = false;
+    return result;
+}
+
+ServeTotals
+CacheService::totals() const
+{
+    ServeTotals totals;
+    for (const auto &shard_ptr : shards_) {
+        Shard &shard = *shard_ptr;
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        totals.gets += shard.gets;
+        totals.hits += shard.hits;
+        totals.misses += shard.misses;
+        totals.stores += shard.stores;
+        totals.storeHits += shard.storeHits;
+        totals.evictions += shard.evictions;
+        totals.trackedKeys += shard.keys.size();
+        totals.missCostNs += shard.missCostNs;
+        totals.storeCostNs += shard.storeCostNs;
+    }
+    return totals;
+}
+
+void
+CacheService::exportMetrics(MetricRegistry &registry) const
+{
+    const ServeTotals totals = this->totals();
+    registry.setCounter("serve.gets", totals.gets);
+    registry.setCounter("serve.hits", totals.hits);
+    registry.setCounter("serve.misses", totals.misses);
+    registry.setCounter("serve.stores", totals.stores);
+    registry.setCounter("serve.store_hits", totals.storeHits);
+    registry.setCounter("serve.evictions", totals.evictions);
+    registry.setCounter("serve.tracked_keys", totals.trackedKeys);
+    registry.setCounter(
+        "serve.miss_cost_ns",
+        static_cast<std::uint64_t>(totals.missCostNs));
+    registry.setCounter(
+        "serve.store_cost_ns",
+        static_cast<std::uint64_t>(totals.storeCostNs));
+    registry.setCounter("serve.shards", config_.shards);
+
+    RunningStat ewma;
+    for (const auto &shard_ptr : shards_) {
+        Shard &shard = *shard_ptr;
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        for (const auto &[key, state] : shard.keys) {
+            (void)key;
+            ewma.add(state.ewmaNs);
+        }
+    }
+    registry.mergeStat("serve.key_ewma_ns", ewma);
+}
+
+void
+CacheService::checkInvariants() const
+{
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        Shard &shard = *shards_[s];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.model.checkInvariants();
+        const CacheGeometry &geom = shard.model.geometry();
+        for (std::uint32_t set = 0; set < geom.numSets(); ++set) {
+            for (std::uint32_t way = 0; way < geom.assoc(); ++way) {
+                if (!shard.model.isValid(set, static_cast<int>(way)))
+                    continue;
+                const Addr tag =
+                    shard.model.tagAt(set, static_cast<int>(way));
+                const Addr key =
+                    (tag << geom.setBits()) | set;
+                if (shard.keys.find(key) == shard.keys.end())
+                    throw InvariantError(
+                        "serve shard " + std::to_string(s) +
+                        ": resident key " + std::to_string(key) +
+                        " has no latency estimate");
+            }
+        }
+    }
+}
+
+} // namespace csr::serve

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * csr::serve::CacheService -- a thread-safe, sharded, in-process
+ * key-value cache whose replacement decisions are driven by the
+ * paper's cost-sensitive policies, with the *online* cost of a block
+ * being its measured backend fetch latency.
+ *
+ * Architecture (DESIGN.md section 3.4):
+ *
+ *  - The keyspace is hash-partitioned over N independent shards (high
+ *    bits of hashMix64(key), so shard choice is uncorrelated with the
+ *    set index bits).  Each shard owns, behind one mutex: a
+ *    CacheModel bound to its own ReplacementPolicy instance (built by
+ *    the existing PolicyFactory -- LRU/GD/BCL/DCL/ACL all work), a
+ *    per-(set, way) value array, and a per-key EWMA latency tracker.
+ *
+ *  - A read miss fetches from the Backend under the shard lock,
+ *    charges the measured latency to the aggregate miss cost, folds
+ *    it into the key's EWMA, and installs the block with the EWMA as
+ *    its predicted next-miss cost -- exactly the quantity the paper's
+ *    policies weigh against recency.
+ *
+ *  - A write is write-through with write-allocate: the store latency
+ *    is also an observation of the key's backend cost, so a write to
+ *    a *resident* key refreshes the line's cost prediction through
+ *    CacheModel::updateCost -- the online closing of the paper's
+ *    cost-feedback loop (offline, LatencyCorrelator played this
+ *    role).
+ *
+ * Per-op work is a handful of map/array touches; the service keeps no
+ * global state, so throughput scales with shard count until the
+ * backend saturates.
+ */
+
+#ifndef CSR_SERVE_CACHESERVICE_H
+#define CSR_SERVE_CACHESERVICE_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/CacheModel.h"
+#include "cache/PolicyFactory.h"
+#include "serve/Backend.h"
+
+namespace csr
+{
+class MetricRegistry;
+}
+
+namespace csr::serve
+{
+
+/** Construction parameters of a CacheService. */
+struct ServeConfig
+{
+    /** Shard count; must be a power of two. */
+    unsigned shards = 8;
+    /** Per-shard cache capacity in bytes. */
+    std::uint64_t shardBytes = 256 * 1024;
+    std::uint32_t assoc = 8;
+    /** One cached object occupies one line. */
+    std::uint32_t blockBytes = 64;
+    PolicyKind policy = PolicyKind::Acl;
+    PolicyParams policyParams;
+    /** Weight of the newest latency sample in the per-key EWMA. */
+    double ewmaAlpha = 0.25;
+
+    /** Total lines across all shards. */
+    std::uint64_t
+    totalLines() const
+    {
+        return static_cast<std::uint64_t>(shards) * shardBytes /
+               blockBytes;
+    }
+};
+
+/** Outcome of one get()/put(). */
+struct ServeOpResult
+{
+    bool hit = false;
+    std::uint64_t value = 0;
+    /** Measured backend latency of this op (0 on a read hit). */
+    double backendNs = 0.0;
+};
+
+/**
+ * Deterministic aggregate counters (everything here is a pure
+ * function of the per-shard op sequences -- no wall-clock).
+ */
+struct ServeTotals
+{
+    std::uint64_t gets = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t storeHits = 0; ///< writes that found the key resident
+    std::uint64_t evictions = 0;
+    std::uint64_t trackedKeys = 0; ///< keys with an EWMA estimate
+    /** Sum of measured read-miss fetch latencies: the paper's
+     *  aggregate miss cost, measured online. */
+    double missCostNs = 0.0;
+    /** Sum of measured write-through latencies (reported separately;
+     *  stores pay the backend regardless of the policy). */
+    double storeCostNs = 0.0;
+
+    double
+    hitRatio() const
+    {
+        return gets ? static_cast<double>(hits) /
+                          static_cast<double>(gets)
+                    : 0.0;
+    }
+};
+
+class CacheService
+{
+  public:
+    /**
+     * @p backend must outlive the service and be safe for concurrent
+     * calls.  @throws ConfigError / CacheGeometryError on a bad
+     * configuration.
+     */
+    CacheService(const ServeConfig &config, Backend &backend);
+    ~CacheService();
+
+    CacheService(const CacheService &) = delete;
+    CacheService &operator=(const CacheService &) = delete;
+
+    /** Read @p key: cache hit, or backend fetch + admission. */
+    ServeOpResult get(Addr key);
+
+    /** Write-through @p value under @p key (write-allocate). */
+    ServeOpResult put(Addr key, std::uint64_t value);
+
+    /** Shard that owns @p key (stable; the harness partitions ops by
+     *  this to keep runs deterministic for any worker count). */
+    unsigned shardOf(Addr key) const;
+
+    unsigned numShards() const { return config_.shards; }
+    const ServeConfig &config() const { return config_; }
+    std::string policyName() const;
+
+    /** Aggregate the per-shard counters (locks shard by shard). */
+    ServeTotals totals() const;
+
+    /** Export totals + per-key cost-estimate stats into @p registry
+     *  under "serve.". */
+    void exportMetrics(MetricRegistry &registry) const;
+
+    /** Structural checks of every shard's cache model and value
+     *  store; throws InvariantError on corruption. */
+    void checkInvariants() const;
+
+  private:
+    struct Shard;
+
+    Shard &shardFor(Addr key);
+
+    ServeConfig config_;
+    Backend &backend_;
+    unsigned shardShift_; ///< hash bits above this select the shard
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace csr::serve
+
+#endif // CSR_SERVE_CACHESERVICE_H

@@ -1,0 +1,264 @@
+#include "serve/LoadHarness.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "robust/Errors.h"
+#include "telemetry/MetricRegistry.h"
+#include "telemetry/Telemetry.h"
+#include "util/Random.h"
+#include "util/ThreadPool.h"
+
+namespace csr::serve
+{
+
+namespace
+{
+
+/** Per-worker accumulators, merged after the pool drains. */
+struct WorkerOutput
+{
+    WorkerOutput(double hist_max_ns, std::size_t buckets)
+        : opLatencyNs(0.0, hist_max_ns, buckets),
+          missLatencyNs(0.0, hist_max_ns, buckets)
+    {
+    }
+
+    Histogram opLatencyNs;
+    Histogram missLatencyNs;
+};
+
+/** Deterministic payload for writes: a pure function of (seed, key),
+ *  so the written values do not depend on op interleaving. */
+std::uint64_t
+payloadOf(std::uint64_t seed, Addr key)
+{
+    return hashMix64(key + 0x9E3779B97F4A7C15ull * (seed + 1));
+}
+
+/** Full precision, so bit-identical doubles print identically (the
+ *  CI determinism check diffs this output across worker counts). */
+std::string
+numFull(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+numShort(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+TextTable
+HarnessResult::summaryTable(const std::string &title) const
+{
+    // Deterministic fields only -- nothing wall-clock-derived, so the
+    // rendered table is byte-identical across worker counts under
+    // shard affinity.
+    TextTable table(title);
+    table.setHeader({"metric", "value"});
+    table.addRow({"ops", TextTable::count(ops)});
+    table.addRow({"gets", TextTable::count(totals.gets)});
+    table.addRow({"hits", TextTable::count(totals.hits)});
+    table.addRow({"misses", TextTable::count(totals.misses)});
+    table.addRow({"hit ratio %", TextTable::num(totals.hitRatio() * 100.0)});
+    table.addRow({"stores", TextTable::count(totals.stores)});
+    table.addRow({"store hits", TextTable::count(totals.storeHits)});
+    table.addRow({"evictions", TextTable::count(totals.evictions)});
+    table.addRow({"tracked keys", TextTable::count(totals.trackedKeys)});
+    table.addRow(
+        {"miss cost ms", TextTable::num(totals.missCostNs / 1e6, 3)});
+    table.addRow(
+        {"store cost ms", TextTable::num(totals.storeCostNs / 1e6, 3)});
+    return table;
+}
+
+TextTable
+HarnessResult::timingTable() const
+{
+    TextTable table("timing (wall-clock; varies run to run)");
+    table.setHeader({"metric", "value"});
+    table.addRow({"workers", TextTable::count(workers)});
+    table.addRow({"wall s", TextTable::num(wallSec, 3)});
+    table.addRow({"qps", TextTable::num(qps, 0)});
+    table.addRow(
+        {"op latency p50 us", TextTable::num(opLatencyNs.percentile(0.50) / 1e3, 2)});
+    table.addRow(
+        {"op latency p90 us", TextTable::num(opLatencyNs.percentile(0.90) / 1e3, 2)});
+    table.addRow(
+        {"op latency p99 us", TextTable::num(opLatencyNs.percentile(0.99) / 1e3, 2)});
+    table.addRow(
+        {"miss cost p99 us", TextTable::num(missLatencyNs.percentile(0.99) / 1e3, 2)});
+    return table;
+}
+
+void
+HarnessResult::writeJsonObject(std::ostream &os,
+                               const std::string &policy,
+                               const std::string &workload,
+                               int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    const std::string in = pad + "  ";
+    const std::string in2 = in + "  ";
+    os << "{\n"
+       << in << "\"policy\": \"" << policy << "\",\n"
+       << in << "\"workload\": \"" << workload << "\",\n"
+       << in << "\"ops\": " << ops << ",\n"
+       << in << "\"workers\": " << workers << ",\n"
+       << in << "\"deterministic\": {\n"
+       << in2 << "\"gets\": " << totals.gets << ",\n"
+       << in2 << "\"hits\": " << totals.hits << ",\n"
+       << in2 << "\"misses\": " << totals.misses << ",\n"
+       << in2 << "\"hitRatio\": " << numFull(totals.hitRatio()) << ",\n"
+       << in2 << "\"stores\": " << totals.stores << ",\n"
+       << in2 << "\"storeHits\": " << totals.storeHits << ",\n"
+       << in2 << "\"evictions\": " << totals.evictions << ",\n"
+       << in2 << "\"trackedKeys\": " << totals.trackedKeys << ",\n"
+       << in2 << "\"missCostNs\": " << numFull(totals.missCostNs) << ",\n"
+       << in2 << "\"storeCostNs\": " << numFull(totals.storeCostNs) << "\n"
+       << in << "},\n"
+       << in << "\"timing\": {\n"
+       << in2 << "\"wallSec\": " << numShort(wallSec) << ",\n"
+       << in2 << "\"qps\": " << numShort(qps) << ",\n"
+       << in2 << "\"opLatencyNs\": {\"p50\": "
+       << numShort(opLatencyNs.percentile(0.50))
+       << ", \"p90\": " << numShort(opLatencyNs.percentile(0.90))
+       << ", \"p99\": " << numShort(opLatencyNs.percentile(0.99)) << "},\n"
+       << in2 << "\"missLatencyNs\": {\"p50\": "
+       << numShort(missLatencyNs.percentile(0.50))
+       << ", \"p99\": " << numShort(missLatencyNs.percentile(0.99))
+       << "}\n"
+       << in << "}\n"
+       << pad << "}";
+}
+
+void
+HarnessResult::exportMetrics(MetricRegistry &registry) const
+{
+    registry.setCounter("serve.harness.ops", ops);
+    registry.setCounter("serve.harness.workers", workers);
+    registry.recordTimerSec("serve.harness.wall", wallSec);
+    registry.stat("serve.harness.qps").add(qps);
+    registry.mergeHistogram("serve.op_latency_ns", opLatencyNs);
+    registry.mergeHistogram("serve.miss_latency_ns", missLatencyNs);
+}
+
+HarnessResult
+runLoad(CacheService &service, const HarnessConfig &config)
+{
+    if (config.histBuckets == 0)
+        throw ConfigError("latency histogram needs at least one bucket");
+    if (config.histMaxNs <= 0.0)
+        throw ConfigError("latency histogram upper edge must be > 0");
+    if (config.targetQps < 0.0)
+        throw ConfigError("target QPS must be non-negative");
+
+    const unsigned workers =
+        config.workers ? config.workers : ThreadPool::defaultThreads();
+
+    // Generate the whole op stream up front, then partition it.  With
+    // shard affinity every op lands with the worker that owns its
+    // shard, so per-shard op order is the global stream order for any
+    // worker count; the strided split instead makes workers contend
+    // on the shard locks.
+    std::vector<std::vector<Op>> plan(workers);
+    for (auto &ops : plan)
+        ops.reserve(static_cast<std::size_t>(config.ops / workers + 1));
+    {
+        CSR_TRACE_SPAN("serve", "harness.generate");
+        KeyGenerator gen(config.mix, config.seed);
+        for (std::uint64_t i = 0; i < config.ops; ++i) {
+            const Op op = gen.next();
+            const std::size_t w =
+                config.shardAffinity
+                    ? service.shardOf(op.key) % workers
+                    : static_cast<std::size_t>(i) % workers;
+            plan[w].push_back(op);
+        }
+    }
+
+    std::vector<WorkerOutput> outputs;
+    outputs.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        outputs.emplace_back(config.histMaxNs, config.histBuckets);
+
+    // Closed-loop pacing: each worker owns a 1/workers slice of the
+    // aggregate target rate and spaces its ops on a fixed schedule
+    // anchored at its own start (no coordination, no drift).
+    const double interval_sec =
+        config.targetQps > 0.0
+            ? static_cast<double>(workers) / config.targetQps
+            : 0.0;
+
+    const auto worker_fn = [&](std::size_t w) {
+        CSR_TRACE_SPAN_DYN("serve", "worker " + std::to_string(w));
+        WorkerOutput &out = outputs[w];
+        const auto start = std::chrono::steady_clock::now();
+        std::uint64_t n = 0;
+        for (const Op &op : plan[w]) {
+            if (interval_sec > 0.0) {
+                const auto deadline =
+                    start + std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double>(
+                                    static_cast<double>(n) *
+                                    interval_sec));
+                std::this_thread::sleep_until(deadline);
+            }
+            const auto t0 = std::chrono::steady_clock::now();
+            const ServeOpResult result =
+                op.write
+                    ? service.put(op.key, payloadOf(config.seed, op.key))
+                    : service.get(op.key);
+            const double real_ns =
+                std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            // Simulated backend latency is modelled, not slept, so it
+            // is added on top of the measured in-cache time -- unless
+            // the backend spins, in which case it is already in there.
+            const double op_ns =
+                real_ns +
+                (config.backendIsReal ? 0.0 : result.backendNs);
+            out.opLatencyNs.add(op_ns);
+            if (!op.write && !result.hit)
+                out.missLatencyNs.add(result.backendNs);
+            ++n;
+        }
+    };
+
+    WallTimer wall;
+    if (workers == 1) {
+        worker_fn(0);
+    } else {
+        ThreadPool pool(workers);
+        parallelFor(pool, workers, worker_fn);
+    }
+
+    HarnessResult result(config.histMaxNs, config.histBuckets);
+    result.wallSec = wall.elapsedSec();
+    result.ops = config.ops;
+    result.workers = workers;
+    result.qps = result.wallSec > 0.0
+                     ? static_cast<double>(config.ops) / result.wallSec
+                     : 0.0;
+    for (const WorkerOutput &out : outputs) {
+        result.opLatencyNs.merge(out.opLatencyNs);
+        result.missLatencyNs.merge(out.missLatencyNs);
+    }
+    result.totals = service.totals();
+    return result;
+}
+
+} // namespace csr::serve

@@ -1,0 +1,120 @@
+#include "serve/SyntheticBackend.h"
+
+#include <chrono>
+#include <string>
+
+#include "robust/Errors.h"
+#include "util/Random.h"
+
+namespace csr::serve
+{
+
+namespace
+{
+
+/** Map a 64-bit hash to a uniform double in [0, 1). */
+double
+unitOf(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+SyntheticBackend::SyntheticBackend(const SyntheticBackendConfig &config)
+    : config_(config)
+{
+    if (config_.slowFraction < 0.0 || config_.slowFraction > 1.0)
+        throw ConfigError("backend slow fraction must be in [0,1], got " +
+                          std::to_string(config_.slowFraction));
+    if (config_.jitterFraction < 0.0 || config_.jitterFraction >= 1.0)
+        throw ConfigError("backend jitter fraction must be in [0,1), "
+                          "got " +
+                          std::to_string(config_.jitterFraction));
+    if (config_.fastNs <= 0.0 || config_.slowNs < config_.fastNs)
+        throw ConfigError(
+            "backend latencies must satisfy 0 < fast <= slow, got "
+            "fast=" +
+            std::to_string(config_.fastNs) +
+            " slow=" + std::to_string(config_.slowNs));
+    if (config_.storeMultiplier <= 0.0)
+        throw ConfigError("backend store multiplier must be positive");
+}
+
+bool
+SyntheticBackend::isSlowKey(Addr key) const
+{
+    const std::uint64_t h = hashMix64(config_.seed ^ hashMix64(key));
+    return unitOf(h) < config_.slowFraction;
+}
+
+double
+SyntheticBackend::baseLatencyNs(Addr key) const
+{
+    return isSlowKey(key) ? config_.slowNs : config_.fastNs;
+}
+
+std::uint64_t
+SyntheticBackend::valueOf(Addr key) const
+{
+    return hashMix64(key + 0x9E3779B97F4A7C15ull * config_.seed);
+}
+
+double
+SyntheticBackend::latencyNs(Addr key, std::uint64_t salt,
+                            double multiplier) const
+{
+    const double base = baseLatencyNs(key) * multiplier;
+    if (config_.jitterFraction == 0.0)
+        return base;
+    const std::uint64_t h = hashMix64(
+        (config_.seed * 3 + 1) ^ hashMix64(key) ^ (salt + 1) * 0x9E37ull);
+    const double unit = 2.0 * unitOf(h) - 1.0; // [-1, 1)
+    return base * (1.0 + config_.jitterFraction * unit);
+}
+
+void
+SyntheticBackend::maybeSpin(double ns) const
+{
+    if (!config_.spin)
+        return;
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::nanoseconds(
+                           static_cast<std::int64_t>(ns));
+    while (std::chrono::steady_clock::now() < until) {
+        // Busy-wait: the simulated latency becomes wall-clock time.
+    }
+}
+
+BackendResult
+SyntheticBackend::fetch(Addr key, std::uint64_t salt)
+{
+    BackendResult result;
+    result.value = valueOf(key);
+    result.latencyNs = latencyNs(key, salt, 1.0);
+    maybeSpin(result.latencyNs);
+    return result;
+}
+
+BackendResult
+SyntheticBackend::store(Addr key, std::uint64_t value, std::uint64_t salt)
+{
+    (void)value; // the canonical payload is derived, not stored
+    BackendResult result;
+    result.value = value;
+    result.latencyNs = latencyNs(key, salt, config_.storeMultiplier);
+    maybeSpin(result.latencyNs);
+    return result;
+}
+
+std::string
+SyntheticBackend::describe() const
+{
+    return "synthetic(fast=" + std::to_string(config_.fastNs) +
+           "ns slow=" + std::to_string(config_.slowNs) +
+           "ns slow-frac=" + std::to_string(config_.slowFraction) +
+           " jitter=" + std::to_string(config_.jitterFraction) +
+           (config_.spin ? " spin" : "") + ")";
+}
+
+} // namespace csr::serve

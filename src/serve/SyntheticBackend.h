@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic synthetic backend with a two-tier latency
+ * distribution.
+ *
+ * Mirrors the paper's two-static-cost study in the online setting: a
+ * seed-selected fraction of the keyspace is "slow" (remote region,
+ * cold storage tier, overloaded replica) and the rest "fast", with
+ * bounded per-access jitter on top.  Every quantity is a pure
+ * function of (seed, key, salt) -- no shared mutable state -- so the
+ * backend is trivially thread-safe and a load-harness run is
+ * bit-reproducible for any worker count (the same config-hash
+ * seeding discipline as the sweep engine).
+ *
+ * By default latency is *simulated*: fetch() returns the latency it
+ * would have taken without sleeping, which keeps soak tests fast and
+ * sanitizer-friendly.  With spin=true the call busy-waits for the
+ * reported duration, turning csrserve into a wall-clock-realistic
+ * load generator.
+ */
+
+#ifndef CSR_SERVE_SYNTHETICBACKEND_H
+#define CSR_SERVE_SYNTHETICBACKEND_H
+
+#include "serve/Backend.h"
+
+namespace csr::serve
+{
+
+/** Tunables of the synthetic latency distribution. */
+struct SyntheticBackendConfig
+{
+    std::uint64_t seed = 1;      ///< tier + jitter + payload seed
+    double fastNs = 2000.0;      ///< base latency of the fast tier
+    double slowNs = 16000.0;     ///< base latency of the slow tier
+    double slowFraction = 0.2;   ///< fraction of keys in the slow tier
+    double jitterFraction = 0.1; ///< +- uniform jitter per access
+    double storeMultiplier = 1.0; ///< store latency over fetch latency
+    bool spin = false;           ///< busy-wait the simulated latency
+};
+
+class SyntheticBackend : public Backend
+{
+  public:
+    /** @throws ConfigError on out-of-range fractions or latencies. */
+    explicit SyntheticBackend(const SyntheticBackendConfig &config);
+
+    BackendResult fetch(Addr key, std::uint64_t salt) override;
+    BackendResult store(Addr key, std::uint64_t value,
+                        std::uint64_t salt) override;
+    std::string describe() const override;
+
+    /** True when hashing puts @p key in the slow tier. */
+    bool isSlowKey(Addr key) const;
+
+    /** Base (jitter-free) fetch latency of @p key. */
+    double baseLatencyNs(Addr key) const;
+
+    /** The canonical payload of @p key (integrity checks). */
+    std::uint64_t valueOf(Addr key) const;
+
+    const SyntheticBackendConfig &config() const { return config_; }
+
+  private:
+    double latencyNs(Addr key, std::uint64_t salt,
+                     double multiplier) const;
+    void maybeSpin(double ns) const;
+
+    SyntheticBackendConfig config_;
+};
+
+} // namespace csr::serve
+
+#endif // CSR_SERVE_SYNTHETICBACKEND_H

@@ -8,27 +8,90 @@
 namespace csr
 {
 
+namespace
+{
+
+/** The flags every binary accepts (one spelling, see header). */
+const std::vector<std::string> &
+commonFlags()
+{
+    static const std::vector<std::string> common = {
+        "json", "jobs", "seed", "trace", "metrics",
+    };
+    return common;
+}
+
+bool
+contains(const std::vector<std::string> &list, const std::string &key)
+{
+    return std::find(list.begin(), list.end(), key) != list.end();
+}
+
+} // namespace
+
 CliArgs::CliArgs(int argc, char **argv, int first,
                  const std::vector<std::string> &valueless)
-    : program_(argc > 0 ? argv[0] : "csr")
 {
+    parse(argc, argv, first, valueless, /*valued=*/nullptr);
+}
+
+CliArgs
+CliArgs::lenient(int argc, char **argv,
+                 const std::vector<std::string> &valued,
+                 const std::vector<std::string> &valueless)
+{
+    CliArgs args;
+    args.parse(argc, argv, /*first=*/1, valueless, &valued);
+    return args;
+}
+
+void
+CliArgs::parse(int argc, char **argv, int first,
+               const std::vector<std::string> &valueless,
+               const std::vector<std::string> *valued)
+{
+    program_ = argc > 0 ? argv[0] : "csr";
     // Keep just the binary name for diagnostics.
     const std::size_t slash = program_.find_last_of('/');
     if (slash != std::string::npos)
         program_ = program_.substr(slash + 1);
 
+    const bool lenient = valued != nullptr;
     for (int i = first; i < argc; ++i) {
-        std::string key = argv[i];
-        if (key == "--help" || key == "-h") {
+        const std::string token = argv[i];
+        if (token == "--help" || token == "-h") {
             help_ = true;
             continue;
         }
-        if (key.rfind("--", 0) != 0)
-            throw ConfigError(program_ + ": unexpected argument '" + key +
-                              "' (flags are --key value)");
-        key = key.substr(2);
-        if (std::find(valueless.begin(), valueless.end(), key) !=
-            valueless.end()) {
+        if (token.rfind("--", 0) != 0) {
+            if (lenient) {
+                positionals_.push_back(token);
+                continue;
+            }
+            throw ConfigError(program_ + ": unexpected argument '" +
+                              token + "' (flags are --key value)");
+        }
+        std::string key = token.substr(2);
+        std::string inline_value;
+        const std::size_t eq = key.find('=');
+        const bool has_inline = eq != std::string::npos;
+        if (has_inline) {
+            inline_value = key.substr(eq + 1);
+            key = key.substr(0, eq);
+        }
+        // In lenient mode only declared keys are consumed; everything
+        // else is a foreign flag kept verbatim for delegation.
+        if (lenient && !contains(*valued, key) &&
+            !contains(valueless, key) &&
+            !contains(commonFlags(), key)) {
+            positionals_.push_back(token);
+            continue;
+        }
+        if (has_inline) {
+            values_[key] = inline_value;
+            continue;
+        }
+        if (contains(valueless, key)) {
             values_[key] = "1";
             continue;
         }
@@ -103,20 +166,14 @@ CliArgs::seed(std::uint64_t fallback) const
 void
 CliArgs::requireKnown(const std::vector<std::string> &known) const
 {
-    static const std::vector<std::string> common = {
-        "json", "jobs", "seed", "trace", "metrics",
-    };
     for (const auto &[key, value] : values_) {
         (void)value;
-        if (std::find(known.begin(), known.end(), key) != known.end())
-            continue;
-        if (std::find(common.begin(), common.end(), key) !=
-            common.end())
+        if (contains(known, key) || contains(commonFlags(), key))
             continue;
         std::string valid;
         for (const std::string &k : known)
             valid += (valid.empty() ? "--" : " --") + k;
-        for (const std::string &k : common)
+        for (const std::string &k : commonFlags())
             valid += (valid.empty() ? "--" : " --") + k;
         throw ConfigError(program_ + ": unknown flag --" + key +
                           " (valid: " + valid + ")");

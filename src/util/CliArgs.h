@@ -5,11 +5,18 @@
  * csrsim and the bench binaries used to each carry their own ad-hoc
  * "--key value" loop with slightly different spellings and error
  * messages.  CliArgs is the one parser: every binary accepts the same
- * flag grammar (--key value pairs, --help/-h), produces the same
- * diagnostics, and reads the common flags (--json, --jobs, --seed,
- * --trace, --metrics, --scale) through the same accessors -- with the
- * benches' historical environment variables (CSR_JOBS, CSR_SCALE) as
- * fallback where the callers opt in.
+ * flag grammar (--key value or --key=value pairs, --help/-h),
+ * produces the same diagnostics, and reads the common flags (--json,
+ * --jobs, --seed, --trace, --metrics, --scale) through the same
+ * accessors -- with the benches' historical environment variables
+ * (CSR_JOBS, CSR_SCALE) as fallback where the callers opt in.
+ *
+ * Binaries that wrap a second flag parser (bench_micro_policies hands
+ * google-benchmark's --benchmark_* flags through) use the lenient()
+ * factory instead of pre-splitting argv: flags the binary declares
+ * are consumed, and every other token -- bare positionals and foreign
+ * --x[=y] flags alike -- is preserved verbatim, in order, in
+ * positionals() for delegation.
  */
 
 #ifndef CSR_UTIL_CLIARGS_H
@@ -27,16 +34,38 @@ class CliArgs
 {
   public:
     /**
-     * Parse "--key value" pairs from argv[first..).  "--help"/"-h"
-     * set helpRequested() instead of consuming a value.  Keys listed
-     * in @p valueless are boolean switches: they consume no value and
-     * read back as "1" (so has() and getUInt() both work).  Anything
-     * that is not a --flag, and any non-valueless --flag missing its
-     * value, raises ConfigError with a uniform diagnostic naming the
-     * program.
+     * Parse "--key value" (or "--key=value") pairs from argv[first..).
+     * "--help"/"-h" set helpRequested() instead of consuming a value.
+     * Keys listed in @p valueless are boolean switches: they consume
+     * no value and read back as "1" (so has() and getUInt() both
+     * work).  Anything that is not a --flag, and any non-valueless
+     * --flag missing its value, raises ConfigError with a uniform
+     * diagnostic naming the program.
      */
     CliArgs(int argc, char **argv, int first = 1,
             const std::vector<std::string> &valueless = {});
+
+    /**
+     * Lenient grammar for binaries that delegate unrecognized
+     * arguments to another parser: positionals and flags may
+     * interleave.  A "--key" in @p valued (or a common flag, see
+     * below) consumes the next token as its value, a "--key=value"
+     * spelling of those keys is split, a "--key" in @p valueless
+     * reads back as "1", and every other token -- bare words and
+     * foreign "--x[=y]" flags alike -- is preserved verbatim, in
+     * order, in positionals().  Nothing is rejected except a declared
+     * valued flag missing its value.
+     */
+    static CliArgs lenient(int argc, char **argv,
+                           const std::vector<std::string> &valued,
+                           const std::vector<std::string> &valueless = {});
+
+    /** Tokens not consumed as flags, in argv order (lenient mode
+     *  only; strict parses reject them instead). */
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
 
     bool has(const std::string &key) const
     {
@@ -83,8 +112,15 @@ class CliArgs
     void requireKnown(const std::vector<std::string> &known) const;
 
   private:
+    CliArgs() = default;
+
+    void parse(int argc, char **argv, int first,
+               const std::vector<std::string> &valueless,
+               const std::vector<std::string> *valued);
+
     std::string program_;
     std::map<std::string, std::string> values_;
+    std::vector<std::string> positionals_;
     bool help_ = false;
 };
 

@@ -125,14 +125,26 @@ Histogram::percentile(double frac) const
     const std::uint64_t total = totalCount();
     if (total == 0)
         return lo_;
-    const auto target = static_cast<std::uint64_t>(
-        frac * static_cast<double>(total));
+    frac = std::clamp(frac, 0.0, 1.0);
+    // Rank of the sample that realizes the percentile, 1-based.  The
+    // ceiling (with a floor of one, so p0 means "the smallest
+    // sample") keeps the old near-median behaviour while pinning the
+    // endpoints: p100 lands on the last populated bucket instead of
+    // overshooting, p0 on the first instead of always reporting
+    // bucket 0's edge.
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(frac * static_cast<double>(total)));
+    if (target == 0)
+        target = 1;
+    if (target <= underflow_)
+        return lo_;
     std::uint64_t seen = underflow_;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
         seen += counts_[i];
         if (seen >= target)
             return bucketLo(i) + width_;
     }
+    // The remaining mass sits in the overflow bucket.
     return bucketLo(counts_.size() - 1) + width_;
 }
 

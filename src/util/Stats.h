@@ -86,7 +86,11 @@ class Histogram
     std::uint64_t overflow() const { return overflow_; }
     std::uint64_t totalCount() const;
     /** Smallest value v such that at least frac of the mass is <= v
-     *  (approximated at bucket granularity). */
+     *  (approximated at bucket granularity).  @p frac is clamped to
+     *  [0,1]; an empty histogram reports lo(), p0 the first populated
+     *  bucket's upper edge (lo() when the mass starts in the
+     *  underflow bucket), and p100 the last populated bucket's upper
+     *  edge (the top edge when mass overflows). */
     double percentile(double frac) const;
 
   private:

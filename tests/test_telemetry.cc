@@ -460,6 +460,58 @@ TEST(CliArgs, ValuelessFlagsConsumeNoValue)
     EXPECT_EQ(args.jobs(), 3u);
 }
 
+TEST(CliArgs, StrictModeSplitsInlineValues)
+{
+    const char *argv[] = {"prog", "--jobs=6", "--grid=a=1,2;b=3"};
+    CliArgs args(3, const_cast<char **>(argv));
+    EXPECT_EQ(args.jobs(), 6u);
+    // Only the first '=' splits: grid specs keep theirs.
+    EXPECT_EQ(args.get("grid", ""), "a=1,2;b=3");
+}
+
+TEST(CliArgs, LenientModePreservesForeignTokensInOrder)
+{
+    const char *argv[] = {"prog",
+                          "--benchmark_filter=BM_Lru",
+                          "--json",
+                          "out.json",
+                          "bare",
+                          "--benchmark_min_time=0.1",
+                          "--declared",
+                          "7"};
+    const CliArgs args =
+        CliArgs::lenient(static_cast<int>(std::size(argv)),
+                         const_cast<char **>(argv),
+                         /*valued=*/{"declared"});
+    EXPECT_EQ(args.jsonPath(), "out.json"); // common flag consumed
+    EXPECT_EQ(args.getUInt("declared", 0), 7u);
+    const std::vector<std::string> expect = {
+        "--benchmark_filter=BM_Lru", "bare",
+        "--benchmark_min_time=0.1"};
+    EXPECT_EQ(args.positionals(), expect);
+}
+
+TEST(CliArgs, LenientModeStillRejectsDanglingDeclaredFlag)
+{
+    const char *argv[] = {"prog", "--declared"};
+    EXPECT_THROW(CliArgs::lenient(2, const_cast<char **>(argv),
+                                  {"declared"}),
+                 ConfigError);
+}
+
+TEST(CliArgs, LenientModeValuelessAndInlineSpellings)
+{
+    const char *argv[] = {"prog", "--spin", "--seed=5",
+                          "--foreign"};
+    const CliArgs args = CliArgs::lenient(
+        4, const_cast<char **>(argv), /*valued=*/{},
+        /*valueless=*/{"spin"});
+    EXPECT_TRUE(args.has("spin"));
+    EXPECT_EQ(args.seed(0), 5u);
+    EXPECT_EQ(args.positionals(),
+              std::vector<std::string>{"--foreign"});
+}
+
 // ---------------------------------------------------------------------------
 // PolicyFactory satellite
 // ---------------------------------------------------------------------------

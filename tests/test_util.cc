@@ -193,6 +193,30 @@ TEST(RunningStat, MergeMatchesSequential)
     EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
 }
 
+TEST(RunningStat, MergeWithEmptyIsIdentity)
+{
+    RunningStat stat, empty;
+    stat.add(1.0);
+    stat.add(3.0);
+
+    stat.merge(empty); // merging an empty accumulator changes nothing
+    EXPECT_EQ(stat.count(), 2u);
+    EXPECT_EQ(stat.mean(), 2.0);
+    EXPECT_EQ(stat.min(), 1.0);
+    EXPECT_EQ(stat.max(), 3.0);
+
+    empty.merge(stat); // merging *into* an empty one copies
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_EQ(empty.mean(), 2.0);
+    EXPECT_EQ(empty.min(), 1.0);
+    EXPECT_EQ(empty.max(), 3.0);
+
+    RunningStat both_empty, other_empty;
+    both_empty.merge(other_empty);
+    EXPECT_EQ(both_empty.count(), 0u);
+    EXPECT_EQ(both_empty.mean(), 0.0);
+}
+
 TEST(RunningStat, EmptyIsZero)
 {
     RunningStat s;
@@ -225,6 +249,49 @@ TEST(Histogram, Percentile)
         h.add(i + 0.5);
     EXPECT_NEAR(h.percentile(0.5), 50.0, 2.0);
     EXPECT_NEAR(h.percentile(0.9), 90.0, 2.0);
+}
+
+TEST(Histogram, PercentileOfEmptyHistogramIsLowerEdge)
+{
+    Histogram h(10.0, 20.0, 5);
+    EXPECT_EQ(h.percentile(0.0), 10.0);
+    EXPECT_EQ(h.percentile(0.5), 10.0);
+    EXPECT_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(Histogram, PercentileEndpoints)
+{
+    Histogram h(0.0, 100.0, 100);
+    h.add(30.5);
+    h.add(60.5);
+    // p0 is the first populated bucket's upper edge, p100 the last's.
+    EXPECT_EQ(h.percentile(0.0), 31.0);
+    EXPECT_EQ(h.percentile(1.0), 61.0);
+    // Out-of-range fractions clamp instead of misbehaving.
+    EXPECT_EQ(h.percentile(-0.5), 31.0);
+    EXPECT_EQ(h.percentile(1.5), 61.0);
+}
+
+TEST(Histogram, PercentileWithUnderflowAndOverflowMass)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-5.0, 4); // 40% of the mass below the range
+    h.add(5.5, 2);
+    h.add(100.0, 4); // 40% above it
+    // Mass in the underflow bucket reports the histogram's lower
+    // edge; mass beyond the top reports the top edge.
+    EXPECT_EQ(h.percentile(0.0), 0.0);
+    EXPECT_EQ(h.percentile(0.3), 0.0);
+    EXPECT_EQ(h.percentile(0.5), 6.0);
+    EXPECT_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(Histogram, PercentileSingleSample)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(3.5);
+    for (double frac : {0.0, 0.25, 0.5, 1.0})
+        EXPECT_EQ(h.percentile(frac), 4.0);
 }
 
 TEST(StatGroup, IncrementAndRead)

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * csrserve -- load driver for the csr::serve online cache service.
+ *
+ * Stands up a sharded CacheService over a synthetic
+ * latency-distribution backend and replays a deterministic workload
+ * against it from N closed-loop workers:
+ *
+ *   csrserve --policy acl --shards 8 --workers 8 --ops 1000000 \
+ *            [--workload zipf|hotspot|scan|uniform] [--keys N]
+ *            [--zipf-theta F] [--hot-frac F] [--hot-prob F]
+ *            [--write-frac F] [--qps N] [--seed N]
+ *            [--shard-bytes N] [--assoc N] [--block-bytes N]
+ *            [--ewma-alpha F]
+ *            [--slow-frac F] [--slow-ns N] [--fast-ns N] [--jitter F]
+ *            [--spin] [--affinity shard|free] [--validate]
+ *            [--json FILE] [--trace FILE] [--metrics FILE]
+ *
+ * Output contract, same as csrsim sweep's: the deterministic summary
+ * (hits, misses, aggregate miss cost) goes to stdout and the
+ * wall-clock timing (QPS, latency percentiles) to stderr, so under
+ * the default --affinity shard the stdout of two runs with the same
+ * seed is byte-identical for ANY --workers value -- that is what CI
+ * diffs.  --affinity free drops that guarantee in exchange for real
+ * lock contention (the TSan soak's mode).
+ *
+ * --spin makes the backend burn its simulated latency in wall-clock
+ * time instead of only modelling it; determinism of the summary is
+ * unaffected.
+ *
+ * Errors map to the usual exit codes (robust/Errors.h): 0 ok,
+ * 2 ConfigError, 6 geometry, 7 invariant violation.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "cache/PolicyFactory.h"
+#include "robust/Errors.h"
+#include "serve/CacheService.h"
+#include "serve/LoadHarness.h"
+#include "serve/SyntheticBackend.h"
+#include "telemetry/MetricRegistry.h"
+#include "telemetry/Tracer.h"
+#include "util/CliArgs.h"
+#include "util/Logging.h"
+
+using namespace csr;
+using namespace csr::serve;
+
+namespace
+{
+
+/** Fail fast on an unwritable output path (csrsim's probe). */
+void
+ensureWritable(const std::string &path, const std::string &flag)
+{
+    if (path.empty())
+        return;
+    std::FILE *pre = std::fopen(path.c_str(), "rb");
+    const bool existed = pre != nullptr;
+    if (pre)
+        std::fclose(pre);
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    if (!f)
+        throw ConfigError("--" + flag + ": cannot open '" + path +
+                          "' for writing");
+    std::fclose(f);
+    if (!existed)
+        std::remove(path.c_str());
+}
+
+ServeConfig
+serveConfigFromArgs(const CliArgs &args)
+{
+    ServeConfig config;
+    const std::string policy = args.get("policy", "acl");
+    if (auto kind = parsePolicyKind(policy))
+        config.policy = *kind;
+    else
+        throw ConfigError("unknown policy '" + policy + "' (valid: " +
+                          policyNamesJoined(" ") + ")");
+    config.shards =
+        static_cast<unsigned>(args.getUInt("shards", config.shards));
+    config.shardBytes = args.getUInt("shard-bytes", config.shardBytes);
+    config.assoc =
+        static_cast<std::uint32_t>(args.getUInt("assoc", config.assoc));
+    config.blockBytes = static_cast<std::uint32_t>(
+        args.getUInt("block-bytes", config.blockBytes));
+    config.ewmaAlpha = args.getDouble("ewma-alpha", config.ewmaAlpha);
+    config.policyParams.seed = args.seed(1);
+    return config;
+}
+
+SyntheticBackendConfig
+backendConfigFromArgs(const CliArgs &args)
+{
+    SyntheticBackendConfig config;
+    config.seed = args.seed(1);
+    config.fastNs = args.getDouble("fast-ns", config.fastNs);
+    config.slowNs = args.getDouble("slow-ns", config.slowNs);
+    config.slowFraction =
+        args.getDouble("slow-frac", config.slowFraction);
+    config.jitterFraction =
+        args.getDouble("jitter", config.jitterFraction);
+    config.spin = args.has("spin");
+    return config;
+}
+
+HarnessConfig
+harnessConfigFromArgs(const CliArgs &args)
+{
+    HarnessConfig config;
+    config.ops = args.getUInt("ops", config.ops);
+    config.workers =
+        static_cast<unsigned>(args.getUInt("workers", 1));
+    config.targetQps = args.getDouble("qps", 0.0);
+    config.seed = args.seed(1);
+    config.backendIsReal = args.has("spin");
+
+    const std::string affinity = args.get("affinity", "shard");
+    if (affinity == "shard")
+        config.shardAffinity = true;
+    else if (affinity == "free")
+        config.shardAffinity = false;
+    else
+        throw ConfigError("unknown affinity '" + affinity +
+                          "' (valid: shard free)");
+
+    config.mix.dist = parseKeyDist(args.get("workload", "zipf"));
+    config.mix.numKeys = args.getUInt("keys", config.mix.numKeys);
+    config.mix.zipfTheta =
+        args.getDouble("zipf-theta", config.mix.zipfTheta);
+    config.mix.hotFraction =
+        args.getDouble("hot-frac", config.mix.hotFraction);
+    config.mix.hotProbability =
+        args.getDouble("hot-prob", config.mix.hotProbability);
+    config.mix.writeFraction =
+        args.getDouble("write-frac", config.mix.writeFraction);
+    return config;
+}
+
+/** RAII --trace recording session (csrsim's). */
+class TraceSession
+{
+  public:
+    explicit TraceSession(const std::string &path) : path_(path)
+    {
+        if (path_.empty())
+            return;
+#if defined(CSR_TELEMETRY_DISABLED)
+        warn("built with CSR_TELEMETRY=OFF: '%s' will contain no "
+             "events", path_.c_str());
+#endif
+        telemetry::Tracer::instance().clear();
+        telemetry::setTracingEnabled(true);
+    }
+
+    ~TraceSession()
+    {
+        if (path_.empty())
+            return;
+        telemetry::setTracingEnabled(false);
+        telemetry::Tracer::instance().writeChromeTrace(path_);
+        inform("wrote %zu trace events to %s",
+               telemetry::Tracer::instance().eventCount(), path_.c_str());
+    }
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+  private:
+    std::string path_;
+};
+
+void
+usage()
+{
+    std::cerr
+        << "usage: csrserve [--key value ...]\n"
+           "  service:  --policy " << policyNamesJoined() << "\n"
+        << "            --shards N (pow2) --shard-bytes N --assoc N\n"
+           "            --block-bytes N --ewma-alpha F\n"
+           "  backend:  --fast-ns F --slow-ns F --slow-frac F\n"
+           "            --jitter F --spin (burn latency for real)\n"
+           "  load:     --ops N --workers N (0=hw) --qps N (0=unpaced)\n"
+           "            --workload zipf|hotspot|scan|uniform --keys N\n"
+           "            --zipf-theta F --hot-frac F --hot-prob F\n"
+           "            --write-frac F --seed N\n"
+           "            --affinity shard|free (shard = deterministic)\n"
+           "  output:   --json FILE --trace FILE --metrics FILE\n"
+           "            --validate (check invariants after the run)\n"
+           "  exit codes: 0 ok, 2 config, 6 geometry, 7 invariant\n";
+}
+
+int
+run(const CliArgs &args)
+{
+    ensureWritable(args.jsonPath(), "json");
+    ensureWritable(args.tracePath(), "trace");
+    ensureWritable(args.metricsPath(), "metrics");
+
+    const ServeConfig serve_config = serveConfigFromArgs(args);
+    SyntheticBackend backend(backendConfigFromArgs(args));
+    CacheService service(serve_config, backend);
+    const HarnessConfig harness_config = harnessConfigFromArgs(args);
+
+    HarnessResult result(harness_config.histMaxNs,
+                         harness_config.histBuckets);
+    {
+        const TraceSession session(args.tracePath());
+        result = runLoad(service, harness_config);
+    }
+    if (args.has("validate"))
+        service.checkInvariants();
+
+    const std::string workload = harness_config.mix.describe();
+    result
+        .summaryTable("serve: " + service.policyName() + " / " +
+                      workload + " / " + backend.describe())
+        .print(std::cout);
+    // Timing to stderr: stdout stays byte-diffable across --workers
+    // under shard affinity.
+    result.timingTable().print(std::cerr);
+
+    if (!args.jsonPath().empty()) {
+        std::ofstream os(args.jsonPath());
+        result.writeJsonObject(os, service.policyName(), workload);
+        os << "\n";
+        inform("wrote JSON to %s", args.jsonPath().c_str());
+    }
+
+    if (!args.metricsPath().empty()) {
+        MetricRegistry registry;
+        service.exportMetrics(registry);
+        result.exportMetrics(registry);
+        registry.writeJson(args.metricsPath());
+        inform("wrote metrics to %s", args.metricsPath().c_str());
+    }
+    return exitcode::kOk;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const CliArgs args(argc, argv, /*first=*/1,
+                           /*valueless=*/{"spin", "validate"});
+        if (args.helpRequested()) {
+            usage();
+            return exitcode::kOk;
+        }
+        args.requireKnown({
+            "policy", "shards", "shard-bytes", "assoc", "block-bytes",
+            "ewma-alpha", "fast-ns", "slow-ns", "slow-frac", "jitter",
+            "spin", "ops", "workers", "qps", "workload", "keys",
+            "zipf-theta", "hot-frac", "hot-prob", "write-frac",
+            "affinity", "validate",
+        });
+        return run(args);
+    } catch (const Error &e) {
+        std::cerr << "csrserve: " << e.kind() << ": " << e.what()
+                  << "\n";
+        return e.exitCode();
+    } catch (const std::exception &e) {
+        std::cerr << "csrserve: " << e.what() << "\n";
+        return exitcode::kGeneric;
+    }
+}
