@@ -40,6 +40,8 @@
 #include <vector>
 
 #include "cache/ReplacementPolicy.h"
+#include "cache/SimdScan.h"
+#include "util/Atomics.h"
 #include "util/Logging.h"
 
 namespace csr
@@ -111,22 +113,57 @@ class CacheModel
 
     // --- lookup (no side effects) ----------------------------------------
 
-    /** Way holding @p tag, or kInvalidWay.  Only valid ways match. */
+    /** Way holding @p tag, or kInvalidWay.  Only valid ways match.
+     *  Callers must hold whatever lock serializes mutation of this
+     *  model; concurrent optimistic readers use probeConcurrent(). */
     int
     lookup(std::uint32_t set, Addr tag) const
     {
         const Addr *tags = &tags_[idx(set, 0)];
         for (std::uint32_t w = 0; w < wordsPerSet_; ++w) {
-            // Branchless equality sweep (vectorizes): build a match
-            // bitmask, then intersect with the valid mask.
+            // SIMD equality sweep over the set's contiguous tag lane
+            // (AVX2 when the CPU has it), intersected with the valid
+            // mask.
             const std::uint32_t lo = w * 64;
             const std::uint32_t n =
                 geom_.assoc() - lo < 64 ? geom_.assoc() - lo : 64;
+            const std::uint64_t hit =
+                simd::tagEqMask(tags + lo, n, tag) &
+                valid_[set * wordsPerSet_ + w];
+            if (hit)
+                return static_cast<int>(lo) + __builtin_ctzll(hit);
+        }
+        return kInvalidWay;
+    }
+
+    /**
+     * Lock-free probe for seqlock readers: the way holding @p tag, or
+     * kInvalidWay.  Unlike lookup(), this is safe to call while a
+     * (serialized) writer mutates the set, PROVIDED the caller brackets
+     * it in a seqlock read section and discards the result when
+     * validation fails -- a torn probe can return any way or a false
+     * miss, never undefined behaviour.  Under TSan the SIMD sweep is
+     * replaced by per-word relaxed atomic loads (writers store
+     * tag/valid words atomically, so the pairing is race-free).
+     */
+    int
+    probeConcurrent(std::uint32_t set, Addr tag) const
+    {
+        const Addr *tags = &tags_[idx(set, 0)];
+        for (std::uint32_t w = 0; w < wordsPerSet_; ++w) {
+            const std::uint32_t lo = w * 64;
+            const std::uint32_t n =
+                geom_.assoc() - lo < 64 ? geom_.assoc() - lo : 64;
+#if defined(CSR_TSAN)
             std::uint64_t eq = 0;
             for (std::uint32_t i = 0; i < n; ++i)
-                eq |= std::uint64_t{tags[lo + i] == tag} << i;
+                eq |= std::uint64_t{loadRelaxed(tags[lo + i]) == tag}
+                      << i;
+#else
+            const std::uint64_t eq = simd::tagEqMask(tags + lo, n, tag);
+#endif
             const std::uint64_t hit =
-                eq & valid_[set * wordsPerSet_ + w];
+                eq & loadRelaxed(valid_[set * wordsPerSet_ + w]);
             if (hit)
                 return static_cast<int>(lo) + __builtin_ctzll(hit);
         }
@@ -190,10 +227,12 @@ class CacheModel
             evict(way, tags_[k], aux_[k]);
         }
         const std::size_t k = idx(set, way);
-        tags_[k] = tag;
+        // Tag and valid-word stores are relaxed atomics (plain MOVs on
+        // x86) so concurrent probeConcurrent() readers never race.
+        storeRelaxed(tags_[k], tag);
         costs_[k] = cost;
         aux_[k] = aux;
-        validWord(set, way) |= std::uint64_t{1} << bitOf(way);
+        setValidBit(set, way);
         policy_->fill(set, way, tag, cost);
         return way;
     }
@@ -220,7 +259,7 @@ class CacheModel
         if (policy_)
             policy_->invalidate(set, tag, way);
         if (way != kInvalidWay)
-            validWord(set, way) &= ~(std::uint64_t{1} << bitOf(way));
+            clearValidBit(set, way);
         return way;
     }
 
@@ -242,16 +281,16 @@ class CacheModel
     install(std::uint32_t set, int way, Addr tag, std::uint32_t aux = 0)
     {
         const std::size_t k = idx(set, way);
-        tags_[k] = tag;
+        storeRelaxed(tags_[k], tag);
         aux_[k] = aux;
-        validWord(set, way) |= std::uint64_t{1} << bitOf(way);
+        setValidBit(set, way);
     }
 
     /** Clear one way's valid bit, bypassing the policy. */
     void
     invalidateWay(std::uint32_t set, int way)
     {
-        validWord(set, way) &= ~(std::uint64_t{1} << bitOf(way));
+        clearValidBit(set, way);
     }
 
     /** Invalidate every line and reset the bound policy. */
@@ -274,6 +313,23 @@ class CacheModel
     static std::uint32_t bitOf(int way)
     {
         return static_cast<std::uint32_t>(way) & 63u;
+    }
+
+    // Valid-bit flips are load+atomic-store (not RMW: writers are
+    // already serialized by the owner's lock) so probeConcurrent()
+    // readers never observe a data race.
+    void
+    setValidBit(std::uint32_t set, int way)
+    {
+        std::uint64_t &word = validWord(set, way);
+        storeRelaxed(word, word | (std::uint64_t{1} << bitOf(way)));
+    }
+
+    void
+    clearValidBit(std::uint32_t set, int way)
+    {
+        std::uint64_t &word = validWord(set, way);
+        storeRelaxed(word, word & ~(std::uint64_t{1} << bitOf(way)));
     }
 
     std::uint64_t &validWord(std::uint32_t set, int way)

@@ -1,0 +1,73 @@
+#include "cache/SimdScan.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CSR_SIMD_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
+namespace csr::simd
+{
+
+std::uint64_t
+tagEqMaskScalar(const std::uint64_t *tags, std::uint32_t count,
+                std::uint64_t needle)
+{
+    std::uint64_t mask = 0;
+    for (std::uint32_t i = 0; i < count; ++i)
+        mask |= std::uint64_t{tags[i] == needle} << i;
+    return mask;
+}
+
+namespace
+{
+
+#if defined(CSR_SIMD_X86_DISPATCH)
+
+__attribute__((target("avx2"))) std::uint64_t
+tagEqMaskAvx2(const std::uint64_t *tags, std::uint32_t count,
+              std::uint64_t needle)
+{
+    const __m256i needle4 =
+        _mm256_set1_epi64x(static_cast<long long>(needle));
+    std::uint64_t mask = 0;
+    std::uint32_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        const __m256i lane = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(tags + i));
+        const __m256i eq = _mm256_cmpeq_epi64(lane, needle4);
+        mask |= static_cast<std::uint64_t>(_mm256_movemask_pd(
+                    _mm256_castsi256_pd(eq)))
+                << i;
+    }
+    for (; i < count; ++i)
+        mask |= std::uint64_t{tags[i] == needle} << i;
+    return mask;
+}
+
+#endif // CSR_SIMD_X86_DISPATCH
+
+TagEqMaskFn
+resolveKernel()
+{
+#if defined(CSR_SIMD_X86_DISPATCH)
+    if (__builtin_cpu_supports("avx2"))
+        return &tagEqMaskAvx2;
+#endif
+    return &tagEqMaskScalar;
+}
+
+} // namespace
+
+const TagEqMaskFn kTagEqMask = resolveKernel();
+
+const char *
+tagScanIsa()
+{
+#if defined(CSR_SIMD_X86_DISPATCH)
+    if (kTagEqMask != &tagEqMaskScalar)
+        return "avx2";
+#endif
+    return "scalar";
+}
+
+} // namespace csr::simd

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * SIMD tag scan over a set's contiguous tag lane.
+ *
+ * The CacheModel keeps each set's tags adjacent in one flat array
+ * (SoA, PR 2), which makes the tag compare of a set probe a textbook
+ * vector equality sweep: broadcast the needle, compare 4 tags per
+ * AVX2 vector, movemask the lanes into a way bitmask and intersect
+ * with the set's valid mask (Multi-step LRU does the same scan over
+ * its KV-cache entries).
+ *
+ * Dispatch is resolved once at startup from CPUID, so binaries built
+ * without -mavx2 still use the AVX2 kernel on hardware that has it,
+ * and portably fall back to a scalar sweep (which itself
+ * auto-vectorizes to SSE2 on x86-64).  Tiny scans (assoc <= 4, the
+ * trace simulators' geometries) stay inline and branchless -- a call
+ * through the dispatch pointer would cost more than the compare.
+ */
+
+#ifndef CSR_CACHE_SIMDSCAN_H
+#define CSR_CACHE_SIMDSCAN_H
+
+#include <cstdint>
+
+namespace csr::simd
+{
+
+/** Signature of a tag-equality kernel: bitmask (bit i set iff
+ *  tags[i] == needle) over the first @p count tags, count <= 64. */
+using TagEqMaskFn = std::uint64_t (*)(const std::uint64_t *tags,
+                                      std::uint32_t count,
+                                      std::uint64_t needle);
+
+/** Scalar kernel (and the tail loop of the vector kernels). */
+std::uint64_t tagEqMaskScalar(const std::uint64_t *tags,
+                              std::uint32_t count,
+                              std::uint64_t needle);
+
+/** CPUID-dispatched kernel; resolved once before main(). */
+extern const TagEqMaskFn kTagEqMask;
+
+/** Name of the resolved kernel ("avx2" or "scalar"), for banners. */
+const char *tagScanIsa();
+
+/**
+ * Equality bitmask over @p count contiguous tags.  Inline branchless
+ * sweep for tiny scans, dispatched kernel above that.
+ */
+inline std::uint64_t
+tagEqMask(const std::uint64_t *tags, std::uint32_t count,
+          std::uint64_t needle)
+{
+    if (count <= 4) {
+        std::uint64_t mask = 0;
+        for (std::uint32_t i = 0; i < count; ++i)
+            mask |= std::uint64_t{tags[i] == needle} << i;
+        return mask;
+    }
+    return kTagEqMask(tags, count, needle);
+}
+
+} // namespace csr::simd
+
+#endif // CSR_CACHE_SIMDSCAN_H

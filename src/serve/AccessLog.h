@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Bounded lock-free access log: deferred recency promotion for the
+ * seqlock hit path.
+ *
+ * An optimistic hit must not touch the replacement policy's recency
+ * state (that would race with lock-holding writers), so it records
+ * the hit key here instead; the next thread to take the shard mutex
+ * drains the log in FIFO order and replays the accesses into the
+ * policy.  The structure is Vyukov's bounded MPMC ring: producers
+ * claim a slot by CAS on the head and publish the payload with a
+ * release store of the slot's sequence number, so the (single,
+ * mutex-holding) consumer acquires the payload race-free.
+ *
+ * push() returns false when the ring is full; the caller then falls
+ * back to the locked path, which drains the ring before serving the
+ * op -- so at one worker no promotion is ever lost or reordered, and
+ * the locked/seqlock end states coincide (test_serve_concurrency).
+ */
+
+#ifndef CSR_SERVE_ACCESSLOG_H
+#define CSR_SERVE_ACCESSLOG_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "util/Logging.h"
+#include "util/MathUtil.h"
+#include "util/Types.h"
+
+namespace csr::serve
+{
+
+class AccessLog
+{
+  public:
+    explicit AccessLog(std::size_t capacity = 1024)
+        : mask_(capacity - 1),
+          cells_(std::make_unique<Cell[]>(capacity))
+    {
+        // Power-of-two capacity so slot selection is a mask.
+        csr_assert(capacity >= 2 && isPow2(capacity),
+                   "access log capacity must be a power of two >= 2");
+        for (std::size_t i = 0; i < capacity; ++i)
+            cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+
+    AccessLog(const AccessLog &) = delete;
+    AccessLog &operator=(const AccessLog &) = delete;
+
+    /** Record a hit on @p key.  Lock-free; false when full. */
+    bool
+    push(Addr key)
+    {
+        std::uint64_t pos = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells_[pos & mask_];
+            const std::uint64_t seq =
+                cell.seq.load(std::memory_order_acquire);
+            const auto dif = static_cast<std::int64_t>(seq) -
+                             static_cast<std::int64_t>(pos);
+            if (dif == 0) {
+                if (head_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed)) {
+                    cell.key = key;
+                    cell.seq.store(pos + 1,
+                                   std::memory_order_release);
+                    return true;
+                }
+            } else if (dif < 0) {
+                return false; // full: caller takes the locked path
+            } else {
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /**
+     * Drain every published entry in FIFO order into @p fn(key).
+     * Single consumer: the caller must hold the shard mutex.
+     */
+    template <typename Fn>
+    void
+    drain(Fn &&fn)
+    {
+        std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells_[pos & mask_];
+            const std::uint64_t seq =
+                cell.seq.load(std::memory_order_acquire);
+            if (static_cast<std::int64_t>(seq) -
+                    static_cast<std::int64_t>(pos + 1) <
+                0)
+                break; // empty, or a claimed slot not yet published
+            const Addr key = cell.key;
+            cell.seq.store(pos + mask_ + 1,
+                           std::memory_order_release);
+            ++pos;
+            fn(key);
+        }
+        tail_.store(pos, std::memory_order_relaxed);
+    }
+
+  private:
+    struct Cell
+    {
+        std::atomic<std::uint64_t> seq{0};
+        Addr key = 0;
+    };
+
+    const std::uint64_t mask_;
+    std::unique_ptr<Cell[]> cells_;
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+} // namespace csr::serve
+
+#endif // CSR_SERVE_ACCESSLOG_H

@@ -1,8 +1,10 @@
 #include "serve/CacheService.h"
 
+#include <mutex>
 #include <utility>
 
 #include "robust/Errors.h"
+#include "serve/ShardState.h"
 #include "telemetry/MetricRegistry.h"
 #include "telemetry/Telemetry.h"
 #include "util/MathUtil.h"
@@ -11,58 +13,29 @@
 namespace csr::serve
 {
 
-/**
- * One shard: a CacheModel + policy behind a mutex, the per-(set, way)
- * value store, and the per-key latency estimates.
- */
-struct CacheService::Shard
+namespace
 {
-    Shard(const CacheGeometry &geom, PolicyPtr policy)
-        : model(geom, std::move(policy)),
-          values(static_cast<std::size_t>(geom.numSets()) * geom.assoc(),
-                 0)
-    {
-    }
 
-    /** Per-key backend-latency estimate (the online cost model). */
-    struct KeyState
-    {
-        double ewmaNs = 0.0;
-        std::uint64_t samples = 0;
-    };
+/** Optimistic read attempts before falling back to the mutex. */
+constexpr int kOptimisticRetries = 4;
 
-    std::size_t
-    idx(std::uint32_t set, int way) const
-    {
-        return static_cast<std::size_t>(set) * model.geometry().assoc() +
-               static_cast<std::size_t>(way);
-    }
+} // namespace
 
-    std::mutex mutex;
-    CacheModel model;
-    std::vector<std::uint64_t> values;
-    std::unordered_map<Addr, KeyState> keys;
+std::optional<HitPath>
+parseHitPath(const std::string &name)
+{
+    if (name == "locked")
+        return HitPath::Locked;
+    if (name == "seqlock")
+        return HitPath::Seqlock;
+    return std::nullopt;
+}
 
-    std::uint64_t gets = 0;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t stores = 0;
-    std::uint64_t storeHits = 0;
-    std::uint64_t evictions = 0;
-    double missCostNs = 0.0;
-    double storeCostNs = 0.0;
-
-    /** Fold a measured latency into the key's EWMA. */
-    void
-    observe(KeyState &state, double latency_ns, double alpha)
-    {
-        state.ewmaNs = state.samples == 0
-                           ? latency_ns
-                           : alpha * latency_ns +
-                                 (1.0 - alpha) * state.ewmaNs;
-        ++state.samples;
-    }
-};
+const char *
+hitPathName(HitPath path)
+{
+    return path == HitPath::Locked ? "locked" : "seqlock";
+}
 
 CacheService::CacheService(const ServeConfig &config, Backend &backend)
     : config_(config), backend_(backend)
@@ -74,6 +47,12 @@ CacheService::CacheService(const ServeConfig &config, Backend &backend)
     if (config_.ewmaAlpha <= 0.0 || config_.ewmaAlpha > 1.0)
         throw ConfigError("EWMA alpha must be in (0,1], got " +
                           std::to_string(config_.ewmaAlpha));
+    if (config_.accessLogCapacity < 2 ||
+        !isPow2(config_.accessLogCapacity))
+        throw ConfigError(
+            "access log capacity (" +
+            std::to_string(config_.accessLogCapacity) +
+            ") must be a power of two >= 2");
     if (config_.policy == PolicyKind::Opt ||
         config_.policy == PolicyKind::CostOpt)
         throw ConfigError("offline oracle policies cannot drive an "
@@ -93,7 +72,8 @@ CacheService::CacheService(const ServeConfig &config, Backend &backend)
         PolicyParams params = config_.policyParams;
         params.seed = hashMix64(params.seed + s + 1);
         shards_.push_back(std::make_unique<Shard>(
-            geom, makePolicy(config_.policy, geom, params)));
+            geom, makePolicy(config_.policy, geom, params),
+            config_.accessLogCapacity));
     }
 }
 
@@ -107,7 +87,7 @@ CacheService::shardOf(Addr key) const
     return static_cast<unsigned>(hashMix64(key) >> shardShift_);
 }
 
-CacheService::Shard &
+Shard &
 CacheService::shardFor(Addr key)
 {
     return *shards_[shardOf(key)];
@@ -119,6 +99,68 @@ CacheService::policyName() const
     return shards_[0]->model.policy()->name();
 }
 
+std::uint64_t
+CacheService::keySamples(Addr key) const
+{
+    Shard &shard = *shards_[shardOf(key)];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.keys.find(key);
+    return it == shard.keys.end() ? 0 : it->second.samples;
+}
+
+/**
+ * The lock-free hit path.  A stable seqlock read section around the
+ * SIMD tag probe and the value load serves a hit without ever
+ * touching the shard mutex; recency promotion is deferred through the
+ * access log.  Returns nullopt when the op must take the locked path:
+ * a validated miss, a full access log, or retry exhaustion.
+ */
+std::optional<ServeOpResult>
+CacheService::tryOptimisticGet(Shard &shard, std::uint32_t set,
+                               Addr tag, Addr key)
+{
+    for (int attempt = 0; attempt < kOptimisticRetries; ++attempt) {
+        const std::uint64_t begin = shard.seqlock.readBegin();
+        if (begin & 1) {
+            // A writer is inside a write section; re-snapshot.
+            shard.seqlockRetries.fetch_add(1,
+                                           std::memory_order_relaxed);
+            continue;
+        }
+        const int way = shard.model.probeConcurrent(set, tag);
+        if (way == kInvalidWay) {
+            if (shard.seqlock.readValidate(begin))
+                return std::nullopt; // genuine miss
+            shard.seqlockRetries.fetch_add(1,
+                                           std::memory_order_relaxed);
+            continue;
+        }
+        const std::uint64_t value = shard.loadValue(set, way);
+        if (!shard.seqlock.readValidate(begin)) {
+            shard.seqlockRetries.fetch_add(1,
+                                           std::memory_order_relaxed);
+            continue;
+        }
+        // Hit committed.  Defer the recency promotion; a full log
+        // means the locked path must drain first, so re-serve the op
+        // there (it will count as an ordinary locked hit).
+        if (!shard.accessLog.push(key)) {
+            shard.lockedFallbacks.fetch_add(1,
+                                            std::memory_order_relaxed);
+            return std::nullopt;
+        }
+        shard.gets.fetch_add(1, std::memory_order_relaxed);
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
+        shard.seqlockHits.fetch_add(1, std::memory_order_relaxed);
+        ServeOpResult result;
+        result.hit = true;
+        result.value = value;
+        return result;
+    }
+    shard.lockedFallbacks.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+}
+
 ServeOpResult
 CacheService::get(Addr key)
 {
@@ -128,38 +170,103 @@ CacheService::get(Addr key)
         static_cast<std::uint32_t>(key & (geom.numSets() - 1));
     const Addr tag = key >> geom.setBits();
 
+    if (config_.hitPath == HitPath::Seqlock) {
+        if (auto result = tryOptimisticGet(shard, set, tag, key))
+            return *result;
+    }
+    return lockedGet(shard, set, tag, key);
+}
+
+ServeOpResult
+CacheService::lockedGet(Shard &shard, std::uint32_t set, Addr tag,
+                        Addr key)
+{
     std::unique_lock<std::mutex> lock(shard.mutex, std::defer_lock);
     {
         CSR_TRACE_SPAN("serve", "shard.lock_wait");
         lock.lock();
     }
-    ++shard.gets;
+    shard.drainAccessLog();
+    shard.gets.fetch_add(1, std::memory_order_relaxed);
 
     const int way = shard.model.access(set, tag);
     if (way != kInvalidWay) {
-        ++shard.hits;
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
         ServeOpResult result;
         result.hit = true;
-        result.value = shard.values[shard.idx(set, way)];
+        result.value = shard.loadValue(set, way);
         return result;
     }
 
-    ++shard.misses;
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    auto [flight, leader] = shard.inflight.claim(key);
+
+    if (!leader) {
+        // Another thread's fetch for this key is in flight: park on
+        // it instead of hammering the backend (single-flight), then
+        // fold ITS measured latency into this requester's view of
+        // the key -- the cost signal sees one observation per miss,
+        // the backend one call per stampede.
+        shard.coalescedMisses.fetch_add(1, std::memory_order_relaxed);
+        CSR_TRACE_INSTANT("serve", "coalesced_miss");
+        lock.unlock();
+        {
+            CSR_TRACE_SPAN("serve", "inflight.wait");
+            awaitFetch(*flight);
+        }
+        lock.lock();
+        shard.drainAccessLog();
+        Shard::KeyState &state = shard.keys[key];
+        shard.observe(state, flight->latencyNs, config_.ewmaAlpha);
+        shard.missCostNs += flight->latencyNs;
+        const int resident = shard.model.lookup(set, tag);
+        if (resident != kInvalidWay) {
+            SeqlockWriteGuard guard(shard.seqlock);
+            shard.model.updateCost(set, resident, state.ewmaNs);
+        }
+        ServeOpResult result;
+        result.hit = false;
+        result.value = flight->value;
+        result.backendNs = flight->latencyNs;
+        return result;
+    }
+
+    // Leader: read the fetch salt under the lock, fetch with the
+    // shard UNLOCKED (other keys keep being served), then re-acquire
+    // to install the block and publish to the waiters.
     Shard::KeyState &state = shard.keys[key];
+    const std::uint64_t salt = state.samples;
+    lock.unlock();
     BackendResult fetched;
     {
         CSR_TRACE_SPAN("serve", "backend.fetch");
-        fetched = backend_.fetch(key, state.samples);
+        fetched = backend_.fetch(key, salt);
     }
+    shard.backendFetches.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+    shard.drainAccessLog();
     shard.observe(state, fetched.latencyNs, config_.ewmaAlpha);
     shard.missCostNs += fetched.latencyNs;
 
-    const int filled = shard.model.fillVictimOrFree(
-        set, tag, state.ewmaNs, 0, [&](int, Addr, std::uint32_t) {
-            ++shard.evictions;
-            CSR_TRACE_INSTANT("serve", "evict");
-        });
-    shard.values[shard.idx(set, filled)] = fetched.value;
+    const int resident = shard.model.lookup(set, tag);
+    if (resident != kInvalidWay) {
+        // A concurrent put write-allocated the key while we fetched;
+        // its value is newer than our read, so only refresh the cost.
+        SeqlockWriteGuard guard(shard.seqlock);
+        shard.model.updateCost(set, resident, state.ewmaNs);
+    } else {
+        SeqlockWriteGuard guard(shard.seqlock);
+        const int filled = shard.model.fillVictimOrFree(
+            set, tag, state.ewmaNs, 0, [&](int, Addr, std::uint32_t) {
+                shard.evictions.fetch_add(1,
+                                          std::memory_order_relaxed);
+                CSR_TRACE_INSTANT("serve", "evict");
+            });
+        shard.storeValue(set, filled, fetched.value);
+    }
+    shard.inflight.erase(key);
+    lock.unlock();
+    completeFetch(*flight, fetched.value, fetched.latencyNs);
 
     ServeOpResult result;
     result.hit = false;
@@ -182,7 +289,8 @@ CacheService::put(Addr key, std::uint64_t value)
         CSR_TRACE_SPAN("serve", "shard.lock_wait");
         lock.lock();
     }
-    ++shard.stores;
+    shard.drainAccessLog();
+    shard.stores.fetch_add(1, std::memory_order_relaxed);
 
     Shard::KeyState &state = shard.keys[key];
     BackendResult stored;
@@ -204,20 +312,22 @@ CacheService::put(Addr key, std::uint64_t value)
         // Resident: refresh the value and push the new prediction to
         // the policy -- the online analogue of the paper's dynamic
         // cost updates (CacheModel::updateCost).
-        ++shard.storeHits;
-        shard.values[shard.idx(set, way)] = value;
+        shard.storeHits.fetch_add(1, std::memory_order_relaxed);
+        SeqlockWriteGuard guard(shard.seqlock);
+        shard.storeValue(set, way, value);
         shard.model.updateCost(set, way, state.ewmaNs);
         result.hit = true;
         return result;
     }
 
     // Write-allocate, so subsequent reads of a written key hit.
+    SeqlockWriteGuard guard(shard.seqlock);
     const int filled = shard.model.fillVictimOrFree(
         set, tag, state.ewmaNs, 0, [&](int, Addr, std::uint32_t) {
-            ++shard.evictions;
+            shard.evictions.fetch_add(1, std::memory_order_relaxed);
             CSR_TRACE_INSTANT("serve", "evict");
         });
-    shard.values[shard.idx(set, filled)] = value;
+    shard.storeValue(set, filled, value);
     result.hit = false;
     return result;
 }
@@ -229,15 +339,27 @@ CacheService::totals() const
     for (const auto &shard_ptr : shards_) {
         Shard &shard = *shard_ptr;
         std::lock_guard<std::mutex> lock(shard.mutex);
-        totals.gets += shard.gets;
-        totals.hits += shard.hits;
-        totals.misses += shard.misses;
-        totals.stores += shard.stores;
-        totals.storeHits += shard.storeHits;
-        totals.evictions += shard.evictions;
+        totals.gets += shard.gets.load(std::memory_order_relaxed);
+        totals.hits += shard.hits.load(std::memory_order_relaxed);
+        totals.misses += shard.misses.load(std::memory_order_relaxed);
+        totals.stores += shard.stores.load(std::memory_order_relaxed);
+        totals.storeHits +=
+            shard.storeHits.load(std::memory_order_relaxed);
+        totals.evictions +=
+            shard.evictions.load(std::memory_order_relaxed);
         totals.trackedKeys += shard.keys.size();
         totals.missCostNs += shard.missCostNs;
         totals.storeCostNs += shard.storeCostNs;
+        totals.seqlockHits +=
+            shard.seqlockHits.load(std::memory_order_relaxed);
+        totals.seqlockRetries +=
+            shard.seqlockRetries.load(std::memory_order_relaxed);
+        totals.lockedFallbacks +=
+            shard.lockedFallbacks.load(std::memory_order_relaxed);
+        totals.backendFetches +=
+            shard.backendFetches.load(std::memory_order_relaxed);
+        totals.coalescedMisses +=
+            shard.coalescedMisses.load(std::memory_order_relaxed);
     }
     return totals;
 }
@@ -260,6 +382,15 @@ CacheService::exportMetrics(MetricRegistry &registry) const
         "serve.store_cost_ns",
         static_cast<std::uint64_t>(totals.storeCostNs));
     registry.setCounter("serve.shards", config_.shards);
+    registry.setCounter("serve.seqlock_hits", totals.seqlockHits);
+    registry.setCounter("serve.seqlock_retries",
+                        totals.seqlockRetries);
+    registry.setCounter("serve.locked_fallbacks",
+                        totals.lockedFallbacks);
+    registry.setCounter("serve.backend_fetches",
+                        totals.backendFetches);
+    registry.setCounter("serve.coalesced_misses",
+                        totals.coalescedMisses);
 
     RunningStat ewma;
     for (const auto &shard_ptr : shards_) {
@@ -280,6 +411,11 @@ CacheService::checkInvariants() const
         Shard &shard = *shards_[s];
         std::lock_guard<std::mutex> lock(shard.mutex);
         shard.model.checkInvariants();
+        if (shard.inflight.size() != 0)
+            throw InvariantError(
+                "serve shard " + std::to_string(s) + ": " +
+                std::to_string(shard.inflight.size()) +
+                " in-flight fetches in a quiescent service");
         const CacheGeometry &geom = shard.model.geometry();
         for (std::uint32_t set = 0; set < geom.numSets(); ++set) {
             for (std::uint32_t way = 0; way < geom.assoc(); ++way) {

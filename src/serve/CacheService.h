@@ -5,31 +5,34 @@
  * paper's cost-sensitive policies, with the *online* cost of a block
  * being its measured backend fetch latency.
  *
- * Architecture (DESIGN.md section 3.4):
+ * Architecture (DESIGN.md sections 3.4 and 3.5):
  *
  *  - The keyspace is hash-partitioned over N independent shards (high
  *    bits of hashMix64(key), so shard choice is uncorrelated with the
- *    set index bits).  Each shard owns, behind one mutex: a
+ *    set index bits).  Each shard (serve/ShardState.h) owns a
  *    CacheModel bound to its own ReplacementPolicy instance (built by
  *    the existing PolicyFactory -- LRU/GD/BCL/DCL/ACL all work), a
- *    per-(set, way) value array, and a per-key EWMA latency tracker.
+ *    per-(set, way) value lane, and a per-key EWMA latency tracker.
  *
- *  - A read miss fetches from the Backend under the shard lock,
- *    charges the measured latency to the aggregate miss cost, folds
- *    it into the key's EWMA, and installs the block with the EWMA as
- *    its predicted next-miss cost -- exactly the quantity the paper's
- *    policies weigh against recency.
+ *  - Two hit paths.  HitPath::Locked serializes every op on the shard
+ *    mutex -- the deterministic golden reference (CI diffs its stdout
+ *    across worker counts).  HitPath::Seqlock serves read hits with
+ *    NO lock at all: an optimistic SIMD tag probe validated by a
+ *    per-shard sequence lock (serve/Seqlock.h), with recency
+ *    promotion deferred through a lock-free access log drained by the
+ *    next lock holder (serve/AccessLog.h).
  *
- *  - A write is write-through with write-allocate: the store latency
- *    is also an observation of the key's backend cost, so a write to
- *    a *resident* key refreshes the line's cost prediction through
- *    CacheModel::updateCost -- the online closing of the paper's
- *    cost-feedback loop (offline, LatencyCorrelator played this
- *    role).
+ *  - Misses are single-flight (serve/InflightTable.h): concurrent
+ *    misses on one key coalesce onto one backend fetch, performed
+ *    OUTSIDE the shard mutex, and the measured latency is folded into
+ *    every waiter's EWMA so the paper's cost signal sees one sample
+ *    per requester under stampede.
  *
- * Per-op work is a handful of map/array touches; the service keeps no
- * global state, so throughput scales with shard count until the
- * backend saturates.
+ *  - A write is write-through with write-allocate and always takes
+ *    the shard mutex: the store latency is also an observation of the
+ *    key's backend cost, so a write to a *resident* key refreshes the
+ *    line's cost prediction through CacheModel::updateCost -- the
+ *    online closing of the paper's cost-feedback loop.
  */
 
 #ifndef CSR_SERVE_CACHESERVICE_H
@@ -37,12 +40,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
-#include "cache/CacheModel.h"
 #include "cache/PolicyFactory.h"
 #include "serve/Backend.h"
 
@@ -53,6 +54,23 @@ class MetricRegistry;
 
 namespace csr::serve
 {
+
+struct Shard;
+
+/** How read hits are served. */
+enum class HitPath
+{
+    /** Every op under the shard mutex (deterministic reference). */
+    Locked,
+    /** Optimistic seqlock-validated hits; mutex only for writes,
+     *  misses, and fallback. */
+    Seqlock,
+};
+
+/** "locked" / "seqlock", or std::nullopt. */
+std::optional<HitPath> parseHitPath(const std::string &name);
+
+const char *hitPathName(HitPath path);
 
 /** Construction parameters of a CacheService. */
 struct ServeConfig
@@ -68,6 +86,9 @@ struct ServeConfig
     PolicyParams policyParams;
     /** Weight of the newest latency sample in the per-key EWMA. */
     double ewmaAlpha = 0.25;
+    HitPath hitPath = HitPath::Locked;
+    /** Per-shard deferred-recency ring size (power of two). */
+    std::size_t accessLogCapacity = 1024;
 
     /** Total lines across all shards. */
     std::uint64_t
@@ -89,7 +110,8 @@ struct ServeOpResult
 
 /**
  * Deterministic aggregate counters (everything here is a pure
- * function of the per-shard op sequences -- no wall-clock).
+ * function of the per-shard op sequences under the locked hit path
+ * with shard affinity -- no wall-clock).
  */
 struct ServeTotals
 {
@@ -101,11 +123,21 @@ struct ServeTotals
     std::uint64_t evictions = 0;
     std::uint64_t trackedKeys = 0; ///< keys with an EWMA estimate
     /** Sum of measured read-miss fetch latencies: the paper's
-     *  aggregate miss cost, measured online. */
+     *  aggregate miss cost, measured online.  A coalesced miss
+     *  charges the leader's measured latency, the same nanoseconds
+     *  the waiter spent parked. */
     double missCostNs = 0.0;
     /** Sum of measured write-through latencies (reported separately;
      *  stores pay the backend regardless of the policy). */
     double storeCostNs = 0.0;
+
+    // -- concurrency counters (all zero under HitPath::Locked except
+    //    backendFetches == misses) ------------------------------------
+    std::uint64_t seqlockHits = 0;      ///< hits served without the mutex
+    std::uint64_t seqlockRetries = 0;   ///< optimistic reads discarded
+    std::uint64_t lockedFallbacks = 0;  ///< optimistic ops that took the mutex
+    std::uint64_t backendFetches = 0;   ///< actual Backend::fetch calls
+    std::uint64_t coalescedMisses = 0;  ///< misses that joined a fetch
 
     double
     hitRatio() const
@@ -144,6 +176,9 @@ class CacheService
     const ServeConfig &config() const { return config_; }
     std::string policyName() const;
 
+    /** EWMA sample count of @p key (tests: stampede coalescing). */
+    std::uint64_t keySamples(Addr key) const;
+
     /** Aggregate the per-shard counters (locks shard by shard). */
     ServeTotals totals() const;
 
@@ -156,9 +191,15 @@ class CacheService
     void checkInvariants() const;
 
   private:
-    struct Shard;
-
     Shard &shardFor(Addr key);
+
+    /** Optimistic seqlock read; nullopt means take the locked path. */
+    std::optional<ServeOpResult> tryOptimisticGet(Shard &shard,
+                                                  std::uint32_t set,
+                                                  Addr tag, Addr key);
+
+    ServeOpResult lockedGet(Shard &shard, std::uint32_t set, Addr tag,
+                            Addr key);
 
     ServeConfig config_;
     Backend &backend_;

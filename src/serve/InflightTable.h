@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Single-flight miss coalescing: one backend fetch per missing key,
+ * no matter how many threads miss on it concurrently.
+ *
+ * The first thread to miss on a key becomes the *leader*: it claims
+ * an InflightFetch entry under the shard mutex, releases the mutex,
+ * performs the backend fetch, then re-acquires the mutex to install
+ * the block and publish the result.  Threads that miss on the same
+ * key while the fetch is in flight become *waiters*: they park on the
+ * entry's condition variable (off the shard mutex, so the shard keeps
+ * serving other keys) and, once woken, fold the leader's measured
+ * latency into their own EWMA observation of the key -- the paper's
+ * cost signal sees one sample per requester, exactly as if each had
+ * paid the fetch, while the backend sees a single call (the stampede
+ * protection every production cache tier wants).
+ *
+ * Moving the fetch outside the shard mutex is itself the second half
+ * of the tentpole: under the old code a shard was serialized for the
+ * whole backend round trip; now it is held only for the map/array
+ * bookkeeping on either side.
+ */
+
+#ifndef CSR_SERVE_INFLIGHTTABLE_H
+#define CSR_SERVE_INFLIGHTTABLE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "util/Types.h"
+
+namespace csr::serve
+{
+
+/** One in-flight backend fetch; waiters park on cv until done. */
+struct InflightFetch
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    std::uint64_t value = 0;
+    double latencyNs = 0.0;
+};
+
+/**
+ * Publish the leader's result and wake every waiter.  Called with
+ * the shard mutex NOT held (the entry has its own mutex).
+ */
+inline void
+completeFetch(InflightFetch &fetch, std::uint64_t value,
+              double latency_ns)
+{
+    {
+        std::lock_guard<std::mutex> lock(fetch.mutex);
+        fetch.value = value;
+        fetch.latencyNs = latency_ns;
+        fetch.done = true;
+    }
+    fetch.cv.notify_all();
+}
+
+/** Block until the leader publishes.  Shard mutex must NOT be held. */
+inline void
+awaitFetch(InflightFetch &fetch)
+{
+    std::unique_lock<std::mutex> lock(fetch.mutex);
+    fetch.cv.wait(lock, [&fetch] { return fetch.done; });
+}
+
+/**
+ * The per-shard table of in-flight fetches.  All methods must be
+ * called with the shard mutex held; the entries themselves outlive
+ * erase() through shared ownership, so waiters that joined before
+ * the leader finished still see the published result.
+ */
+class InflightTable
+{
+  public:
+    /** Join @p key's in-flight fetch, or claim leadership of a new
+     *  one.  Second element is true for the leader. */
+    std::pair<std::shared_ptr<InflightFetch>, bool>
+    claim(Addr key)
+    {
+        auto [it, inserted] = map_.try_emplace(key);
+        if (inserted)
+            it->second = std::make_shared<InflightFetch>();
+        return {it->second, inserted};
+    }
+
+    /** Leader-only: retire the entry once the block is installed. */
+    void
+    erase(Addr key)
+    {
+        map_.erase(key);
+    }
+
+    std::size_t size() const { return map_.size(); }
+
+  private:
+    std::unordered_map<Addr, std::shared_ptr<InflightFetch>> map_;
+};
+
+} // namespace csr::serve
+
+#endif // CSR_SERVE_INFLIGHTTABLE_H

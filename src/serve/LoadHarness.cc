@@ -128,6 +128,16 @@ HarnessResult::writeJsonObject(std::ostream &os,
        << in2 << "\"missCostNs\": " << numFull(totals.missCostNs) << ",\n"
        << in2 << "\"storeCostNs\": " << numFull(totals.storeCostNs) << "\n"
        << in << "},\n"
+       // Deterministic under --hitpath locked (all zero except
+       // backendFetches == misses); scheduling-dependent under
+       // seqlock, hence a block of its own.
+       << in << "\"concurrency\": {\n"
+       << in2 << "\"seqlockHits\": " << totals.seqlockHits << ",\n"
+       << in2 << "\"seqlockRetries\": " << totals.seqlockRetries << ",\n"
+       << in2 << "\"lockedFallbacks\": " << totals.lockedFallbacks << ",\n"
+       << in2 << "\"backendFetches\": " << totals.backendFetches << ",\n"
+       << in2 << "\"coalescedMisses\": " << totals.coalescedMisses << "\n"
+       << in << "},\n"
        << in << "\"timing\": {\n"
        << in2 << "\"wallSec\": " << numShort(wallSec) << ",\n"
        << in2 << "\"qps\": " << numShort(qps) << ",\n"

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * One shard of the CacheService: the CacheModel + policy, the value
+ * lane, the per-key cost estimates, and the shard's concurrency
+ * machinery (mutex, seqlock, deferred access log, in-flight fetch
+ * table).
+ *
+ * Concurrency model (DESIGN.md section 3.5):
+ *
+ *  - Writers -- miss fills, write-allocates, cost refreshes -- hold
+ *    `mutex` and wrap every mutation of seqlock-probed state (tag
+ *    lane, valid words, value lane) in a SeqlockWriteGuard.
+ *
+ *  - Optimistic readers (the seqlock hit path) hold nothing: they
+ *    bracket probeConcurrent() + loadValue() in a seqlock read
+ *    section, push the hit into `accessLog` for deferred recency
+ *    promotion, and bump the relaxed atomic counters.
+ *
+ *  - The policy's own state (recency words, ETD, reservations) is
+ *    only ever touched under `mutex`; drainAccessLog() replays the
+ *    optimistic hits into it before any locked op proceeds.
+ *
+ * Aggregate doubles (missCostNs, storeCostNs) are only mutated under
+ * `mutex`; the integer counters are relaxed atomics because the
+ * optimistic hit path increments gets/hits without the lock.
+ */
+
+#ifndef CSR_SERVE_SHARDSTATE_H
+#define CSR_SERVE_SHARDSTATE_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cache/CacheModel.h"
+#include "serve/AccessLog.h"
+#include "serve/InflightTable.h"
+#include "serve/Seqlock.h"
+#include "util/Atomics.h"
+
+namespace csr::serve
+{
+
+struct Shard
+{
+    Shard(const CacheGeometry &geom, PolicyPtr policy,
+          std::size_t access_log_capacity)
+        : model(geom, std::move(policy)),
+          values(static_cast<std::size_t>(geom.numSets()) *
+                     geom.assoc(),
+                 0),
+          accessLog(access_log_capacity)
+    {
+    }
+
+    /** Per-key backend-latency estimate (the online cost model). */
+    struct KeyState
+    {
+        double ewmaNs = 0.0;
+        std::uint64_t samples = 0;
+    };
+
+    std::size_t
+    idx(std::uint32_t set, int way) const
+    {
+        return static_cast<std::size_t>(set) *
+                   model.geometry().assoc() +
+               static_cast<std::size_t>(way);
+    }
+
+    /** Value-lane accessors; atomic so optimistic readers pair with
+     *  lock-holding writers race-free (ordering from the seqlock). */
+    std::uint64_t
+    loadValue(std::uint32_t set, int way) const
+    {
+        return loadRelaxed(values[idx(set, way)]);
+    }
+
+    void
+    storeValue(std::uint32_t set, int way, std::uint64_t value)
+    {
+        storeRelaxed(values[idx(set, way)], value);
+    }
+
+    /** Fold a measured latency into the key's EWMA. */
+    void
+    observe(KeyState &state, double latency_ns, double alpha)
+    {
+        state.ewmaNs = state.samples == 0
+                           ? latency_ns
+                           : alpha * latency_ns +
+                                 (1.0 - alpha) * state.ewmaNs;
+        ++state.samples;
+    }
+
+    /**
+     * Replay deferred optimistic hits into the policy, in log order.
+     * Must hold `mutex`.  Runs before every locked op so that, at one
+     * worker, the policy sees exactly the access sequence the fully
+     * locked path would have produced.  An entry whose key was
+     * evicted between the optimistic hit and the drain is dropped --
+     * a stale recency hint, not a correctness problem.
+     */
+    void
+    drainAccessLog()
+    {
+        const CacheGeometry &geom = model.geometry();
+        accessLog.drain([&](Addr key) {
+            const auto set = static_cast<std::uint32_t>(
+                key & (geom.numSets() - 1));
+            const Addr tag = key >> geom.setBits();
+            const int way = model.lookup(set, tag);
+            if (way != kInvalidWay)
+                model.noteAccess(set, tag, way);
+        });
+    }
+
+    std::mutex mutex;
+    Seqlock seqlock;
+    CacheModel model;
+    std::vector<std::uint64_t> values;
+    std::unordered_map<Addr, KeyState> keys;
+    AccessLog accessLog;
+    InflightTable inflight;
+
+    std::atomic<std::uint64_t> gets{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> stores{0};
+    std::atomic<std::uint64_t> storeHits{0};
+    std::atomic<std::uint64_t> evictions{0};
+    /** Hits served entirely without the shard mutex. */
+    std::atomic<std::uint64_t> seqlockHits{0};
+    /** Optimistic read sections discarded by validation. */
+    std::atomic<std::uint64_t> seqlockRetries{0};
+    /** Optimistic attempts that fell back to the mutex. */
+    std::atomic<std::uint64_t> lockedFallbacks{0};
+    /** Actual Backend::fetch calls (== misses unless coalesced). */
+    std::atomic<std::uint64_t> backendFetches{0};
+    /** Misses that joined another thread's in-flight fetch. */
+    std::atomic<std::uint64_t> coalescedMisses{0};
+
+    double missCostNs = 0.0;  // under mutex
+    double storeCostNs = 0.0; // under mutex
+};
+
+} // namespace csr::serve
+
+#endif // CSR_SERVE_SHARDSTATE_H

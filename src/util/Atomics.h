@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Relaxed-atomic access helpers for data shared between lock-holding
+ * writers and optimistic (seqlock-validated) readers.
+ *
+ * The serving layer's lock-free hit path reads tag/valid/value words
+ * that a concurrent writer (holding the shard mutex) may be mutating;
+ * the read is made safe by seqlock validation, not by mutual
+ * exclusion.  For ThreadSanitizer -- and for the C++ memory model --
+ * such reads and writes must still be *atomic* operations, so both
+ * sides go through std::atomic_ref with relaxed ordering (a plain MOV
+ * on x86; the ordering comes from the seqlock's acquire/release
+ * protocol, see serve/Seqlock.h).
+ *
+ * CSR_TSAN is defined when the build is instrumented with TSan;
+ * concurrency code uses it to replace benign-but-racy fast paths
+ * (e.g. SIMD loads of mutating tag lanes, which TSan would flag as a
+ * range access) with per-word atomic equivalents.
+ */
+
+#ifndef CSR_UTIL_ATOMICS_H
+#define CSR_UTIL_ATOMICS_H
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__SANITIZE_THREAD__)
+#define CSR_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CSR_TSAN 1
+#endif
+#endif
+
+namespace csr
+{
+
+/** Relaxed atomic load of a word a lock-holder may be writing. */
+template <typename T>
+inline T
+loadRelaxed(const T &word)
+{
+    return std::atomic_ref<const T>(word).load(
+        std::memory_order_relaxed);
+}
+
+/** Relaxed atomic store pairing with loadRelaxed() readers. */
+template <typename T>
+inline void
+storeRelaxed(T &word, T value)
+{
+    std::atomic_ref<T>(word).store(value, std::memory_order_relaxed);
+}
+
+} // namespace csr
+
+#endif // CSR_UTIL_ATOMICS_H

@@ -14,6 +14,7 @@
  *            [--ewma-alpha F]
  *            [--slow-frac F] [--slow-ns N] [--fast-ns N] [--jitter F]
  *            [--spin] [--affinity shard|free] [--validate]
+ *            [--hitpath locked|seqlock]
  *            [--json FILE] [--trace FILE] [--metrics FILE]
  *
  * Output contract, same as csrsim sweep's: the deterministic summary
@@ -91,6 +92,12 @@ serveConfigFromArgs(const CliArgs &args)
         args.getUInt("block-bytes", config.blockBytes));
     config.ewmaAlpha = args.getDouble("ewma-alpha", config.ewmaAlpha);
     config.policyParams.seed = args.seed(1);
+    const std::string hitpath = args.get("hitpath", "locked");
+    if (auto path = parseHitPath(hitpath))
+        config.hitPath = *path;
+    else
+        throw ConfigError("unknown hitpath '" + hitpath +
+                          "' (valid: locked seqlock)");
     return config;
 }
 
@@ -183,6 +190,7 @@ usage()
            "  service:  --policy " << policyNamesJoined() << "\n"
         << "            --shards N (pow2) --shard-bytes N --assoc N\n"
            "            --block-bytes N --ewma-alpha F\n"
+           "            --hitpath locked|seqlock (lock-free read hits)\n"
            "  backend:  --fast-ns F --slow-ns F --slow-frac F\n"
            "            --jitter F --spin (burn latency for real)\n"
            "  load:     --ops N --workers N (0=hw) --qps N (0=unpaced)\n"
@@ -259,7 +267,7 @@ main(int argc, char **argv)
             "ewma-alpha", "fast-ns", "slow-ns", "slow-frac", "jitter",
             "spin", "ops", "workers", "qps", "workload", "keys",
             "zipf-theta", "hot-frac", "hot-prob", "write-frac",
-            "affinity", "validate",
+            "affinity", "validate", "hitpath",
         });
         return run(args);
     } catch (const Error &e) {
