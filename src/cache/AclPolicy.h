@@ -47,7 +47,10 @@ class AclPolicy : public DclPolicy
                        unsigned etd_alias_bits = 0,
                        double depreciation_factor = 2.0)
         : DclPolicy(geom, etd_alias_bits, depreciation_factor),
-          counter_(geom.numSets(), 0)
+          counter_(geom.numSets(), 0),
+          statWatchInsert_(stats_.counter("acl.watch.insert")),
+          statReenable_(stats_.counter("acl.reenable")),
+          statDisable_(stats_.counter("acl.disable"))
     {
     }
 
@@ -82,7 +85,7 @@ class AclPolicy : public DclPolicy
         for (int pos = n - 1; pos >= 1; --pos) {
             if (costOf(set, wayAt(set, pos)) < lru_cost) {
                 etd_.insert(set, tagOf(set, lru), lru_cost);
-                stats_.inc("acl.watch.insert");
+                ++statWatchInsert_;
                 break;
             }
         }
@@ -108,7 +111,7 @@ class AclPolicy : public DclPolicy
             // We would have saved this miss by reserving: re-enable.
             etd_.invalidateAll(set);
             counter_[set] = kEnableValue;
-            stats_.inc("acl.reenable");
+            ++statReenable_;
             CSR_TRACE_INSTANT_V("policy", "acl.reenable", kEnableValue);
         }
     }
@@ -144,13 +147,17 @@ class AclPolicy : public DclPolicy
             // Mode switch: the ETD's meaning changes, drop stale
             // sacrifice records.
             etd_.invalidateAll(set);
-            stats_.inc("acl.disable");
+            ++statDisable_;
             CSR_TRACE_INSTANT("policy", "acl.disable");
         }
     }
 
   private:
     std::vector<std::uint32_t> counter_;
+    // Per-miss hot-path counters, pre-resolved (StatGroup::counter).
+    std::uint64_t &statWatchInsert_;
+    std::uint64_t &statReenable_;
+    std::uint64_t &statDisable_;
 };
 
 } // namespace csr

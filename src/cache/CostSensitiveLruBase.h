@@ -47,10 +47,19 @@ class CostSensitiveLruBase : public StackPolicyBase
     CostSensitiveLruBase(const CacheGeometry &geom,
                          double depreciation_factor = 2.0)
         : StackPolicyBase(geom), depreciationFactor_(depreciation_factor),
-          acost_(geom.numSets(), 0.0), reserved_(geom.numSets(), 0)
+          acost_(geom.numSets(), 0.0), reserved_(geom.numSets(), 0),
+          statStart_(stats_.counter("csl.reservation.start")),
+          statSacrifice_(stats_.counter("csl.reservation.sacrifice")),
+          statFail_(stats_.counter("csl.reservation.fail")),
+          statSuccess_(stats_.counter("csl.reservation.success")),
+          statInvalidated_(stats_.counter("csl.reservation.invalidated"))
     {
         usesLruHook_ = true;
         usesHitHook_ = true;
+        // The whole BCL/DCL/ACL onHit chain only acts on hits at the
+        // LRU position (reservation success, ETD drop), so access()
+        // may skip the dispatch for every hit above it.
+        hitHookLruOnly_ = true;
     }
 
     /** Current depreciated cost of the reserved LRU block of a set. */
@@ -88,11 +97,11 @@ class CostSensitiveLruBase : public StackPolicyBase
             if (costOf(set, way) < acost_[set]) {
                 if (!reserved_[set]) {
                     reserved_[set] = 1;
-                    stats_.inc("csl.reservation.start");
+                    ++statStart_;
                     CSR_TRACE_INSTANT_V("policy", "reservation.open",
                                         acost_[set]);
                 }
-                stats_.inc("csl.reservation.sacrifice");
+                ++statSacrifice_;
                 return way;
             }
         }
@@ -100,7 +109,7 @@ class CostSensitiveLruBase : public StackPolicyBase
         // reservation, the reservation has failed.
         if (reserved_[set]) {
             reserved_[set] = 0;
-            stats_.inc("csl.reservation.fail");
+            ++statFail_;
             CSR_TRACE_INSTANT("policy", "reservation.expired");
             onReservationFailed(set);
         }
@@ -140,7 +149,7 @@ class CostSensitiveLruBase : public StackPolicyBase
         // at the time of the access was stackSize(set).
         if (old_pos == stackSize(set) && reserved_[set]) {
             reserved_[set] = 0;
-            stats_.inc("csl.reservation.success");
+            ++statSuccess_;
             CSR_TRACE_INSTANT("policy", "reservation.success");
             onReservationSucceeded(set);
         }
@@ -154,7 +163,7 @@ class CostSensitiveLruBase : public StackPolicyBase
         // reservation without scoring it as success or failure.
         if (reserved_[set] && way == lruWay(set)) {
             reserved_[set] = 0;
-            stats_.inc("csl.reservation.invalidated");
+            ++statInvalidated_;
         }
         (void)tag;
     }
@@ -163,6 +172,14 @@ class CostSensitiveLruBase : public StackPolicyBase
     double depreciationFactor_;
     std::vector<Cost> acost_;
     std::vector<std::uint8_t> reserved_;
+    // Reservation-outcome counters fire per miss on the victim-scan
+    // hot path; resolved once here (StatGroup::counter) so each event
+    // is a plain increment, not a map walk.
+    std::uint64_t &statStart_;
+    std::uint64_t &statSacrifice_;
+    std::uint64_t &statFail_;
+    std::uint64_t &statSuccess_;
+    std::uint64_t &statInvalidated_;
 };
 
 } // namespace csr

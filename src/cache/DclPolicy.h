@@ -48,7 +48,9 @@ class DclPolicy : public CostSensitiveLruBase
         : CostSensitiveLruBase(geom, depreciation_factor),
           etd_(geom.numSets(),
                geom.assoc() > 1 ? geom.assoc() - 1 : 1,
-               etd_alias_bits)
+               etd_alias_bits),
+          statEtdInsert_(stats_.counter("dcl.etd.insert")),
+          statEtdHit_(stats_.counter("dcl.etd.hit"))
     {
         usesMissHook_ = true;
     }
@@ -67,7 +69,7 @@ class DclPolicy : public CostSensitiveLruBase
             // Remember the sacrificed block; its return will be the
             // evidence that the reservation cost a real miss.
             etd_.insert(set, tagOf(set, victim), costOf(set, victim));
-            stats_.inc("dcl.etd.insert");
+            ++statEtdInsert_;
         }
         return victim;
     }
@@ -97,7 +99,7 @@ class DclPolicy : public CostSensitiveLruBase
             // charge the reservation.
             CSR_TRACE_INSTANT_V("policy", "etd.hit", *cost);
             depreciate(set, *cost);
-            stats_.inc("dcl.etd.hit");
+            ++statEtdHit_;
         }
     }
 
@@ -127,6 +129,9 @@ class DclPolicy : public CostSensitiveLruBase
     }
 
     ExtendedTagDirectory etd_;
+    // Per-miss hot-path counters, pre-resolved (StatGroup::counter).
+    std::uint64_t &statEtdInsert_;
+    std::uint64_t &statEtdHit_;
 };
 
 } // namespace csr

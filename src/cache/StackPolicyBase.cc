@@ -31,11 +31,23 @@ StackPolicyBase::access(std::uint32_t set, Addr tag, int hit_way)
     }
     csr_assert(model_->tagAt(set, hit_way) == tag,
                "hit way holds a different tag");
+    const std::int32_t n = count_[set];
     int old_pos;
     if (packed_) {
         std::uint64_t &w = packedOrder_[set];
+        // Fast path: a re-hit on the MRU way of a multi-way stack
+        // needs no promotion and cannot move the LRU position, so
+        // the word stays untouched and the LRU-only hit hooks and
+        // LRU-change scan are skipped wholesale.  (n == 1 falls
+        // through: there MRU == LRU and the hooks must fire.)
+        if (n > 1 &&
+            static_cast<std::int32_t>(w & 0xFF) == hit_way) {
+            if (usesHitHook_ && !hitHookLruOnly_)
+                onHit(set, hit_way, 1);
+            return;
+        }
         const std::int32_t p =
-            findByte(w, static_cast<std::uint32_t>(count_[set]),
+            findByte(w, static_cast<std::uint32_t>(n),
                      static_cast<std::uint8_t>(hit_way));
         if (p < 0)
             csr_panic("way %d not in stack of set %u", hit_way, set);
@@ -48,9 +60,13 @@ StackPolicyBase::access(std::uint32_t set, Addr tag, int hit_way)
         old_pos = posOf(set, hit_way);
         promoteToMru(set, hit_way);
     }
-    if (usesHitHook_)
+    // Promoting a way that was NOT at the LRU position leaves the
+    // LRU identity untouched, so both the LRU-change scan and the
+    // LRU-only hit hooks are skippable for it.
+    const bool was_lru = old_pos == static_cast<int>(n);
+    if (usesHitHook_ && (was_lru || !hitHookLruOnly_))
         onHit(set, hit_way, old_pos);
-    if (usesLruHook_)
+    if (usesLruHook_ && was_lru)
         checkLruChanged(set);
 }
 

@@ -170,6 +170,18 @@ class StackPolicyBase : public ReplacementPolicy
     bool usesLruHook_ = false;
     bool usesHitHook_ = false;
     bool usesMissHook_ = false;
+    /**
+     * Stronger promise a derived class may make on top of
+     * usesHitHook_: its whole onHit chain is a no-op unless the hit
+     * landed on the LRU position (old_pos == stackSize).  True for
+     * the paper's reservation bookkeeping (BCL/DCL/ACL act only on
+     * LRU hits), false for GD/LFU whose onHit touches every hit.
+     * Lets access() skip the virtual dispatch on the ~(s-1)/s of
+     * hits that land above the LRU position -- the branch-light fast
+     * path that narrows the cost-policy vs plain-LRU gap in
+     * BENCH_micro.
+     */
+    bool hitHookLruOnly_ = false;
 
     std::size_t
     idx(std::uint32_t set, int way) const

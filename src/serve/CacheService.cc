@@ -1,6 +1,8 @@
 #include "serve/CacheService.h"
 
+#include <algorithm>
 #include <mutex>
+#include <thread>
 #include <utility>
 
 #include "robust/Errors.h"
@@ -19,6 +21,22 @@ namespace
 /** Optimistic read attempts before falling back to the mutex. */
 constexpr int kOptimisticRetries = 4;
 
+/** Auto-striping never exceeds this many stripes per shard. */
+constexpr unsigned kMaxAutoStripes = 8;
+
+/** Largest power of two <= min(hardware threads, kMaxAutoStripes);
+ *  more stripes than runnable threads only buys allocator overhead. */
+unsigned
+autoStripes()
+{
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    unsigned stripes = 1;
+    while (stripes * 2 <= std::min(hw, kMaxAutoStripes))
+        stripes *= 2;
+    return stripes;
+}
+
 } // namespace
 
 std::optional<HitPath>
@@ -31,10 +49,40 @@ parseHitPath(const std::string &name)
     return std::nullopt;
 }
 
+HitPath
+requireHitPath(const std::string &name)
+{
+    if (auto path = parseHitPath(name))
+        return *path;
+    throw ConfigError("unknown hitpath '" + name +
+                      "' (valid: locked seqlock)");
+}
+
 const char *
 hitPathName(HitPath path)
 {
     return path == HitPath::Locked ? "locked" : "seqlock";
+}
+
+unsigned
+requireStripes(const std::string &text)
+{
+    if (text == "auto")
+        return kStripesAuto;
+    std::size_t consumed = 0;
+    unsigned long value = 0;
+    try {
+        value = std::stoul(text, &consumed);
+    } catch (const std::exception &) {
+        consumed = 0;
+    }
+    if (consumed == text.size() && !text.empty() &&
+        value <= 1u << 30 &&
+        (value == 0 || isPow2(static_cast<std::uint64_t>(value))))
+        return static_cast<unsigned>(value);
+    throw ConfigError("invalid stripe count '" + text +
+                      "' (valid: auto, or a power of two: 1 2 4 "
+                      "8 ...; 0 means auto)");
 }
 
 CacheService::CacheService(const ServeConfig &config, Backend &backend)
@@ -58,22 +106,55 @@ CacheService::CacheService(const ServeConfig &config, Backend &backend)
         throw ConfigError("offline oracle policies cannot drive an "
                           "online service (pick one of lru random lfu "
                           "gd bcl dcl acl)");
+    if (config_.stripes != kStripesAuto && !isPow2(config_.stripes))
+        throw ConfigError("stripe count (" +
+                          std::to_string(config_.stripes) +
+                          ") must be a power of two, or 0 for auto");
 
-    // Throws CacheGeometryError naming the bad parameter.
-    const CacheGeometry geom(config_.shardBytes, config_.assoc,
-                             config_.blockBytes);
+    // Throws CacheGeometryError naming the bad parameter.  Validate
+    // the whole-shard geometry first so a bad shard size is reported
+    // as such, not as a confusing stripe-sized failure.
+    const CacheGeometry shard_geom(config_.shardBytes, config_.assoc,
+                                   config_.blockBytes);
+    if (config_.stripes == kStripesAuto)
+        config_.stripes = std::min<unsigned>(
+            autoStripes(),
+            static_cast<unsigned>(shard_geom.numSets()));
+    if (config_.stripes > shard_geom.numSets())
+        throw ConfigError(
+            "stripe count (" + std::to_string(config_.stripes) +
+            ") exceeds the sets per shard (" +
+            std::to_string(shard_geom.numSets()) +
+            "); shrink --stripes or grow --shard-bytes");
+
+    const CacheGeometry stripe_geom(
+        config_.shardBytes / config_.stripes, config_.assoc,
+        config_.blockBytes);
+    const auto stripe_bits = static_cast<std::uint32_t>(
+        floorLog2(config_.stripes));
     shardShift_ =
         64u - static_cast<unsigned>(floorLog2(config_.shards));
+    stripeMask_ = config_.stripes - 1;
 
     shards_.reserve(config_.shards);
     for (unsigned s = 0; s < config_.shards; ++s) {
-        // Decorrelate any stochastic policy state across shards while
-        // keeping it a pure function of the configured seed.
-        PolicyParams params = config_.policyParams;
-        params.seed = hashMix64(params.seed + s + 1);
-        shards_.push_back(std::make_unique<Shard>(
-            geom, makePolicy(config_.policy, geom, params),
-            config_.accessLogCapacity));
+        auto shard = std::make_unique<Shard>();
+        shard->stripes.reserve(config_.stripes);
+        for (unsigned t = 0; t < config_.stripes; ++t) {
+            // Decorrelate any stochastic policy state across stripes
+            // while keeping it a pure function of the configured
+            // seed; at stripes == 1 this is the PR-6 per-shard seed.
+            PolicyParams params = config_.policyParams;
+            params.seed = hashMix64(params.seed +
+                                    static_cast<std::uint64_t>(s) *
+                                        config_.stripes +
+                                    t + 1);
+            shard->stripes.push_back(std::make_unique<Stripe>(
+                stripe_geom,
+                makePolicy(config_.policy, stripe_geom, params),
+                stripe_bits, config_.accessLogCapacity));
+        }
+        shards_.push_back(std::move(shard));
     }
 }
 
@@ -87,119 +168,124 @@ CacheService::shardOf(Addr key) const
     return static_cast<unsigned>(hashMix64(key) >> shardShift_);
 }
 
-Shard &
-CacheService::shardFor(Addr key)
+Stripe &
+CacheService::stripeFor(Addr key)
 {
-    return *shards_[shardOf(key)];
+    // Stripe choice is the key's low set-index bits: every key of a
+    // set routes to the same stripe, so no set ever spans a lock.
+    return *shards_[shardOf(key)]
+                ->stripes[static_cast<unsigned>(key) & stripeMask_];
 }
 
 std::string
 CacheService::policyName() const
 {
-    return shards_[0]->model.policy()->name();
+    return shards_[0]->stripes[0]->model.policy()->name();
 }
 
 std::uint64_t
 CacheService::keySamples(Addr key) const
 {
-    Shard &shard = *shards_[shardOf(key)];
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto it = shard.keys.find(key);
-    return it == shard.keys.end() ? 0 : it->second.samples;
+    Stripe &stripe =
+        *shards_[shardOf(key)]
+             ->stripes[static_cast<unsigned>(key) & stripeMask_];
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    const auto it = stripe.keys.find(key);
+    return it == stripe.keys.end() ? 0 : it->second.samples;
 }
 
 /**
  * The lock-free hit path.  A stable seqlock read section around the
  * SIMD tag probe and the value load serves a hit without ever
- * touching the shard mutex; recency promotion is deferred through the
- * access log.  Returns nullopt when the op must take the locked path:
- * a validated miss, a full access log, or retry exhaustion.
+ * touching the stripe mutex; recency promotion is deferred through
+ * the access log.  Returns nullopt when the op must take the locked
+ * path: a validated miss, a full access log, or retry exhaustion.
  */
 std::optional<ServeOpResult>
-CacheService::tryOptimisticGet(Shard &shard, std::uint32_t set,
+CacheService::tryOptimisticGet(Stripe &stripe, std::uint32_t set,
                                Addr tag, Addr key)
 {
     for (int attempt = 0; attempt < kOptimisticRetries; ++attempt) {
-        const std::uint64_t begin = shard.seqlock.readBegin();
+        const std::uint64_t begin = stripe.seqlock.readBegin();
         if (begin & 1) {
             // A writer is inside a write section; re-snapshot.
-            shard.seqlockRetries.fetch_add(1,
-                                           std::memory_order_relaxed);
+            stripe.seqlockRetries.fetch_add(
+                1, std::memory_order_relaxed);
             continue;
         }
-        const int way = shard.model.probeConcurrent(set, tag);
+        const int way = stripe.model.probeConcurrent(set, tag);
         if (way == kInvalidWay) {
-            if (shard.seqlock.readValidate(begin))
+            if (stripe.seqlock.readValidate(begin))
                 return std::nullopt; // genuine miss
-            shard.seqlockRetries.fetch_add(1,
-                                           std::memory_order_relaxed);
+            stripe.seqlockRetries.fetch_add(
+                1, std::memory_order_relaxed);
             continue;
         }
-        const std::uint64_t value = shard.loadValue(set, way);
-        if (!shard.seqlock.readValidate(begin)) {
-            shard.seqlockRetries.fetch_add(1,
-                                           std::memory_order_relaxed);
+        const std::uint64_t value = stripe.loadValue(set, way);
+        if (!stripe.seqlock.readValidate(begin)) {
+            stripe.seqlockRetries.fetch_add(
+                1, std::memory_order_relaxed);
             continue;
         }
         // Hit committed.  Defer the recency promotion; a full log
         // means the locked path must drain first, so re-serve the op
-        // there (it will count as an ordinary locked hit).
-        if (!shard.accessLog.push(key)) {
-            shard.lockedFallbacks.fetch_add(1,
-                                            std::memory_order_relaxed);
+        // there (it will count as an ordinary locked hit).  Counted
+        // apart from contention fallbacks: a saturated log is a
+        // sizing problem, a beaten retry budget a contention one.
+        if (!stripe.accessLog.push(key)) {
+            stripe.logFullFallbacks.fetch_add(
+                1, std::memory_order_relaxed);
             return std::nullopt;
         }
-        shard.gets.fetch_add(1, std::memory_order_relaxed);
-        shard.hits.fetch_add(1, std::memory_order_relaxed);
-        shard.seqlockHits.fetch_add(1, std::memory_order_relaxed);
+        stripe.gets.fetch_add(1, std::memory_order_relaxed);
+        stripe.hits.fetch_add(1, std::memory_order_relaxed);
+        stripe.seqlockHits.fetch_add(1, std::memory_order_relaxed);
         ServeOpResult result;
         result.hit = true;
         result.value = value;
         return result;
     }
-    shard.lockedFallbacks.fetch_add(1, std::memory_order_relaxed);
+    stripe.lockedFallbacks.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
 }
 
 ServeOpResult
 CacheService::get(Addr key)
 {
-    Shard &shard = shardFor(key);
-    const CacheGeometry &geom = shard.model.geometry();
-    const auto set =
-        static_cast<std::uint32_t>(key & (geom.numSets() - 1));
-    const Addr tag = key >> geom.setBits();
+    Stripe &stripe = stripeFor(key);
+    const std::uint32_t set = stripe.setOf(key);
+    const Addr tag = stripe.tagOf(key);
 
     if (config_.hitPath == HitPath::Seqlock) {
-        if (auto result = tryOptimisticGet(shard, set, tag, key))
+        if (auto result = tryOptimisticGet(stripe, set, tag, key))
             return *result;
     }
-    return lockedGet(shard, set, tag, key);
+    return lockedGet(stripe, set, tag, key);
 }
 
 ServeOpResult
-CacheService::lockedGet(Shard &shard, std::uint32_t set, Addr tag,
+CacheService::lockedGet(Stripe &stripe, std::uint32_t set, Addr tag,
                         Addr key)
 {
-    std::unique_lock<std::mutex> lock(shard.mutex, std::defer_lock);
+    std::unique_lock<std::mutex> lock(stripe.mutex, std::defer_lock);
     {
-        CSR_TRACE_SPAN("serve", "shard.lock_wait");
+        CSR_TRACE_SPAN("serve", "stripe.lock_wait");
         lock.lock();
     }
-    shard.drainAccessLog();
-    shard.gets.fetch_add(1, std::memory_order_relaxed);
+    stripe.drainAccessLog();
+    stripe.gets.fetch_add(1, std::memory_order_relaxed);
 
-    const int way = shard.model.access(set, tag);
+    const int way = stripe.model.access(set, tag);
     if (way != kInvalidWay) {
-        shard.hits.fetch_add(1, std::memory_order_relaxed);
+        stripe.hits.fetch_add(1, std::memory_order_relaxed);
         ServeOpResult result;
         result.hit = true;
-        result.value = shard.loadValue(set, way);
+        result.value = stripe.loadValue(set, way);
         return result;
     }
 
-    shard.misses.fetch_add(1, std::memory_order_relaxed);
-    auto [flight, leader] = shard.inflight.claim(key);
+    stripe.misses.fetch_add(1, std::memory_order_relaxed);
+    auto [flight, leader] = stripe.inflight.claim(key);
 
     if (!leader) {
         // Another thread's fetch for this key is in flight: park on
@@ -207,22 +293,23 @@ CacheService::lockedGet(Shard &shard, std::uint32_t set, Addr tag,
         // fold ITS measured latency into this requester's view of
         // the key -- the cost signal sees one observation per miss,
         // the backend one call per stampede.
-        shard.coalescedMisses.fetch_add(1, std::memory_order_relaxed);
+        stripe.coalescedMisses.fetch_add(1,
+                                         std::memory_order_relaxed);
         CSR_TRACE_INSTANT("serve", "coalesced_miss");
         lock.unlock();
         {
             CSR_TRACE_SPAN("serve", "inflight.wait");
-            awaitFetch(*flight);
+            awaitFetch(*flight); // rethrows a failed leader's error
         }
         lock.lock();
-        shard.drainAccessLog();
-        Shard::KeyState &state = shard.keys[key];
-        shard.observe(state, flight->latencyNs, config_.ewmaAlpha);
-        shard.missCostNs += flight->latencyNs;
-        const int resident = shard.model.lookup(set, tag);
+        stripe.drainAccessLog();
+        Stripe::KeyState &state = stripe.keys[key];
+        stripe.observe(state, flight->latencyNs, config_.ewmaAlpha);
+        stripe.missCostNs += flight->latencyNs;
+        const int resident = stripe.model.lookup(set, tag);
         if (resident != kInvalidWay) {
-            SeqlockWriteGuard guard(shard.seqlock);
-            shard.model.updateCost(set, resident, state.ewmaNs);
+            SeqlockWriteGuard guard(stripe.seqlock);
+            stripe.model.updateCost(set, resident, state.ewmaNs);
         }
         ServeOpResult result;
         result.hit = false;
@@ -232,39 +319,49 @@ CacheService::lockedGet(Shard &shard, std::uint32_t set, Addr tag,
     }
 
     // Leader: read the fetch salt under the lock, fetch with the
-    // shard UNLOCKED (other keys keep being served), then re-acquire
+    // stripe UNLOCKED (other keys keep being served), then re-acquire
     // to install the block and publish to the waiters.
-    Shard::KeyState &state = shard.keys[key];
+    Stripe::KeyState &state = stripe.keys[key];
     const std::uint64_t salt = state.samples;
     lock.unlock();
     BackendResult fetched;
-    {
+    try {
         CSR_TRACE_SPAN("serve", "backend.fetch");
         fetched = backend_.fetch(key, salt);
+    } catch (...) {
+        // Leader crash path: retire the flight BEFORE publishing the
+        // failure, so a retrying waiter elects a fresh leader instead
+        // of rejoining the dead entry, then wake every waiter with
+        // the exception rather than leaving them parked forever.
+        lock.lock();
+        stripe.inflight.erase(key);
+        lock.unlock();
+        failFetch(*flight, std::current_exception());
+        throw;
     }
-    shard.backendFetches.fetch_add(1, std::memory_order_relaxed);
+    stripe.backendFetches.fetch_add(1, std::memory_order_relaxed);
     lock.lock();
-    shard.drainAccessLog();
-    shard.observe(state, fetched.latencyNs, config_.ewmaAlpha);
-    shard.missCostNs += fetched.latencyNs;
+    stripe.drainAccessLog();
+    stripe.observe(state, fetched.latencyNs, config_.ewmaAlpha);
+    stripe.missCostNs += fetched.latencyNs;
 
-    const int resident = shard.model.lookup(set, tag);
+    const int resident = stripe.model.lookup(set, tag);
     if (resident != kInvalidWay) {
         // A concurrent put write-allocated the key while we fetched;
         // its value is newer than our read, so only refresh the cost.
-        SeqlockWriteGuard guard(shard.seqlock);
-        shard.model.updateCost(set, resident, state.ewmaNs);
+        SeqlockWriteGuard guard(stripe.seqlock);
+        stripe.model.updateCost(set, resident, state.ewmaNs);
     } else {
-        SeqlockWriteGuard guard(shard.seqlock);
-        const int filled = shard.model.fillVictimOrFree(
+        SeqlockWriteGuard guard(stripe.seqlock);
+        const int filled = stripe.model.fillVictimOrFree(
             set, tag, state.ewmaNs, 0, [&](int, Addr, std::uint32_t) {
-                shard.evictions.fetch_add(1,
-                                          std::memory_order_relaxed);
+                stripe.evictions.fetch_add(1,
+                                           std::memory_order_relaxed);
                 CSR_TRACE_INSTANT("serve", "evict");
             });
-        shard.storeValue(set, filled, fetched.value);
+        stripe.storeValue(set, filled, fetched.value);
     }
-    shard.inflight.erase(key);
+    stripe.inflight.erase(key);
     lock.unlock();
     completeFetch(*flight, fetched.value, fetched.latencyNs);
 
@@ -278,21 +375,19 @@ CacheService::lockedGet(Shard &shard, std::uint32_t set, Addr tag,
 ServeOpResult
 CacheService::put(Addr key, std::uint64_t value)
 {
-    Shard &shard = shardFor(key);
-    const CacheGeometry &geom = shard.model.geometry();
-    const auto set =
-        static_cast<std::uint32_t>(key & (geom.numSets() - 1));
-    const Addr tag = key >> geom.setBits();
+    Stripe &stripe = stripeFor(key);
+    const std::uint32_t set = stripe.setOf(key);
+    const Addr tag = stripe.tagOf(key);
 
-    std::unique_lock<std::mutex> lock(shard.mutex, std::defer_lock);
+    std::unique_lock<std::mutex> lock(stripe.mutex, std::defer_lock);
     {
-        CSR_TRACE_SPAN("serve", "shard.lock_wait");
+        CSR_TRACE_SPAN("serve", "stripe.lock_wait");
         lock.lock();
     }
-    shard.drainAccessLog();
-    shard.stores.fetch_add(1, std::memory_order_relaxed);
+    stripe.drainAccessLog();
+    stripe.stores.fetch_add(1, std::memory_order_relaxed);
 
-    Shard::KeyState &state = shard.keys[key];
+    Stripe::KeyState &state = stripe.keys[key];
     BackendResult stored;
     {
         CSR_TRACE_SPAN("serve", "backend.store");
@@ -300,34 +395,34 @@ CacheService::put(Addr key, std::uint64_t value)
     }
     // A write-through round trip is a fresh observation of this key's
     // backend latency, so it refreshes the cost estimate too.
-    shard.observe(state, stored.latencyNs, config_.ewmaAlpha);
-    shard.storeCostNs += stored.latencyNs;
+    stripe.observe(state, stored.latencyNs, config_.ewmaAlpha);
+    stripe.storeCostNs += stored.latencyNs;
 
     ServeOpResult result;
     result.value = value;
     result.backendNs = stored.latencyNs;
 
-    const int way = shard.model.access(set, tag);
+    const int way = stripe.model.access(set, tag);
     if (way != kInvalidWay) {
         // Resident: refresh the value and push the new prediction to
         // the policy -- the online analogue of the paper's dynamic
         // cost updates (CacheModel::updateCost).
-        shard.storeHits.fetch_add(1, std::memory_order_relaxed);
-        SeqlockWriteGuard guard(shard.seqlock);
-        shard.storeValue(set, way, value);
-        shard.model.updateCost(set, way, state.ewmaNs);
+        stripe.storeHits.fetch_add(1, std::memory_order_relaxed);
+        SeqlockWriteGuard guard(stripe.seqlock);
+        stripe.storeValue(set, way, value);
+        stripe.model.updateCost(set, way, state.ewmaNs);
         result.hit = true;
         return result;
     }
 
     // Write-allocate, so subsequent reads of a written key hit.
-    SeqlockWriteGuard guard(shard.seqlock);
-    const int filled = shard.model.fillVictimOrFree(
+    SeqlockWriteGuard guard(stripe.seqlock);
+    const int filled = stripe.model.fillVictimOrFree(
         set, tag, state.ewmaNs, 0, [&](int, Addr, std::uint32_t) {
-            shard.evictions.fetch_add(1, std::memory_order_relaxed);
+            stripe.evictions.fetch_add(1, std::memory_order_relaxed);
             CSR_TRACE_INSTANT("serve", "evict");
         });
-    shard.storeValue(set, filled, value);
+    stripe.storeValue(set, filled, value);
     result.hit = false;
     return result;
 }
@@ -337,29 +432,37 @@ CacheService::totals() const
 {
     ServeTotals totals;
     for (const auto &shard_ptr : shards_) {
-        Shard &shard = *shard_ptr;
-        std::lock_guard<std::mutex> lock(shard.mutex);
-        totals.gets += shard.gets.load(std::memory_order_relaxed);
-        totals.hits += shard.hits.load(std::memory_order_relaxed);
-        totals.misses += shard.misses.load(std::memory_order_relaxed);
-        totals.stores += shard.stores.load(std::memory_order_relaxed);
-        totals.storeHits +=
-            shard.storeHits.load(std::memory_order_relaxed);
-        totals.evictions +=
-            shard.evictions.load(std::memory_order_relaxed);
-        totals.trackedKeys += shard.keys.size();
-        totals.missCostNs += shard.missCostNs;
-        totals.storeCostNs += shard.storeCostNs;
-        totals.seqlockHits +=
-            shard.seqlockHits.load(std::memory_order_relaxed);
-        totals.seqlockRetries +=
-            shard.seqlockRetries.load(std::memory_order_relaxed);
-        totals.lockedFallbacks +=
-            shard.lockedFallbacks.load(std::memory_order_relaxed);
-        totals.backendFetches +=
-            shard.backendFetches.load(std::memory_order_relaxed);
-        totals.coalescedMisses +=
-            shard.coalescedMisses.load(std::memory_order_relaxed);
+        for (const auto &stripe_ptr : shard_ptr->stripes) {
+            Stripe &stripe = *stripe_ptr;
+            std::lock_guard<std::mutex> lock(stripe.mutex);
+            totals.gets +=
+                stripe.gets.load(std::memory_order_relaxed);
+            totals.hits +=
+                stripe.hits.load(std::memory_order_relaxed);
+            totals.misses +=
+                stripe.misses.load(std::memory_order_relaxed);
+            totals.stores +=
+                stripe.stores.load(std::memory_order_relaxed);
+            totals.storeHits +=
+                stripe.storeHits.load(std::memory_order_relaxed);
+            totals.evictions +=
+                stripe.evictions.load(std::memory_order_relaxed);
+            totals.trackedKeys += stripe.keys.size();
+            totals.missCostNs += stripe.missCostNs;
+            totals.storeCostNs += stripe.storeCostNs;
+            totals.seqlockHits +=
+                stripe.seqlockHits.load(std::memory_order_relaxed);
+            totals.seqlockRetries +=
+                stripe.seqlockRetries.load(std::memory_order_relaxed);
+            totals.lockedFallbacks += stripe.lockedFallbacks.load(
+                std::memory_order_relaxed);
+            totals.logFullFallbacks += stripe.logFullFallbacks.load(
+                std::memory_order_relaxed);
+            totals.backendFetches +=
+                stripe.backendFetches.load(std::memory_order_relaxed);
+            totals.coalescedMisses += stripe.coalescedMisses.load(
+                std::memory_order_relaxed);
+        }
     }
     return totals;
 }
@@ -382,11 +485,14 @@ CacheService::exportMetrics(MetricRegistry &registry) const
         "serve.store_cost_ns",
         static_cast<std::uint64_t>(totals.storeCostNs));
     registry.setCounter("serve.shards", config_.shards);
+    registry.setCounter("serve.stripes", config_.stripes);
     registry.setCounter("serve.seqlock_hits", totals.seqlockHits);
     registry.setCounter("serve.seqlock_retries",
                         totals.seqlockRetries);
     registry.setCounter("serve.locked_fallbacks",
                         totals.lockedFallbacks);
+    registry.setCounter("serve.log_full_fallbacks",
+                        totals.logFullFallbacks);
     registry.setCounter("serve.backend_fetches",
                         totals.backendFetches);
     registry.setCounter("serve.coalesced_misses",
@@ -394,11 +500,13 @@ CacheService::exportMetrics(MetricRegistry &registry) const
 
     RunningStat ewma;
     for (const auto &shard_ptr : shards_) {
-        Shard &shard = *shard_ptr;
-        std::lock_guard<std::mutex> lock(shard.mutex);
-        for (const auto &[key, state] : shard.keys) {
-            (void)key;
-            ewma.add(state.ewmaNs);
+        for (const auto &stripe_ptr : shard_ptr->stripes) {
+            Stripe &stripe = *stripe_ptr;
+            std::lock_guard<std::mutex> lock(stripe.mutex);
+            for (const auto &[key, state] : stripe.keys) {
+                (void)key;
+                ewma.add(state.ewmaNs);
+            }
         }
     }
     registry.mergeStat("serve.key_ewma_ns", ewma);
@@ -408,28 +516,40 @@ void
 CacheService::checkInvariants() const
 {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-        Shard &shard = *shards_[s];
-        std::lock_guard<std::mutex> lock(shard.mutex);
-        shard.model.checkInvariants();
-        if (shard.inflight.size() != 0)
-            throw InvariantError(
-                "serve shard " + std::to_string(s) + ": " +
-                std::to_string(shard.inflight.size()) +
-                " in-flight fetches in a quiescent service");
-        const CacheGeometry &geom = shard.model.geometry();
-        for (std::uint32_t set = 0; set < geom.numSets(); ++set) {
-            for (std::uint32_t way = 0; way < geom.assoc(); ++way) {
-                if (!shard.model.isValid(set, static_cast<int>(way)))
-                    continue;
-                const Addr tag =
-                    shard.model.tagAt(set, static_cast<int>(way));
-                const Addr key =
-                    (tag << geom.setBits()) | set;
-                if (shard.keys.find(key) == shard.keys.end())
-                    throw InvariantError(
-                        "serve shard " + std::to_string(s) +
-                        ": resident key " + std::to_string(key) +
-                        " has no latency estimate");
+        const auto &stripes = shards_[s]->stripes;
+        for (std::size_t t = 0; t < stripes.size(); ++t) {
+            Stripe &stripe = *stripes[t];
+            std::lock_guard<std::mutex> lock(stripe.mutex);
+            stripe.model.checkInvariants();
+            if (stripe.inflight.size() != 0)
+                throw InvariantError(
+                    "serve shard " + std::to_string(s) + " stripe " +
+                    std::to_string(t) + ": " +
+                    std::to_string(stripe.inflight.size()) +
+                    " in-flight fetches in a quiescent service");
+            const CacheGeometry &geom = stripe.model.geometry();
+            for (std::uint32_t set = 0; set < geom.numSets(); ++set) {
+                for (std::uint32_t way = 0; way < geom.assoc();
+                     ++way) {
+                    if (!stripe.model.isValid(set,
+                                              static_cast<int>(way)))
+                        continue;
+                    const Addr tag =
+                        stripe.model.tagAt(set,
+                                           static_cast<int>(way));
+                    // Reassemble the key the routing decomposed:
+                    // tag | local set | stripe id, low bits last.
+                    const Addr key =
+                        (((tag << geom.setBits()) | set)
+                         << stripe.stripeBits) |
+                        t;
+                    if (stripe.keys.find(key) == stripe.keys.end())
+                        throw InvariantError(
+                            "serve shard " + std::to_string(s) +
+                            " stripe " + std::to_string(t) +
+                            ": resident key " + std::to_string(key) +
+                            " has no latency estimate");
+                }
             }
         }
     }

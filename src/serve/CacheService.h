@@ -5,33 +5,40 @@
  * paper's cost-sensitive policies, with the *online* cost of a block
  * being its measured backend fetch latency.
  *
- * Architecture (DESIGN.md sections 3.4 and 3.5):
+ * Architecture (DESIGN.md sections 3.4-3.6):
  *
  *  - The keyspace is hash-partitioned over N independent shards (high
  *    bits of hashMix64(key), so shard choice is uncorrelated with the
- *    set index bits).  Each shard (serve/ShardState.h) owns a
- *    CacheModel bound to its own ReplacementPolicy instance (built by
- *    the existing PolicyFactory -- LRU/GD/BCL/DCL/ACL all work), a
+ *    set index bits).  Each shard is itself an array of S
+ *    independently locked *stripes* (serve/ShardState.h): set-aligned
+ *    sub-shards selected by the key's low set-index bits, each owning
+ *    a CacheModel bound to its own ReplacementPolicy instance (built
+ *    by the existing PolicyFactory -- LRU/GD/BCL/DCL/ACL all work), a
  *    per-(set, way) value lane, and a per-key EWMA latency tracker.
+ *    With S stripes, fills and write-allocates on different stripes
+ *    of one shard proceed in parallel; `stripes = 1` reproduces the
+ *    single-mutex shard bit for bit.
  *
- *  - Two hit paths.  HitPath::Locked serializes every op on the shard
- *    mutex -- the deterministic golden reference (CI diffs its stdout
- *    across worker counts).  HitPath::Seqlock serves read hits with
- *    NO lock at all: an optimistic SIMD tag probe validated by a
- *    per-shard sequence lock (serve/Seqlock.h), with recency
+ *  - Two hit paths.  HitPath::Locked serializes every op on the
+ *    stripe mutex -- the deterministic golden reference (CI diffs its
+ *    stdout across worker counts).  HitPath::Seqlock serves read hits
+ *    with NO lock at all: an optimistic SIMD tag probe validated by a
+ *    per-stripe sequence lock (serve/Seqlock.h), with recency
  *    promotion deferred through a lock-free access log drained by the
  *    next lock holder (serve/AccessLog.h).
  *
  *  - Misses are single-flight (serve/InflightTable.h): concurrent
  *    misses on one key coalesce onto one backend fetch, performed
- *    OUTSIDE the shard mutex, and the measured latency is folded into
- *    every waiter's EWMA so the paper's cost signal sees one sample
- *    per requester under stampede.
+ *    OUTSIDE the stripe mutex, and the measured latency is folded
+ *    into every waiter's EWMA so the paper's cost signal sees one
+ *    sample per requester under stampede.  A leader whose fetch
+ *    throws publishes the exception to every waiter before
+ *    propagating it -- no thread is left parked on a dead flight.
  *
  *  - A write is write-through with write-allocate and always takes
- *    the shard mutex: the store latency is also an observation of the
- *    key's backend cost, so a write to a *resident* key refreshes the
- *    line's cost prediction through CacheModel::updateCost -- the
+ *    the stripe mutex: the store latency is also an observation of
+ *    the key's backend cost, so a write to a *resident* key refreshes
+ *    the line's cost prediction through CacheModel::updateCost -- the
  *    online closing of the paper's cost-feedback loop.
  */
 
@@ -56,11 +63,12 @@ namespace csr::serve
 {
 
 struct Shard;
+struct Stripe;
 
 /** How read hits are served. */
 enum class HitPath
 {
-    /** Every op under the shard mutex (deterministic reference). */
+    /** Every op under the stripe mutex (deterministic reference). */
     Locked,
     /** Optimistic seqlock-validated hits; mutex only for writes,
      *  misses, and fallback. */
@@ -70,7 +78,21 @@ enum class HitPath
 /** "locked" / "seqlock", or std::nullopt. */
 std::optional<HitPath> parseHitPath(const std::string &name);
 
+/** parseHitPath, but a parse failure throws ConfigError listing the
+ *  accepted names (the requirePolicyKind pattern for --hitpath). */
+HitPath requireHitPath(const std::string &name);
+
 const char *hitPathName(HitPath path);
+
+/**
+ * Parse a stripe-count argument: "auto" (or "0") means
+ * kStripesAuto, anything else must be a power-of-two count.
+ * @throws ConfigError listing the accepted values otherwise.
+ */
+unsigned requireStripes(const std::string &text);
+
+/** ServeConfig::stripes value meaning "size to the machine". */
+inline constexpr unsigned kStripesAuto = 0;
 
 /** Construction parameters of a CacheService. */
 struct ServeConfig
@@ -87,8 +109,13 @@ struct ServeConfig
     /** Weight of the newest latency sample in the per-key EWMA. */
     double ewmaAlpha = 0.25;
     HitPath hitPath = HitPath::Locked;
-    /** Per-shard deferred-recency ring size (power of two). */
+    /** Per-stripe deferred-recency ring size (power of two). */
     std::size_t accessLogCapacity = 1024;
+    /** Independently locked sub-shards per shard; a power of two no
+     *  larger than the sets per shard, or kStripesAuto to size to
+     *  the machine.  1 (the default) is the PR-6 single-mutex shard,
+     *  bit for bit. */
+    unsigned stripes = 1;
 
     /** Total lines across all shards. */
     std::uint64_t
@@ -135,7 +162,8 @@ struct ServeTotals
     //    backendFetches == misses) ------------------------------------
     std::uint64_t seqlockHits = 0;      ///< hits served without the mutex
     std::uint64_t seqlockRetries = 0;   ///< optimistic reads discarded
-    std::uint64_t lockedFallbacks = 0;  ///< optimistic ops that took the mutex
+    std::uint64_t lockedFallbacks = 0;  ///< retry budgets exhausted by writers
+    std::uint64_t logFullFallbacks = 0; ///< promotions dropped, log full
     std::uint64_t backendFetches = 0;   ///< actual Backend::fetch calls
     std::uint64_t coalescedMisses = 0;  ///< misses that joined a fetch
 
@@ -173,37 +201,41 @@ class CacheService
     unsigned shardOf(Addr key) const;
 
     unsigned numShards() const { return config_.shards; }
+    /** Resolved stripes per shard (auto is resolved at
+     *  construction, so this is never kStripesAuto). */
+    unsigned numStripes() const { return config_.stripes; }
     const ServeConfig &config() const { return config_; }
     std::string policyName() const;
 
     /** EWMA sample count of @p key (tests: stampede coalescing). */
     std::uint64_t keySamples(Addr key) const;
 
-    /** Aggregate the per-shard counters (locks shard by shard). */
+    /** Aggregate the per-stripe counters (locks stripe by stripe). */
     ServeTotals totals() const;
 
     /** Export totals + per-key cost-estimate stats into @p registry
      *  under "serve.". */
     void exportMetrics(MetricRegistry &registry) const;
 
-    /** Structural checks of every shard's cache model and value
+    /** Structural checks of every stripe's cache model and value
      *  store; throws InvariantError on corruption. */
     void checkInvariants() const;
 
   private:
-    Shard &shardFor(Addr key);
+    Stripe &stripeFor(Addr key);
 
     /** Optimistic seqlock read; nullopt means take the locked path. */
-    std::optional<ServeOpResult> tryOptimisticGet(Shard &shard,
+    std::optional<ServeOpResult> tryOptimisticGet(Stripe &stripe,
                                                   std::uint32_t set,
                                                   Addr tag, Addr key);
 
-    ServeOpResult lockedGet(Shard &shard, std::uint32_t set, Addr tag,
-                            Addr key);
+    ServeOpResult lockedGet(Stripe &stripe, std::uint32_t set,
+                            Addr tag, Addr key);
 
     ServeConfig config_;
     Backend &backend_;
-    unsigned shardShift_; ///< hash bits above this select the shard
+    unsigned shardShift_;  ///< hash bits above this select the shard
+    unsigned stripeMask_;  ///< stripes - 1; low key bits pick the stripe
     std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -4,18 +4,18 @@
  * no matter how many threads miss on it concurrently.
  *
  * The first thread to miss on a key becomes the *leader*: it claims
- * an InflightFetch entry under the shard mutex, releases the mutex,
+ * an InflightFetch entry under the stripe mutex, releases the mutex,
  * performs the backend fetch, then re-acquires the mutex to install
  * the block and publish the result.  Threads that miss on the same
  * key while the fetch is in flight become *waiters*: they park on the
- * entry's condition variable (off the shard mutex, so the shard keeps
+ * entry's condition variable (off the stripe mutex, so the stripe keeps
  * serving other keys) and, once woken, fold the leader's measured
  * latency into their own EWMA observation of the key -- the paper's
  * cost signal sees one sample per requester, exactly as if each had
  * paid the fetch, while the backend sees a single call (the stampede
  * protection every production cache tier wants).
  *
- * Moving the fetch outside the shard mutex is itself the second half
+ * Moving the fetch outside the stripe mutex is itself the second half
  * of the tentpole: under the old code a shard was serialized for the
  * whole backend round trip; now it is held only for the map/array
  * bookkeeping on either side.
@@ -26,6 +26,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -44,11 +45,14 @@ struct InflightFetch
     bool done = false;
     std::uint64_t value = 0;
     double latencyNs = 0.0;
+    /** Set instead of value/latencyNs when the leader's fetch threw;
+     *  awaitFetch rethrows it in every waiter. */
+    std::exception_ptr error;
 };
 
 /**
  * Publish the leader's result and wake every waiter.  Called with
- * the shard mutex NOT held (the entry has its own mutex).
+ * the stripe mutex NOT held (the entry has its own mutex).
  */
 inline void
 completeFetch(InflightFetch &fetch, std::uint64_t value,
@@ -63,17 +67,38 @@ completeFetch(InflightFetch &fetch, std::uint64_t value,
     fetch.cv.notify_all();
 }
 
-/** Block until the leader publishes.  Shard mutex must NOT be held. */
+/**
+ * Publish the leader's *failure* and wake every waiter: each one
+ * rethrows @p error out of awaitFetch instead of consuming a value.
+ * Called with the stripe mutex NOT held, after the leader has
+ * already erased the entry from the table (so a later miss on the
+ * key elects a fresh leader rather than joining the dead flight).
+ */
+inline void
+failFetch(InflightFetch &fetch, std::exception_ptr error)
+{
+    {
+        std::lock_guard<std::mutex> lock(fetch.mutex);
+        fetch.error = std::move(error);
+        fetch.done = true;
+    }
+    fetch.cv.notify_all();
+}
+
+/** Block until the leader publishes; rethrows the leader's exception
+ *  if the fetch failed.  Stripe mutex must NOT be held. */
 inline void
 awaitFetch(InflightFetch &fetch)
 {
     std::unique_lock<std::mutex> lock(fetch.mutex);
     fetch.cv.wait(lock, [&fetch] { return fetch.done; });
+    if (fetch.error)
+        std::rethrow_exception(fetch.error);
 }
 
 /**
- * The per-shard table of in-flight fetches.  All methods must be
- * called with the shard mutex held; the entries themselves outlive
+ * The per-stripe table of in-flight fetches.  All methods must be
+ * called with the stripe mutex held; the entries themselves outlive
  * erase() through shared ownership, so waiters that joined before
  * the leader finished still see the published result.
  */

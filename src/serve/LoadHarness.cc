@@ -135,6 +135,7 @@ HarnessResult::writeJsonObject(std::ostream &os,
        << in2 << "\"seqlockHits\": " << totals.seqlockHits << ",\n"
        << in2 << "\"seqlockRetries\": " << totals.seqlockRetries << ",\n"
        << in2 << "\"lockedFallbacks\": " << totals.lockedFallbacks << ",\n"
+       << in2 << "\"logFullFallbacks\": " << totals.logFullFallbacks << ",\n"
        << in2 << "\"backendFetches\": " << totals.backendFetches << ",\n"
        << in2 << "\"coalescedMisses\": " << totals.coalescedMisses << "\n"
        << in << "},\n"

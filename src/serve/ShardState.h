@@ -1,11 +1,17 @@
 /**
  * @file
- * One shard of the CacheService: the CacheModel + policy, the value
- * lane, the per-key cost estimates, and the shard's concurrency
- * machinery (mutex, seqlock, deferred access log, in-flight fetch
- * table).
+ * The striped state behind one CacheService shard.
  *
- * Concurrency model (DESIGN.md section 3.5):
+ * A shard no longer owns a single CacheModel behind a single mutex:
+ * it owns S independently locked *stripes* (DESIGN.md section 3.6).
+ * Each Stripe is a complete miniature of the PR-6 shard -- its own
+ * CacheModel + policy, value lane, per-key cost estimates, mutex,
+ * seqlock, deferred access log, and in-flight fetch table -- over a
+ * set-aligned slice of the shard's sets.  Keys are routed to stripes
+ * by their low set-index bits, so no cache set ever spans a lock and
+ * two fills on different stripes never contend.
+ *
+ * Concurrency model per stripe (DESIGN.md sections 3.5-3.6):
  *
  *  - Writers -- miss fills, write-allocates, cost refreshes -- hold
  *    `mutex` and wrap every mutation of seqlock-probed state (tag
@@ -18,7 +24,9 @@
  *
  *  - The policy's own state (recency words, ETD, reservations) is
  *    only ever touched under `mutex`; drainAccessLog() replays the
- *    optimistic hits into it before any locked op proceeds.
+ *    optimistic hits into it before any locked op proceeds.  Because
+ *    each stripe drains only its own log, one hot stripe cannot
+ *    starve another stripe's promotions.
  *
  * Aggregate doubles (missCostNs, storeCostNs) are only mutated under
  * `mutex`; the integer counters are relaxed atomics because the
@@ -30,6 +38,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
@@ -44,11 +53,18 @@
 namespace csr::serve
 {
 
-struct Shard
+struct Stripe
 {
-    Shard(const CacheGeometry &geom, PolicyPtr policy,
-          std::size_t access_log_capacity)
-        : model(geom, std::move(policy)),
+    /**
+     * @param geom the *stripe-local* geometry (the shard geometry
+     *   with numSets divided by the stripe count).
+     * @param stripe_bits log2 of the shard's stripe count; a key's
+     *   low @p stripe_bits set-index bits select the stripe, the
+     *   bits above them select the set within it.
+     */
+    Stripe(const CacheGeometry &geom, PolicyPtr policy,
+           std::uint32_t stripe_bits, std::size_t access_log_capacity)
+        : model(geom, std::move(policy)), stripeBits(stripe_bits),
           values(static_cast<std::size_t>(geom.numSets()) *
                      geom.assoc(),
                  0),
@@ -85,6 +101,22 @@ struct Shard
         storeRelaxed(values[idx(set, way)], value);
     }
 
+    /** Stripe-local set index of @p key (bits above the stripe id). */
+    std::uint32_t
+    setOf(Addr key) const
+    {
+        return static_cast<std::uint32_t>(
+            (key >> stripeBits) & (model.geometry().numSets() - 1));
+    }
+
+    /** Stripe-local tag of @p key; equals the whole-shard tag since
+     *  the stripe id bits sit below the set bits. */
+    Addr
+    tagOf(Addr key) const
+    {
+        return key >> (model.geometry().setBits() + stripeBits);
+    }
+
     /** Fold a measured latency into the key's EWMA. */
     void
     observe(KeyState &state, double latency_ns, double alpha)
@@ -107,11 +139,9 @@ struct Shard
     void
     drainAccessLog()
     {
-        const CacheGeometry &geom = model.geometry();
         accessLog.drain([&](Addr key) {
-            const auto set = static_cast<std::uint32_t>(
-                key & (geom.numSets() - 1));
-            const Addr tag = key >> geom.setBits();
+            const std::uint32_t set = setOf(key);
+            const Addr tag = tagOf(key);
             const int way = model.lookup(set, tag);
             if (way != kInvalidWay)
                 model.noteAccess(set, tag, way);
@@ -121,6 +151,8 @@ struct Shard
     std::mutex mutex;
     Seqlock seqlock;
     CacheModel model;
+    /** log2(stripes per shard); fixed at construction. */
+    std::uint32_t stripeBits;
     std::vector<std::uint64_t> values;
     std::unordered_map<Addr, KeyState> keys;
     AccessLog accessLog;
@@ -132,12 +164,16 @@ struct Shard
     std::atomic<std::uint64_t> stores{0};
     std::atomic<std::uint64_t> storeHits{0};
     std::atomic<std::uint64_t> evictions{0};
-    /** Hits served entirely without the shard mutex. */
+    /** Hits served entirely without the stripe mutex. */
     std::atomic<std::uint64_t> seqlockHits{0};
     /** Optimistic read sections discarded by validation. */
     std::atomic<std::uint64_t> seqlockRetries{0};
-    /** Optimistic attempts that fell back to the mutex. */
+    /** Optimistic attempts beaten by writer contention (retry budget
+     *  exhausted) that fell back to the mutex. */
     std::atomic<std::uint64_t> lockedFallbacks{0};
+    /** Optimistic hits whose recency promotion was dropped because
+     *  the access log was full; the op fell back to the mutex. */
+    std::atomic<std::uint64_t> logFullFallbacks{0};
     /** Actual Backend::fetch calls (== misses unless coalesced). */
     std::atomic<std::uint64_t> backendFetches{0};
     /** Misses that joined another thread's in-flight fetch. */
@@ -145,6 +181,14 @@ struct Shard
 
     double missCostNs = 0.0;  // under mutex
     double storeCostNs = 0.0; // under mutex
+};
+
+/** One CacheService shard: an array of independently locked
+ *  stripes.  The shard itself holds no lock and no mutable state --
+ *  all serialization is per stripe. */
+struct Shard
+{
+    std::vector<std::unique_ptr<Stripe>> stripes;
 };
 
 } // namespace csr::serve

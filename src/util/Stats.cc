@@ -224,6 +224,15 @@ StatGroup::inc(std::string_view name, std::uint64_t by)
     counters_.emplace_hint(it, std::string(name), by);
 }
 
+std::uint64_t &
+StatGroup::counter(std::string_view name)
+{
+    auto it = counters_.lower_bound(name);
+    if (it == counters_.end() || it->first != name)
+        it = counters_.emplace_hint(it, std::string(name), 0);
+    return it->second;
+}
+
 std::uint64_t
 StatGroup::get(std::string_view name) const
 {
@@ -234,7 +243,10 @@ StatGroup::get(std::string_view name) const
 void
 StatGroup::reset()
 {
-    counters_.clear();
+    for (auto &[name, value] : counters_) {
+        (void)name;
+        value = 0;
+    }
 }
 
 } // namespace csr

@@ -114,6 +114,16 @@ class StatGroup
      *  incrementing an existing counter never materializes a
      *  std::string, so hot simulator paths do not allocate. */
     void inc(std::string_view name, std::uint64_t by = 1);
+    /**
+     * Stable reference to a named counter, created at zero if
+     * absent.  std::map node addresses never move, and reset()
+     * zeroes values in place rather than erasing nodes, so the
+     * reference stays valid for the group's lifetime -- per-event
+     * hot paths (the policies' reservation bookkeeping) resolve the
+     * name once at construction and bump through the reference,
+     * instead of paying a tree walk per event.
+     */
+    std::uint64_t &counter(std::string_view name);
     /** Read (zero if absent). */
     std::uint64_t get(std::string_view name) const;
     /** All counters, sorted by name. */
@@ -121,6 +131,8 @@ class StatGroup
     {
         return counters_;
     }
+    /** Zero every counter in place (references from counter() stay
+     *  valid; the names survive with value 0). */
     void reset();
 
   private:

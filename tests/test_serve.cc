@@ -401,6 +401,69 @@ TEST(CacheService, RejectsBadConfig)
     EXPECT_THROW(CacheService(config, backend), CacheGeometryError);
 }
 
+TEST(CacheService, RejectsBadStripeCounts)
+{
+    SyntheticBackend backend(SyntheticBackendConfig{});
+    ServeConfig config = smallServeConfig(PolicyKind::Lru);
+    config.stripes = 3; // not a power of two
+    EXPECT_THROW(CacheService(config, backend), ConfigError);
+    // smallServeConfig has 64 sets per shard; more stripes than sets
+    // would leave stripes without a single set.
+    config = smallServeConfig(PolicyKind::Lru);
+    config.stripes = 128;
+    EXPECT_THROW(CacheService(config, backend), ConfigError);
+    // The boundary case -- one set per stripe -- is legal.
+    config = smallServeConfig(PolicyKind::Lru);
+    config.stripes = 64;
+    CacheService service(config, backend);
+    EXPECT_EQ(service.numStripes(), 64u);
+    service.checkInvariants();
+}
+
+TEST(CacheService, AutoStripesResolveToAPowerOfTwo)
+{
+    SyntheticBackend backend(SyntheticBackendConfig{});
+    ServeConfig config = smallServeConfig(PolicyKind::Lru);
+    config.stripes = kStripesAuto;
+    CacheService service(config, backend);
+    const unsigned stripes = service.numStripes();
+    EXPECT_GE(stripes, 1u);
+    EXPECT_EQ(stripes & (stripes - 1), 0u);
+}
+
+TEST(CacheService, RequireHitPathValidatesWithAcceptedValues)
+{
+    EXPECT_EQ(requireHitPath("locked"), HitPath::Locked);
+    EXPECT_EQ(requireHitPath("seqlock"), HitPath::Seqlock);
+    try {
+        requireHitPath("optimistic");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &err) {
+        // The message must list the accepted values.
+        EXPECT_NE(std::string(err.what()).find("locked seqlock"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(CacheService, RequireStripesValidatesWithAcceptedValues)
+{
+    EXPECT_EQ(requireStripes("auto"), kStripesAuto);
+    EXPECT_EQ(requireStripes("0"), kStripesAuto);
+    EXPECT_EQ(requireStripes("1"), 1u);
+    EXPECT_EQ(requireStripes("8"), 8u);
+    for (const char *bad : {"3", "4x", "", "-4", "99999999999999"}) {
+        try {
+            requireStripes(bad);
+            FAIL() << "expected ConfigError for '" << bad << "'";
+        } catch (const ConfigError &err) {
+            EXPECT_NE(std::string(err.what()).find("power of two"),
+                      std::string::npos)
+                << err.what();
+        }
+    }
+}
+
 TEST(CacheService, ReadAfterWriteHitsAndReturnsTheValue)
 {
     SyntheticBackend backend(SyntheticBackendConfig{});
@@ -472,6 +535,30 @@ TEST(LoadHarness, TotalsAreWorkerCountInvariantUnderShardAffinity)
         EXPECT_TRUE(totalsEqual(totals[0], totals[1]))
             << "policy #" << static_cast<int>(kind)
             << ": workers=1 vs workers=8 diverged";
+    }
+}
+
+TEST(LoadHarness, TotalsAreWorkerCountInvariantUnderStriping)
+{
+    // The striping determinism contract: under shard affinity a
+    // shard's stripes are only ever touched by its owning worker, so
+    // the totals cannot depend on how many workers exist -- at any
+    // stripe count.
+    for (PolicyKind kind : {PolicyKind::Lru, PolicyKind::Acl}) {
+        std::vector<ServeTotals> totals;
+        for (unsigned workers : {1u, 8u}) {
+            SyntheticBackend backend(SyntheticBackendConfig{});
+            ServeConfig config = smallServeConfig(kind);
+            config.stripes = 4;
+            CacheService service(config, backend);
+            const HarnessResult result = runLoad(
+                service, smallHarnessConfig(50'000, workers));
+            service.checkInvariants();
+            totals.push_back(result.totals);
+        }
+        EXPECT_TRUE(totalsEqual(totals[0], totals[1]))
+            << "policy #" << static_cast<int>(kind)
+            << ": workers=1 vs workers=8 diverged at stripes=4";
     }
 }
 
@@ -581,4 +668,11 @@ TEST(ServeTelemetry, ConcurrentMetricExportIsValidJson)
     JsonValidator validator(os.str());
     EXPECT_TRUE(validator.valid()) << os.str();
     EXPECT_NE(os.str().find("serve.op_latency_ns"), std::string::npos);
+    // The two fallback flavors are reported apart: a saturated access
+    // log is a sizing signal, a beaten retry budget a contention one.
+    EXPECT_NE(os.str().find("serve.locked_fallbacks"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("serve.log_full_fallbacks"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("serve.stripes"), std::string::npos);
 }

@@ -104,6 +104,27 @@ class GateBackend : public Backend
     bool released_ = false;
 };
 
+/**
+ * GateBackend variant whose next gated fetch throws after release():
+ * the leader-crash test needs a backend that fails exactly once and
+ * then recovers.
+ */
+class CrashOnceBackend : public GateBackend
+{
+  public:
+    BackendResult
+    fetch(Addr key, std::uint64_t salt) override
+    {
+        const BackendResult result = GateBackend::fetch(key, salt);
+        if (failNext_.exchange(false))
+            throw InjectedFaultError("injected backend failure");
+        return result;
+    }
+
+  private:
+    std::atomic<bool> failNext_{true};
+};
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -296,6 +317,80 @@ TEST(ServeSeqlock, EndStateMatchesLockedPathAtOneWorker)
     }
 }
 
+/**
+ * A saturated access log is counted apart from contention fallbacks:
+ * with a capacity-2 log and no locked op to drain it, every third
+ * optimistic hit finds the log full, is re-served on the locked path
+ * (draining it), and bumps logFullFallbacks -- while lockedFallbacks
+ * (retry-budget exhaustion) stays zero on a single thread.
+ */
+TEST(ServeSeqlock, FullAccessLogIsCountedApartFromContention)
+{
+    SyntheticBackend backend(SyntheticBackendConfig{});
+    ServeConfig config = churnConfig(PolicyKind::Lru, HitPath::Seqlock);
+    config.accessLogCapacity = 2;
+    CacheService service(config, backend);
+
+    service.get(7); // install
+    constexpr std::uint64_t kHits = 12;
+    for (std::uint64_t i = 0; i < kHits; ++i)
+        EXPECT_TRUE(service.get(7).hit);
+
+    const ServeTotals totals = service.totals();
+    EXPECT_EQ(totals.gets, kHits + 1);
+    EXPECT_EQ(totals.hits, kHits);
+    EXPECT_GT(totals.logFullFallbacks, 0u);
+    EXPECT_EQ(totals.lockedFallbacks, 0u);
+    // Every hit was either served lock-free or re-served locked after
+    // a full-log fallback; the two tallies partition the hits.
+    EXPECT_EQ(totals.seqlockHits + totals.logFullFallbacks,
+              totals.hits);
+    service.checkInvariants();
+}
+
+/**
+ * The one-worker end-state equality holds inside a striped shard too:
+ * stripes only partition the sets, so with the same drain points the
+ * locked and seqlock paths still see identical access orders.
+ */
+TEST(ServeSeqlock, EndStateMatchesLockedPathAtOneWorkerWhenStriped)
+{
+    for (const PolicyKind policy :
+         {PolicyKind::Lru, PolicyKind::Dcl, PolicyKind::Acl}) {
+        HarnessConfig harness;
+        harness.ops = 60000;
+        harness.workers = 1;
+        harness.seed = 99;
+        harness.mix.numKeys = 8192;
+
+        SyntheticBackendConfig backend_config;
+        backend_config.seed = 7;
+
+        ServeTotals totals[2];
+        for (const HitPath path :
+             {HitPath::Locked, HitPath::Seqlock}) {
+            SyntheticBackend backend(backend_config);
+            ServeConfig config = churnConfig(policy, path);
+            config.shards = 4;
+            config.shardBytes = 16 * 1024;
+            config.stripes = 4;
+            CacheService service(config, backend);
+            totals[path == HitPath::Seqlock] =
+                runLoad(service, harness).totals;
+            service.checkInvariants();
+        }
+        EXPECT_EQ(totals[0].gets, totals[1].gets);
+        EXPECT_EQ(totals[0].hits, totals[1].hits);
+        EXPECT_EQ(totals[0].misses, totals[1].misses);
+        EXPECT_EQ(totals[0].storeHits, totals[1].storeHits);
+        EXPECT_EQ(totals[0].evictions, totals[1].evictions);
+        EXPECT_EQ(totals[0].trackedKeys, totals[1].trackedKeys);
+        EXPECT_EQ(totals[0].missCostNs, totals[1].missCostNs);
+        EXPECT_EQ(totals[0].storeCostNs, totals[1].storeCostNs);
+        EXPECT_GT(totals[1].seqlockHits, 0u);
+    }
+}
+
 TEST(ServeSeqlock, FreeAffinityHarnessRunValidatesClean)
 {
     SyntheticBackend backend(SyntheticBackendConfig{});
@@ -373,6 +468,106 @@ TEST(ServeSingleFlight, StampedeOnOneKeyCoalescesToOneFetch)
     const ServeOpResult again = service.get(kKey);
     EXPECT_TRUE(again.hit);
     EXPECT_EQ(again.value, GateBackend::valueOf(kKey));
+    service.checkInvariants();
+}
+
+/**
+ * Leader crash path: the backend throws out of the single-flight
+ * leader's fetch.  Every parked waiter must be woken with that error
+ * -- not left on the condition variable forever -- and the in-flight
+ * entry must be retired first, so the next get() elects a fresh
+ * leader and the service keeps working.
+ */
+TEST(ServeSingleFlight, LeaderCrashWakesWaitersWithTheError)
+{
+    CrashOnceBackend backend;
+    CacheService service(churnConfig(PolicyKind::Lru, HitPath::Seqlock),
+                         backend);
+
+    constexpr unsigned kThreads = 6;
+    constexpr Addr kKey = 42;
+    std::atomic<unsigned> failed{0};
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            try {
+                service.get(kKey);
+            } catch (const InjectedFaultError &) {
+                failed.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    // Park the other N-1 threads on the leader's in-flight entry,
+    // then open the gate and let the leader's fetch throw.
+    while (service.totals().coalescedMisses + 1 < kThreads)
+        std::this_thread::yield();
+    backend.release();
+    for (auto &thread : threads)
+        thread.join();
+
+    // The leader rethrows its own error; every waiter gets the same
+    // one from awaitFetch.  Nobody deadlocks, nobody fabricates a
+    // value.
+    EXPECT_EQ(failed.load(), kThreads);
+    EXPECT_EQ(backend.fetches.load(), 1u);
+
+    // The crashed flight was erased: the retry elects a fresh leader
+    // and the (now recovered) backend serves it.
+    const ServeOpResult retry = service.get(kKey);
+    EXPECT_FALSE(retry.hit);
+    EXPECT_EQ(retry.value, GateBackend::valueOf(kKey));
+    EXPECT_EQ(backend.fetches.load(), 2u);
+
+    const ServeTotals totals = service.totals();
+    EXPECT_EQ(totals.misses, kThreads + 1u);
+    EXPECT_EQ(totals.coalescedMisses, kThreads - 1u);
+    // Only the successful fetch is counted (and only it feeds the
+    // cost signal): the crashed one produced no sample.
+    EXPECT_EQ(totals.backendFetches, 1u);
+    EXPECT_EQ(service.keySamples(kKey), 1u);
+    EXPECT_TRUE(service.get(kKey).hit);
+    service.checkInvariants();
+}
+
+/**
+ * Striping must not break single-flight: the stampede test again,
+ * with the shard split into 4 stripes (the cold key lives in exactly
+ * one of them, whose in-flight table does the coalescing).
+ */
+TEST(ServeSingleFlight, StripedStampedeStillCoalescesToOneFetch)
+{
+    GateBackend backend;
+    ServeConfig config = churnConfig(PolicyKind::Acl, HitPath::Seqlock);
+    config.stripes = 4;
+    CacheService service(config, backend);
+
+    constexpr unsigned kThreads = 8;
+    constexpr Addr kKey = 42;
+    std::atomic<unsigned> wrongValues{0};
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            const ServeOpResult result = service.get(kKey);
+            if (result.hit ||
+                result.value != GateBackend::valueOf(kKey))
+                wrongValues.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    while (service.totals().coalescedMisses + 1 < kThreads)
+        std::this_thread::yield();
+    backend.release();
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(wrongValues.load(), 0u);
+    EXPECT_EQ(backend.fetches.load(), 1u);
+    const ServeTotals totals = service.totals();
+    EXPECT_EQ(totals.misses, kThreads);
+    EXPECT_EQ(totals.backendFetches, 1u);
+    EXPECT_EQ(totals.coalescedMisses, kThreads - 1);
+    EXPECT_EQ(service.keySamples(kKey), kThreads);
     service.checkInvariants();
 }
 

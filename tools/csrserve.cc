@@ -14,7 +14,7 @@
  *            [--ewma-alpha F]
  *            [--slow-frac F] [--slow-ns N] [--fast-ns N] [--jitter F]
  *            [--spin] [--affinity shard|free] [--validate]
- *            [--hitpath locked|seqlock]
+ *            [--hitpath locked|seqlock] [--stripes auto|N]
  *            [--json FILE] [--trace FILE] [--metrics FILE]
  *
  * Output contract, same as csrsim sweep's: the deterministic summary
@@ -92,12 +92,8 @@ serveConfigFromArgs(const CliArgs &args)
         args.getUInt("block-bytes", config.blockBytes));
     config.ewmaAlpha = args.getDouble("ewma-alpha", config.ewmaAlpha);
     config.policyParams.seed = args.seed(1);
-    const std::string hitpath = args.get("hitpath", "locked");
-    if (auto path = parseHitPath(hitpath))
-        config.hitPath = *path;
-    else
-        throw ConfigError("unknown hitpath '" + hitpath +
-                          "' (valid: locked seqlock)");
+    config.hitPath = requireHitPath(args.get("hitpath", "locked"));
+    config.stripes = requireStripes(args.get("stripes", "auto"));
     return config;
 }
 
@@ -191,6 +187,8 @@ usage()
         << "            --shards N (pow2) --shard-bytes N --assoc N\n"
            "            --block-bytes N --ewma-alpha F\n"
            "            --hitpath locked|seqlock (lock-free read hits)\n"
+           "            --stripes auto|N (pow2 locked sub-shards; 1 =\n"
+           "              the single-mutex shard, byte for byte)\n"
            "  backend:  --fast-ns F --slow-ns F --slow-frac F\n"
            "            --jitter F --spin (burn latency for real)\n"
            "  load:     --ops N --workers N (0=hw) --qps N (0=unpaced)\n"
@@ -267,7 +265,7 @@ main(int argc, char **argv)
             "ewma-alpha", "fast-ns", "slow-ns", "slow-frac", "jitter",
             "spin", "ops", "workers", "qps", "workload", "keys",
             "zipf-theta", "hot-frac", "hot-prob", "write-frac",
-            "affinity", "validate", "hitpath",
+            "affinity", "validate", "hitpath", "stripes",
         });
         return run(args);
     } catch (const Error &e) {
