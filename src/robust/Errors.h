@@ -41,8 +41,10 @@ constexpr int kStall = 5;         ///< SimulationStallError
 constexpr int kGeometry = 6;      ///< CacheGeometryError
 constexpr int kInvariant = 7;     ///< InvariantError
 constexpr int kInjectedFault = 8; ///< InjectedFaultError
+constexpr int kTimeout = 9;       ///< TimeoutError
 /** A sweep finished but some cells failed (partial success). */
 constexpr int kSweepPartial = 10;
+constexpr int kNet = 11;          ///< NetError
 } // namespace exitcode
 
 /**
@@ -144,6 +146,39 @@ class InvariantError : public Error
   public:
     explicit InvariantError(const std::string &what)
         : Error("InvariantError", exitcode::kInvariant, what)
+    {
+    }
+};
+
+/**
+ * A bounded wait expired: a serve-layer waiter gave up on a wedged
+ * single-flight leader, or a network client ran out of patience on a
+ * socket.  Distinct from SimulationStallError (which diagnoses the
+ * simulator's own event loop): a timeout names an *external* party --
+ * a backend, a peer -- that stopped answering, and the right reaction
+ * is usually to fail the one request, not the process.
+ */
+class TimeoutError : public Error
+{
+  public:
+    explicit TimeoutError(const std::string &what)
+        : Error("TimeoutError", exitcode::kTimeout, what)
+    {
+    }
+};
+
+/**
+ * A socket-layer operation failed: bind/listen/connect refused, a
+ * peer spoke garbage RESP, a write hit a dead connection.  Carries
+ * the errno text when one applies.  ConfigError stays the right type
+ * for user-supplied addresses that fail to *parse*; NetError is for
+ * the OS or the peer saying no at runtime.
+ */
+class NetError : public Error
+{
+  public:
+    explicit NetError(const std::string &what)
+        : Error("NetError", exitcode::kNet, what)
     {
     }
 };

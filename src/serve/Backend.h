@@ -13,12 +13,24 @@
  * Implementations must be safe for concurrent calls from every shard
  * of the service; SyntheticBackend achieves this by being a pure
  * function of (seed, key, salt).
+ *
+ * Two fetch surfaces.  fetch() is the synchronous call the in-process
+ * harness uses; fetchAsync() hands the result to a completion
+ * callback instead of blocking the caller, which is what the network
+ * event loop needs -- a net worker must never park inside a backend
+ * round trip.  The base class adapts fetchAsync() onto fetch() (the
+ * completion runs inline on the calling thread), so existing sync
+ * backends are async-capable for free; a truly asynchronous backend
+ * overrides fetchAsync() and may invoke the completion from any
+ * thread.  Completions must be invoked exactly once.
  */
 
 #ifndef CSR_SERVE_BACKEND_H
 #define CSR_SERVE_BACKEND_H
 
 #include <cstdint>
+#include <exception>
+#include <functional>
 #include <string>
 
 #include "util/Types.h"
@@ -35,6 +47,16 @@ struct BackendResult
 };
 
 /**
+ * Completion of an asynchronous fetch.  On success @p error is null
+ * and @p result carries the payload + measured latency; on failure
+ * @p result is meaningless and @p error holds what fetch() would have
+ * thrown.  May run on any thread, including inline on the caller's.
+ */
+using FetchCallback =
+    std::function<void(const BackendResult &result,
+                       std::exception_ptr error)>;
+
+/**
  * Abstract backing store.  @p salt is a caller-maintained per-key
  * access ordinal; deterministic backends mix it into their jitter so
  * repeated fetches of one key vary reproducibly.
@@ -48,8 +70,28 @@ class Backend
     Backend(const Backend &) = delete;
     Backend &operator=(const Backend &) = delete;
 
-    /** Read @p key (a cache read miss). */
+    /** Read @p key (a cache read miss), blocking the caller. */
     virtual BackendResult fetch(Addr key, std::uint64_t salt) = 0;
+
+    /**
+     * Read @p key and deliver the result through @p done instead of
+     * blocking.  The default adapter performs a synchronous fetch()
+     * and completes inline -- correct for compute-only backends like
+     * SyntheticBackend, where "async" costs nothing; backends with
+     * real I/O override this to complete from their own reactor.
+     */
+    virtual void
+    fetchAsync(Addr key, std::uint64_t salt, FetchCallback done)
+    {
+        BackendResult result;
+        try {
+            result = fetch(key, salt);
+        } catch (...) {
+            done(BackendResult{}, std::current_exception());
+            return;
+        }
+        done(result, nullptr);
+    }
 
     /** Write-through @p value to @p key. */
     virtual BackendResult store(Addr key, std::uint64_t value,

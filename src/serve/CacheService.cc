@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <mutex>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include "robust/Errors.h"
 #include "serve/ShardState.h"
 #include "telemetry/MetricRegistry.h"
 #include "telemetry/Telemetry.h"
+#include "util/CliArgs.h"
 #include "util/MathUtil.h"
 #include "util/Random.h"
 
@@ -85,31 +87,66 @@ requireStripes(const std::string &text)
                       "8 ...; 0 means auto)");
 }
 
-CacheService::CacheService(const ServeConfig &config, Backend &backend)
-    : config_(config), backend_(backend)
+ServeConfig
+ServeConfig::fromArgs(const CliArgs &args)
 {
-    if (config_.shards == 0 || !isPow2(config_.shards))
-        throw ConfigError("shard count (" +
-                          std::to_string(config_.shards) +
+    ServeConfig config;
+    const std::string policy_name = args.get("policy", "acl");
+    if (auto kind = parsePolicyKind(policy_name))
+        config.policy = *kind;
+    else
+        throw ConfigError("unknown policy '" + policy_name +
+                          "' (valid: " + policyNamesJoined(" ") + ")");
+    config.shards =
+        static_cast<unsigned>(args.getUInt("shards", config.shards));
+    config.shardBytes = args.getUInt("shard-bytes", config.shardBytes);
+    config.assoc = static_cast<std::uint32_t>(
+        args.getUInt("assoc", config.assoc));
+    config.blockBytes = static_cast<std::uint32_t>(
+        args.getUInt("block-bytes", config.blockBytes));
+    config.ewmaAlpha = args.getDouble("ewma-alpha", config.ewmaAlpha);
+    config.policyParams.seed = args.seed(1);
+    config.hitPath = requireHitPath(args.get("hitpath", "locked"));
+    config.stripes = requireStripes(args.get("stripes", "auto"));
+    config.inflightWaitMs =
+        args.getDouble("inflight-wait-ms", config.inflightWaitMs);
+    config.validate();
+    return config;
+}
+
+void
+ServeConfig::validate() const
+{
+    if (shards == 0 || !isPow2(shards))
+        throw ConfigError("shard count (" + std::to_string(shards) +
                           ") must be a power of two");
-    if (config_.ewmaAlpha <= 0.0 || config_.ewmaAlpha > 1.0)
+    if (ewmaAlpha <= 0.0 || ewmaAlpha > 1.0)
         throw ConfigError("EWMA alpha must be in (0,1], got " +
-                          std::to_string(config_.ewmaAlpha));
-    if (config_.accessLogCapacity < 2 ||
-        !isPow2(config_.accessLogCapacity))
-        throw ConfigError(
-            "access log capacity (" +
-            std::to_string(config_.accessLogCapacity) +
-            ") must be a power of two >= 2");
-    if (config_.policy == PolicyKind::Opt ||
-        config_.policy == PolicyKind::CostOpt)
+                          std::to_string(ewmaAlpha));
+    if (accessLogCapacity < 2 || !isPow2(accessLogCapacity))
+        throw ConfigError("access log capacity (" +
+                          std::to_string(accessLogCapacity) +
+                          ") must be a power of two >= 2");
+    if (policy == PolicyKind::Opt || policy == PolicyKind::CostOpt)
         throw ConfigError("offline oracle policies cannot drive an "
                           "online service (pick one of lru random lfu "
                           "gd bcl dcl acl)");
-    if (config_.stripes != kStripesAuto && !isPow2(config_.stripes))
-        throw ConfigError("stripe count (" +
-                          std::to_string(config_.stripes) +
+    if (stripes != kStripesAuto && !isPow2(stripes))
+        throw ConfigError("stripe count (" + std::to_string(stripes) +
                           ") must be a power of two, or 0 for auto");
+    if (inflightWaitMs < 0.0)
+        throw ConfigError(
+            "in-flight wait bound must be >= 0 ms (0 = unbounded), "
+            "got " +
+            std::to_string(inflightWaitMs));
+}
+
+CacheService::CacheService(const ServeConfig &config, Backend &backend)
+    : config_(config), backend_(backend),
+      inflightWaitNs_(static_cast<std::uint64_t>(
+          config.inflightWaitMs * 1e6))
+{
+    config_.validate();
 
     // Throws CacheGeometryError naming the bad parameter.  Validate
     // the whole-shard geometry first so a bad shard size is reported
@@ -299,18 +336,19 @@ CacheService::lockedGet(Stripe &stripe, std::uint32_t set, Addr tag,
         lock.unlock();
         {
             CSR_TRACE_SPAN("serve", "inflight.wait");
-            awaitFetch(*flight); // rethrows a failed leader's error
+            // Bounded: a wedged leader must not park this thread (or
+            // the network connection behind it) forever.  Rethrows a
+            // failed leader's error.
+            if (!awaitFetchFor(*flight, inflightWaitNs_))
+                throw TimeoutError(
+                    "coalesced miss on key " + std::to_string(key) +
+                    " waited " +
+                    std::to_string(config_.inflightWaitMs) +
+                    " ms for its single-flight leader's backend "
+                    "fetch (raise --inflight-wait-ms, or find the "
+                    "wedged backend)");
         }
-        lock.lock();
-        stripe.drainAccessLog();
-        Stripe::KeyState &state = stripe.keys[key];
-        stripe.observe(state, flight->latencyNs, config_.ewmaAlpha);
-        stripe.missCostNs += flight->latencyNs;
-        const int resident = stripe.model.lookup(set, tag);
-        if (resident != kInvalidWay) {
-            SeqlockWriteGuard guard(stripe.seqlock);
-            stripe.model.updateCost(set, resident, state.ewmaNs);
-        }
+        absorbLeaderSample(stripe, set, tag, key, flight->latencyNs);
         ServeOpResult result;
         result.hit = false;
         result.value = flight->value;
@@ -321,8 +359,7 @@ CacheService::lockedGet(Stripe &stripe, std::uint32_t set, Addr tag,
     // Leader: read the fetch salt under the lock, fetch with the
     // stripe UNLOCKED (other keys keep being served), then re-acquire
     // to install the block and publish to the waiters.
-    Stripe::KeyState &state = stripe.keys[key];
-    const std::uint64_t salt = state.samples;
+    const std::uint64_t salt = stripe.keys[key].samples;
     lock.unlock();
     BackendResult fetched;
     try {
@@ -339,9 +376,41 @@ CacheService::lockedGet(Stripe &stripe, std::uint32_t set, Addr tag,
         failFetch(*flight, std::current_exception());
         throw;
     }
-    stripe.backendFetches.fetch_add(1, std::memory_order_relaxed);
-    lock.lock();
+    installFetched(stripe, set, tag, key, fetched);
+    completeFetch(*flight, fetched.value, fetched.latencyNs);
+
+    ServeOpResult result;
+    result.hit = false;
+    result.value = fetched.value;
+    result.backendNs = fetched.latencyNs;
+    return result;
+}
+
+void
+CacheService::absorbLeaderSample(Stripe &stripe, std::uint32_t set,
+                                 Addr tag, Addr key, double latency_ns)
+{
+    std::lock_guard<std::mutex> lock(stripe.mutex);
     stripe.drainAccessLog();
+    Stripe::KeyState &state = stripe.keys[key];
+    stripe.observe(state, latency_ns, config_.ewmaAlpha);
+    stripe.missCostNs += latency_ns;
+    const int resident = stripe.model.lookup(set, tag);
+    if (resident != kInvalidWay) {
+        SeqlockWriteGuard guard(stripe.seqlock);
+        stripe.model.updateCost(set, resident, state.ewmaNs);
+    }
+}
+
+void
+CacheService::installFetched(Stripe &stripe, std::uint32_t set,
+                             Addr tag, Addr key,
+                             const BackendResult &fetched)
+{
+    stripe.backendFetches.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stripe.drainAccessLog();
+    Stripe::KeyState &state = stripe.keys[key];
     stripe.observe(state, fetched.latencyNs, config_.ewmaAlpha);
     stripe.missCostNs += fetched.latencyNs;
 
@@ -362,14 +431,122 @@ CacheService::lockedGet(Stripe &stripe, std::uint32_t set, Addr tag,
         stripe.storeValue(set, filled, fetched.value);
     }
     stripe.inflight.erase(key);
-    lock.unlock();
-    completeFetch(*flight, fetched.value, fetched.latencyNs);
+}
 
-    ServeOpResult result;
-    result.hit = false;
-    result.value = fetched.value;
-    result.backendNs = fetched.latencyNs;
-    return result;
+void
+CacheService::getAsync(Addr key, GetCallback done)
+{
+    Stripe &stripe = stripeFor(key);
+    const std::uint32_t set = stripe.setOf(key);
+    const Addr tag = stripe.tagOf(key);
+
+    if (config_.hitPath == HitPath::Seqlock) {
+        if (auto result = tryOptimisticGet(stripe, set, tag, key)) {
+            done(*result, nullptr);
+            return;
+        }
+    }
+
+    std::shared_ptr<InflightFetch> flight;
+    bool leader = false;
+    std::uint64_t salt = 0;
+    {
+        std::unique_lock<std::mutex> lock(stripe.mutex,
+                                          std::defer_lock);
+        {
+            CSR_TRACE_SPAN("serve", "stripe.lock_wait");
+            lock.lock();
+        }
+        stripe.drainAccessLog();
+        stripe.gets.fetch_add(1, std::memory_order_relaxed);
+
+        const int way = stripe.model.access(set, tag);
+        if (way != kInvalidWay) {
+            stripe.hits.fetch_add(1, std::memory_order_relaxed);
+            ServeOpResult result;
+            result.hit = true;
+            result.value = stripe.loadValue(set, way);
+            lock.unlock();
+            done(result, nullptr);
+            return;
+        }
+
+        stripe.misses.fetch_add(1, std::memory_order_relaxed);
+        std::tie(flight, leader) = stripe.inflight.claim(key);
+        if (leader) {
+            salt = stripe.keys[key].samples;
+        } else {
+            stripe.coalescedMisses.fetch_add(
+                1, std::memory_order_relaxed);
+            CSR_TRACE_INSTANT("serve", "coalesced_miss");
+        }
+    }
+
+    if (!leader) {
+        // Join the flight without parking: the completion runs on
+        // whichever thread publishes the leader's result (or inline
+        // when it already has).
+        subscribeFetch(
+            *flight, [this, &stripe, set, tag, key, flight,
+                      done = std::move(done)] {
+                if (flight->error) {
+                    done(ServeOpResult{}, flight->error);
+                    return;
+                }
+                absorbLeaderSample(stripe, set, tag, key,
+                                   flight->latencyNs);
+                ServeOpResult result;
+                result.hit = false;
+                result.value = flight->value;
+                result.backendNs = flight->latencyNs;
+                done(result, nullptr);
+            });
+        return;
+    }
+
+    // Leader, asynchronously: hand the fetch to the backend and
+    // finish -- install + publish + completion -- whenever and
+    // wherever it completes.  The calling thread never blocks.
+    backend_.fetchAsync(
+        key, salt,
+        [this, &stripe, set, tag, key, flight,
+         done = std::move(done)](const BackendResult &fetched,
+                                 std::exception_ptr error) {
+            if (error) {
+                // Same crash protocol as the sync leader: retire the
+                // flight first so retries elect a fresh leader, then
+                // publish the failure to every joiner.
+                {
+                    std::lock_guard<std::mutex> lock(stripe.mutex);
+                    stripe.inflight.erase(key);
+                }
+                failFetch(*flight, error);
+                done(ServeOpResult{}, error);
+                return;
+            }
+            installFetched(stripe, set, tag, key, fetched);
+            completeFetch(*flight, fetched.value, fetched.latencyNs);
+            ServeOpResult result;
+            result.hit = false;
+            result.value = fetched.value;
+            result.backendNs = fetched.latencyNs;
+            done(result, nullptr);
+        });
+}
+
+bool
+CacheService::del(Addr key)
+{
+    Stripe &stripe = stripeFor(key);
+    const std::uint32_t set = stripe.setOf(key);
+    const Addr tag = stripe.tagOf(key);
+
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stripe.drainAccessLog();
+    // Under the seqlock guard so a concurrent optimistic reader
+    // re-validates instead of serving the dying line.
+    SeqlockWriteGuard guard(stripe.seqlock);
+    return stripe.model.invalidateTag(set, tag) != kInvalidWay;
 }
 
 ServeOpResult

@@ -46,6 +46,8 @@
 #define CSR_SERVE_CACHESERVICE_H
 
 #include <cstdint>
+#include <exception>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -56,6 +58,7 @@
 
 namespace csr
 {
+class CliArgs;
 class MetricRegistry;
 }
 
@@ -94,7 +97,16 @@ unsigned requireStripes(const std::string &text);
 /** ServeConfig::stripes value meaning "size to the machine". */
 inline constexpr unsigned kStripesAuto = 0;
 
-/** Construction parameters of a CacheService. */
+/**
+ * Construction parameters of a CacheService.
+ *
+ * The one place the service flags live: drivers parse them with
+ * fromArgs() (the same spellings csrserve always accepted), library
+ * callers fill the struct directly, and both funnel through
+ * validate() -- every constraint throws ConfigError naming the field
+ * and the accepted values, so a bad --stripes reads the same from the
+ * CLI, a test, or the network driver.
+ */
 struct ServeConfig
 {
     /** Shard count; must be a power of two. */
@@ -116,6 +128,26 @@ struct ServeConfig
      *  the machine.  1 (the default) is the PR-6 single-mutex shard,
      *  bit for bit. */
     unsigned stripes = 1;
+    /** Bound on a coalesced miss's wait for its leader's fetch, in
+     *  milliseconds; 0 = wait forever.  A waiter that times out sees
+     *  a typed TimeoutError instead of parking a thread (or a network
+     *  connection) on a wedged leader. */
+    double inflightWaitMs = 10'000.0;
+
+    /**
+     * Read the service flags out of @p args: --policy --shards
+     * --shard-bytes --assoc --block-bytes --ewma-alpha --hitpath
+     * --stripes --inflight-wait-ms (and --seed for the policy RNG).
+     * The result is validate()d.  @throws ConfigError with the
+     * accepted values on any bad flag.
+     */
+    static ServeConfig fromArgs(const CliArgs &args);
+
+    /** Every constraint the constructor enforces, as one callable
+     *  check: pow2 shard/stripe counts, EWMA alpha in (0,1], a
+     *  power-of-two access log, an online-capable policy, a
+     *  non-negative wait bound.  @throws ConfigError. */
+    void validate() const;
 
     /** Total lines across all shards. */
     std::uint64_t
@@ -190,11 +222,39 @@ class CacheService
     CacheService(const CacheService &) = delete;
     CacheService &operator=(const CacheService &) = delete;
 
-    /** Read @p key: cache hit, or backend fetch + admission. */
+    /** Read @p key: cache hit, or backend fetch + admission.  A
+     *  coalesced miss waits at most inflightWaitMs for its leader,
+     *  then throws TimeoutError. */
     ServeOpResult get(Addr key);
+
+    /**
+     * Completion of getAsync(): on success @p error is null; on a
+     * failed or timed-out backend fetch the result is meaningless and
+     * @p error carries what get() would have thrown.  May run inline
+     * on the calling thread (hits, sync backends) or on whichever
+     * thread completes the fetch -- callers that care (the network
+     * event loop) marshal themselves back.
+     */
+    using GetCallback = std::function<void(const ServeOpResult &result,
+                                           std::exception_ptr error)>;
+
+    /**
+     * get(), minus the blocking: hits and coalesced misses never park
+     * the calling thread, and a leader miss rides
+     * Backend::fetchAsync.  Counters move exactly as get()'s do.
+     * This is the surface the RESP server drives -- a net worker
+     * thread is never parked inside someone else's backend round
+     * trip.
+     */
+    void getAsync(Addr key, GetCallback done);
 
     /** Write-through @p value under @p key (write-allocate). */
     ServeOpResult put(Addr key, std::uint64_t value);
+
+    /** Drop @p key from the cache (the wire protocol's DEL): the line
+     *  is invalidated, the policy told, the cost estimate kept.
+     *  @return true when the key was resident. */
+    bool del(Addr key);
 
     /** Shard that owns @p key (stable; the harness partitions ops by
      *  this to keep runs deterministic for any worker count). */
@@ -232,8 +292,21 @@ class CacheService
     ServeOpResult lockedGet(Stripe &stripe, std::uint32_t set,
                             Addr tag, Addr key);
 
+    /** Waiter side: fold the leader's measured latency into this
+     *  requester's EWMA + the aggregate miss cost (takes the stripe
+     *  mutex). */
+    void absorbLeaderSample(Stripe &stripe, std::uint32_t set,
+                            Addr tag, Addr key, double latency_ns);
+
+    /** Leader side: install a successful fetch -- observe the
+     *  latency, fill or cost-refresh the line, retire the flight
+     *  (takes the stripe mutex). */
+    void installFetched(Stripe &stripe, std::uint32_t set, Addr tag,
+                        Addr key, const BackendResult &fetched);
+
     ServeConfig config_;
     Backend &backend_;
+    std::uint64_t inflightWaitNs_; ///< resolved from inflightWaitMs
     unsigned shardShift_;  ///< hash bits above this select the shard
     unsigned stripeMask_;  ///< stripes - 1; low key bits pick the stripe
     std::vector<std::unique_ptr<Shard>> shards_;

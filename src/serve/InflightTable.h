@@ -15,6 +15,14 @@
  * paid the fetch, while the backend sees a single call (the stampede
  * protection every production cache tier wants).
  *
+ * Two ways to join a flight.  awaitFetchFor() parks the calling
+ * thread with a *bounded* condvar wait -- a wedged leader (backend
+ * hang, lost completion) times the waiter out instead of parking a
+ * network connection forever; the caller turns that into a typed
+ * csr::TimeoutError.  subscribeFetch() registers a completion
+ * callback instead of blocking: the network event loop's miss path,
+ * where a net worker must never sleep on someone else's fetch.
+ *
  * Moving the fetch outside the stripe mutex is itself the second half
  * of the tentpole: under the old code a shard was serialized for the
  * whole backend round trip; now it is held only for the map/array
@@ -24,13 +32,16 @@
 #ifndef CSR_SERVE_INFLIGHTTABLE_H
 #define CSR_SERVE_INFLIGHTTABLE_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "util/Types.h"
 
@@ -46,54 +57,107 @@ struct InflightFetch
     std::uint64_t value = 0;
     double latencyNs = 0.0;
     /** Set instead of value/latencyNs when the leader's fetch threw;
-     *  awaitFetch rethrows it in every waiter. */
+     *  awaitFetchFor rethrows it in every waiter, subscribers see it
+     *  through the published entry. */
     std::exception_ptr error;
+    /** Non-blocking waiters (subscribeFetch); drained exactly once by
+     *  the completing thread, after done is set, with no lock held. */
+    std::vector<std::function<void()>> subscribers;
 };
 
+/** Run-and-clear the subscriber list (completer-side helper). */
+inline void
+notifySubscribers(std::vector<std::function<void()>> subscribers)
+{
+    for (auto &fn : subscribers)
+        fn();
+}
+
 /**
- * Publish the leader's result and wake every waiter.  Called with
- * the stripe mutex NOT held (the entry has its own mutex).
+ * Publish the leader's result and wake every waiter -- parked and
+ * subscribed alike.  Called with the stripe mutex NOT held (the entry
+ * has its own mutex).
  */
 inline void
 completeFetch(InflightFetch &fetch, std::uint64_t value,
               double latency_ns)
 {
+    std::vector<std::function<void()>> subscribers;
     {
         std::lock_guard<std::mutex> lock(fetch.mutex);
         fetch.value = value;
         fetch.latencyNs = latency_ns;
         fetch.done = true;
+        subscribers.swap(fetch.subscribers);
     }
     fetch.cv.notify_all();
+    notifySubscribers(std::move(subscribers));
 }
 
 /**
- * Publish the leader's *failure* and wake every waiter: each one
- * rethrows @p error out of awaitFetch instead of consuming a value.
- * Called with the stripe mutex NOT held, after the leader has
- * already erased the entry from the table (so a later miss on the
+ * Publish the leader's *failure* and wake every waiter: parked ones
+ * rethrow @p error out of awaitFetchFor, subscribers observe it on
+ * the entry.  Called with the stripe mutex NOT held, after the leader
+ * has already erased the entry from the table (so a later miss on the
  * key elects a fresh leader rather than joining the dead flight).
  */
 inline void
 failFetch(InflightFetch &fetch, std::exception_ptr error)
 {
+    std::vector<std::function<void()>> subscribers;
     {
         std::lock_guard<std::mutex> lock(fetch.mutex);
         fetch.error = std::move(error);
         fetch.done = true;
+        subscribers.swap(fetch.subscribers);
     }
     fetch.cv.notify_all();
+    notifySubscribers(std::move(subscribers));
 }
 
-/** Block until the leader publishes; rethrows the leader's exception
- *  if the fetch failed.  Stripe mutex must NOT be held. */
-inline void
-awaitFetch(InflightFetch &fetch)
+/**
+ * Block until the leader publishes, for at most @p timeout_ns
+ * (0 = unbounded, the historical behaviour).  Rethrows the leader's
+ * exception if the fetch failed.  @return false when the wait timed
+ * out with the fetch still in flight -- the entry is untouched, so
+ * the leader can still complete it for everyone else; the caller
+ * decides how loudly to give up.  Stripe mutex must NOT be held.
+ */
+inline bool
+awaitFetchFor(InflightFetch &fetch, std::uint64_t timeout_ns)
 {
     std::unique_lock<std::mutex> lock(fetch.mutex);
-    fetch.cv.wait(lock, [&fetch] { return fetch.done; });
+    const auto ready = [&fetch] { return fetch.done; };
+    if (timeout_ns == 0)
+        fetch.cv.wait(lock, ready);
+    else if (!fetch.cv.wait_for(
+                 lock, std::chrono::nanoseconds(timeout_ns), ready))
+        return false;
     if (fetch.error)
         std::rethrow_exception(fetch.error);
+    return true;
+}
+
+/**
+ * Join a flight without blocking: @p fn runs exactly once after the
+ * leader publishes (inspect the entry's value/latencyNs/error fields
+ * then), on the completing thread -- or inline, right here, when the
+ * flight already completed.  The network miss path: the callback
+ * re-enters the owning event loop instead of a thread parking.
+ * Stripe mutex must NOT be held (callers registering under the stripe
+ * mutex would lock-invert against completeFetch's callers).
+ */
+inline void
+subscribeFetch(InflightFetch &fetch, std::function<void()> fn)
+{
+    {
+        std::unique_lock<std::mutex> lock(fetch.mutex);
+        if (!fetch.done) {
+            fetch.subscribers.push_back(std::move(fn));
+            return;
+        }
+    }
+    fn();
 }
 
 /**

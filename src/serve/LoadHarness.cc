@@ -9,6 +9,7 @@
 #include "robust/Errors.h"
 #include "telemetry/MetricRegistry.h"
 #include "telemetry/Telemetry.h"
+#include "util/CliArgs.h"
 #include "util/Random.h"
 #include "util/ThreadPool.h"
 
@@ -31,14 +32,6 @@ struct WorkerOutput
     Histogram missLatencyNs;
 };
 
-/** Deterministic payload for writes: a pure function of (seed, key),
- *  so the written values do not depend on op interleaving. */
-std::uint64_t
-payloadOf(std::uint64_t seed, Addr key)
-{
-    return hashMix64(key + 0x9E3779B97F4A7C15ull * (seed + 1));
-}
-
 /** Full precision, so bit-identical doubles print identically (the
  *  CI determinism check diffs this output across worker counts). */
 std::string
@@ -58,6 +51,56 @@ numShort(double v)
 }
 
 } // namespace
+
+std::uint64_t
+harnessPayload(std::uint64_t seed, Addr key)
+{
+    return hashMix64(key + 0x9E3779B97F4A7C15ull * (seed + 1));
+}
+
+HarnessConfig
+HarnessConfig::fromArgs(const CliArgs &args)
+{
+    HarnessConfig config;
+    config.ops = args.getUInt("ops", config.ops);
+    config.workers = static_cast<unsigned>(args.getUInt("workers", 1));
+    config.targetQps = args.getDouble("qps", 0.0);
+    config.seed = args.seed(1);
+    config.backendIsReal = args.has("spin");
+
+    const std::string affinity = args.get("affinity", "shard");
+    if (affinity == "shard")
+        config.shardAffinity = true;
+    else if (affinity == "free")
+        config.shardAffinity = false;
+    else
+        throw ConfigError("unknown affinity '" + affinity +
+                          "' (valid: shard free)");
+
+    config.mix.dist = parseKeyDist(args.get("workload", "zipf"));
+    config.mix.numKeys = args.getUInt("keys", config.mix.numKeys);
+    config.mix.zipfTheta =
+        args.getDouble("zipf-theta", config.mix.zipfTheta);
+    config.mix.hotFraction =
+        args.getDouble("hot-frac", config.mix.hotFraction);
+    config.mix.hotProbability =
+        args.getDouble("hot-prob", config.mix.hotProbability);
+    config.mix.writeFraction =
+        args.getDouble("write-frac", config.mix.writeFraction);
+    config.validate();
+    return config;
+}
+
+void
+HarnessConfig::validate() const
+{
+    if (histBuckets == 0)
+        throw ConfigError("latency histogram needs at least one bucket");
+    if (histMaxNs <= 0.0)
+        throw ConfigError("latency histogram upper edge must be > 0");
+    if (targetQps < 0.0)
+        throw ConfigError("target QPS must be non-negative");
+}
 
 TextTable
 HarnessResult::summaryTable(const std::string &title) const
@@ -168,12 +211,7 @@ HarnessResult::exportMetrics(MetricRegistry &registry) const
 HarnessResult
 runLoad(CacheService &service, const HarnessConfig &config)
 {
-    if (config.histBuckets == 0)
-        throw ConfigError("latency histogram needs at least one bucket");
-    if (config.histMaxNs <= 0.0)
-        throw ConfigError("latency histogram upper edge must be > 0");
-    if (config.targetQps < 0.0)
-        throw ConfigError("target QPS must be non-negative");
+    config.validate();
 
     const unsigned workers =
         config.workers ? config.workers : ThreadPool::defaultThreads();
@@ -229,9 +267,10 @@ runLoad(CacheService &service, const HarnessConfig &config)
             }
             const auto t0 = std::chrono::steady_clock::now();
             const ServeOpResult result =
-                op.write
-                    ? service.put(op.key, payloadOf(config.seed, op.key))
-                    : service.get(op.key);
+                op.write ? service.put(op.key,
+                                       harnessPayload(config.seed,
+                                                      op.key))
+                         : service.get(op.key);
             const double real_ns =
                 std::chrono::duration<double, std::nano>(
                     std::chrono::steady_clock::now() - t0)

@@ -37,6 +37,7 @@
 
 namespace csr
 {
+class CliArgs;
 class MetricRegistry;
 }
 
@@ -64,7 +65,24 @@ struct HarnessConfig
     /** Shape of the latency histograms. */
     double histMaxNs = 131072.0;
     std::size_t histBuckets = 1024;
+
+    /**
+     * Read --ops --workers --qps --affinity --spin plus the
+     * workload-mix flags (--workload --keys --zipf-theta --hot-frac
+     * --hot-prob --write-frac --seed) out of @p args; the result is
+     * validate()d.  @throws ConfigError listing accepted values.
+     */
+    static HarnessConfig fromArgs(const CliArgs &args);
+
+    /** @throws ConfigError on invalid pacing/histogram parameters. */
+    void validate() const;
 };
+
+/** The deterministic payload a write op carries for @p key: a pure
+ *  function of (seed, key), shared by the in-process workers and the
+ *  network client so a wire run's server-side state is comparable to
+ *  an in-process run's. */
+std::uint64_t harnessPayload(std::uint64_t seed, Addr key);
 
 /** Everything one harness run produced. */
 struct HarnessResult

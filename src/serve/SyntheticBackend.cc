@@ -4,6 +4,7 @@
 #include <string>
 
 #include "robust/Errors.h"
+#include "util/CliArgs.h"
 #include "util/Random.h"
 
 namespace csr::serve
@@ -21,24 +22,45 @@ unitOf(std::uint64_t h)
 
 } // namespace
 
-SyntheticBackend::SyntheticBackend(const SyntheticBackendConfig &config)
-    : config_(config)
+SyntheticBackendConfig
+SyntheticBackendConfig::fromArgs(const CliArgs &args)
 {
-    if (config_.slowFraction < 0.0 || config_.slowFraction > 1.0)
+    SyntheticBackendConfig config;
+    config.seed = args.seed(1);
+    config.fastNs = args.getDouble("fast-ns", config.fastNs);
+    config.slowNs = args.getDouble("slow-ns", config.slowNs);
+    config.slowFraction =
+        args.getDouble("slow-frac", config.slowFraction);
+    config.jitterFraction =
+        args.getDouble("jitter", config.jitterFraction);
+    config.spin = args.has("spin");
+    config.validate();
+    return config;
+}
+
+void
+SyntheticBackendConfig::validate() const
+{
+    if (slowFraction < 0.0 || slowFraction > 1.0)
         throw ConfigError("backend slow fraction must be in [0,1], got " +
-                          std::to_string(config_.slowFraction));
-    if (config_.jitterFraction < 0.0 || config_.jitterFraction >= 1.0)
+                          std::to_string(slowFraction));
+    if (jitterFraction < 0.0 || jitterFraction >= 1.0)
         throw ConfigError("backend jitter fraction must be in [0,1), "
                           "got " +
-                          std::to_string(config_.jitterFraction));
-    if (config_.fastNs <= 0.0 || config_.slowNs < config_.fastNs)
+                          std::to_string(jitterFraction));
+    if (fastNs <= 0.0 || slowNs < fastNs)
         throw ConfigError(
             "backend latencies must satisfy 0 < fast <= slow, got "
             "fast=" +
-            std::to_string(config_.fastNs) +
-            " slow=" + std::to_string(config_.slowNs));
-    if (config_.storeMultiplier <= 0.0)
+            std::to_string(fastNs) + " slow=" + std::to_string(slowNs));
+    if (storeMultiplier <= 0.0)
         throw ConfigError("backend store multiplier must be positive");
+}
+
+SyntheticBackend::SyntheticBackend(const SyntheticBackendConfig &config)
+    : config_(config)
+{
+    config_.validate();
 }
 
 bool
@@ -94,6 +116,16 @@ SyntheticBackend::fetch(Addr key, std::uint64_t salt)
     result.latencyNs = latencyNs(key, salt, 1.0);
     maybeSpin(result.latencyNs);
     return result;
+}
+
+void
+SyntheticBackend::fetchAsync(Addr key, std::uint64_t salt,
+                             FetchCallback done)
+{
+    // Deterministic by construction: the same (seed, key, salt) pure
+    // function as fetch(), completed inline.  No thread hop means the
+    // async path cannot reorder against the sync one.
+    done(fetch(key, salt), nullptr);
 }
 
 BackendResult

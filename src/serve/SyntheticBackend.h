@@ -24,6 +24,11 @@
 
 #include "serve/Backend.h"
 
+namespace csr
+{
+class CliArgs;
+}
+
 namespace csr::serve
 {
 
@@ -37,6 +42,13 @@ struct SyntheticBackendConfig
     double jitterFraction = 0.1; ///< +- uniform jitter per access
     double storeMultiplier = 1.0; ///< store latency over fetch latency
     bool spin = false;           ///< busy-wait the simulated latency
+
+    /** Read --fast-ns --slow-ns --slow-frac --jitter --spin --seed
+     *  out of @p args and validate() the result. */
+    static SyntheticBackendConfig fromArgs(const CliArgs &args);
+
+    /** @throws ConfigError on out-of-range fractions/latencies. */
+    void validate() const;
 };
 
 class SyntheticBackend : public Backend
@@ -46,6 +58,12 @@ class SyntheticBackend : public Backend
     explicit SyntheticBackend(const SyntheticBackendConfig &config);
 
     BackendResult fetch(Addr key, std::uint64_t salt) override;
+    /** Completes inline on the calling thread with exactly the bytes
+     *  and latency fetch() would return -- the pure-function
+     *  discipline extends to the async surface, so a networked run's
+     *  cost signal is comparable to an in-process one. */
+    void fetchAsync(Addr key, std::uint64_t salt,
+                    FetchCallback done) override;
     BackendResult store(Addr key, std::uint64_t value,
                         std::uint64_t salt) override;
     std::string describe() const override;

@@ -1,0 +1,150 @@
+#include "serve/net/EventLoop.h"
+
+#include <array>
+#include <cerrno>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include "robust/Errors.h"
+#include "serve/net/NetCommon.h"
+
+namespace csr::serve::net
+{
+
+EventLoop::EventLoop()
+{
+    epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epollFd_ < 0)
+        throw NetError("epoll_create1 failed: " + errnoText(errno));
+    wakeFd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wakeFd_ < 0) {
+        const int err = errno;
+        ::close(epollFd_);
+        epollFd_ = -1;
+        throw NetError("eventfd failed: " + errnoText(err));
+    }
+    add(wakeFd_, EPOLLIN, [this](std::uint32_t) {
+        std::uint64_t drained = 0;
+        while (::read(wakeFd_, &drained, sizeof(drained)) > 0) {
+            // Swallow every pending tick; posted closures are
+            // drained once per iteration regardless.
+        }
+    });
+}
+
+EventLoop::~EventLoop()
+{
+    if (wakeFd_ >= 0)
+        ::close(wakeFd_);
+    if (epollFd_ >= 0)
+        ::close(epollFd_);
+}
+
+void
+EventLoop::add(int fd, std::uint32_t events, FdHandler handler)
+{
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) < 0)
+        throw NetError("epoll_ctl(ADD) failed: " + errnoText(errno));
+    handlers_[fd] =
+        std::make_shared<FdHandler>(std::move(handler));
+}
+
+void
+EventLoop::mod(int fd, std::uint32_t events)
+{
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epollFd_, EPOLL_CTL_MOD, fd, &ev) < 0)
+        throw NetError("epoll_ctl(MOD) failed: " + errnoText(errno));
+}
+
+void
+EventLoop::del(int fd)
+{
+    ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
+    handlers_.erase(fd);
+}
+
+void
+EventLoop::post(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(postMutex_);
+        posted_.push_back(std::move(fn));
+    }
+    wake();
+}
+
+void
+EventLoop::wake()
+{
+    const std::uint64_t one = 1;
+    // A full eventfd counter still wakes the loop; ignore EAGAIN.
+    [[maybe_unused]] const ssize_t n =
+        ::write(wakeFd_, &one, sizeof(one));
+}
+
+void
+EventLoop::drainPosted()
+{
+    std::vector<std::function<void()>> batch;
+    {
+        std::lock_guard<std::mutex> lock(postMutex_);
+        batch.swap(posted_);
+    }
+    for (auto &fn : batch)
+        fn();
+}
+
+bool
+EventLoop::inLoopThread() const
+{
+    return loopThread_.load(std::memory_order_acquire) ==
+           std::this_thread::get_id();
+}
+
+void
+EventLoop::run()
+{
+    loopThread_.store(std::this_thread::get_id(),
+                      std::memory_order_release);
+    std::array<epoll_event, 64> events;
+    while (!stop_.load(std::memory_order_acquire)) {
+        const int n = ::epoll_wait(epollFd_, events.data(),
+                                   static_cast<int>(events.size()),
+                                   /*timeout_ms=*/200);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw NetError("epoll_wait failed: " + errnoText(errno));
+        }
+        for (int i = 0; i < n; ++i) {
+            // Look the handler up per event: an earlier handler in
+            // this batch may have del()ed this fd.
+            const auto it = handlers_.find(events[i].data.fd);
+            if (it == handlers_.end())
+                continue;
+            const std::shared_ptr<FdHandler> handler = it->second;
+            (*handler)(events[i].events);
+        }
+        drainPosted();
+    }
+    // Final drain so a completion posted concurrently with stop()
+    // is not silently dropped (its connection may own resources).
+    drainPosted();
+    loopThread_.store(std::thread::id(), std::memory_order_release);
+}
+
+void
+EventLoop::stop()
+{
+    stop_.store(true, std::memory_order_release);
+    wake();
+}
+
+} // namespace csr::serve::net

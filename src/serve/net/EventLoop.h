@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A single-threaded epoll event loop (DESIGN.md section 3.7).
+ *
+ * One EventLoop == one worker thread == one epoll instance.  File
+ * descriptors are registered with a callback that receives the ready
+ * event mask; all callbacks run on the loop thread, so per-connection
+ * state needs no locking.  The one cross-thread entry point is
+ * post(): any thread may hand the loop a closure, which an eventfd
+ * wakeup delivers to the loop thread's next iteration.  That is how
+ * an asynchronous backend completion -- which may fire on an
+ * arbitrary thread -- re-enters the connection that is waiting for
+ * it without a single shared-state lock on the hot path.
+ *
+ * Handlers are held by shared_ptr during dispatch and looked up
+ * fresh per event, so a handler may del() its own fd (closing a
+ * connection from inside its read callback) while later events for
+ * that fd are still queued in the same epoll_wait batch: the lookup
+ * simply misses and the stale event is dropped.
+ */
+
+#ifndef CSR_SERVE_NET_EVENTLOOP_H
+#define CSR_SERVE_NET_EVENTLOOP_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace csr::serve::net
+{
+
+class EventLoop
+{
+  public:
+    using FdHandler = std::function<void(std::uint32_t events)>;
+
+    /** @throws NetError when epoll/eventfd creation fails. */
+    EventLoop();
+    ~EventLoop();
+
+    EventLoop(const EventLoop &) = delete;
+    EventLoop &operator=(const EventLoop &) = delete;
+
+    /** Register @p fd for @p events (EPOLLIN etc).  Loop thread
+     *  only (or before run()).  @throws NetError. */
+    void add(int fd, std::uint32_t events, FdHandler handler);
+
+    /** Change @p fd's interest mask.  Loop thread only. */
+    void mod(int fd, std::uint32_t events);
+
+    /** Deregister @p fd (does not close it).  Loop thread only. */
+    void del(int fd);
+
+    /** Run @p fn on the loop thread at the next iteration.  Safe
+     *  from any thread, including the loop thread itself (the
+     *  closure still runs later, never reentrantly).  Closures
+     *  posted after stop() run during the loop's final drain. */
+    void post(std::function<void()> fn);
+
+    /** Dispatch until stop().  Call from the owning thread. */
+    void run();
+
+    /** Ask run() to return (thread-safe, idempotent).  Pending
+     *  posted closures are drained before it does. */
+    void stop();
+
+    /** True when called from inside run() on the loop thread. */
+    bool inLoopThread() const;
+
+  private:
+    void wake();
+    void drainPosted();
+
+    int epollFd_ = -1;
+    int wakeFd_ = -1;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::thread::id> loopThread_{};
+    std::mutex postMutex_;
+    std::vector<std::function<void()>> posted_;
+    std::unordered_map<int, std::shared_ptr<FdHandler>> handlers_;
+};
+
+} // namespace csr::serve::net
+
+#endif // CSR_SERVE_NET_EVENTLOOP_H

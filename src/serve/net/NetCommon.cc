@@ -1,0 +1,72 @@
+#include "serve/net/NetCommon.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "robust/Errors.h"
+
+namespace csr::serve::net
+{
+
+void
+ScopedFd::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+std::string
+errnoText(int err)
+{
+    return "errno " + std::to_string(err) + " (" +
+           std::strerror(err) + ")";
+}
+
+std::pair<std::string, std::uint16_t>
+parseHostPort(const std::string &spec)
+{
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos)
+        throw ConfigError("bad address '" + spec +
+                          "' (expected HOST:PORT or :PORT)");
+    std::string host = spec.substr(0, colon);
+    if (host.empty())
+        host = "127.0.0.1";
+    const std::string port_text = spec.substr(colon + 1);
+    if (port_text.empty() ||
+        port_text.find_first_not_of("0123456789") != std::string::npos)
+        throw ConfigError("bad port '" + port_text + "' in '" + spec +
+                          "' (expected 0-65535; 0 = ephemeral)");
+    unsigned long port = 0;
+    try {
+        port = std::stoul(port_text);
+    } catch (const std::exception &) {
+        port = 65536; // force the range error below
+    }
+    if (port > 65535)
+        throw ConfigError("port " + port_text +
+                          " out of range (0-65535)");
+    in_addr probe{};
+    if (inet_pton(AF_INET, host.c_str(), &probe) != 1)
+        throw ConfigError("bad host '" + host + "' in '" + spec +
+                          "' (expected an IPv4 dotted quad, e.g. "
+                          "127.0.0.1)");
+    return {host, static_cast<std::uint16_t>(port)};
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 ||
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        throw NetError("fcntl(O_NONBLOCK) failed: " +
+                       errnoText(errno));
+}
+
+} // namespace csr::serve::net

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Small shared pieces of the csr::serve::net layer: an owning file
+ * descriptor, errno formatting, and the "host:port" listen-spec
+ * grammar shared by --listen and --connect.
+ */
+
+#ifndef CSR_SERVE_NET_NETCOMMON_H
+#define CSR_SERVE_NET_NETCOMMON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace csr::serve::net
+{
+
+/** RAII file descriptor (close on destruction, move-only). */
+class ScopedFd
+{
+  public:
+    ScopedFd() = default;
+    explicit ScopedFd(int fd) : fd_(fd) {}
+    ~ScopedFd() { reset(); }
+
+    ScopedFd(ScopedFd &&other) noexcept : fd_(other.release()) {}
+
+    ScopedFd &
+    operator=(ScopedFd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.release();
+        }
+        return *this;
+    }
+
+    ScopedFd(const ScopedFd &) = delete;
+    ScopedFd &operator=(const ScopedFd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    int
+    release()
+    {
+        return std::exchange(fd_, -1);
+    }
+
+    /** Close now (idempotent). */
+    void reset();
+
+  private:
+    int fd_ = -1;
+};
+
+/** "errno 111 (Connection refused)" for error messages. */
+std::string errnoText(int err);
+
+/**
+ * Parse "host:port" or ":port" (host defaults to 127.0.0.1).  The
+ * host must be an IPv4 dotted quad -- name resolution is out of
+ * scope for a loopback-first tool.  @throws ConfigError naming the
+ * accepted grammar.
+ */
+std::pair<std::string, std::uint16_t>
+parseHostPort(const std::string &spec);
+
+/** Set O_NONBLOCK on @p fd.  @throws NetError. */
+void setNonBlocking(int fd);
+
+} // namespace csr::serve::net
+
+#endif // CSR_SERVE_NET_NETCOMMON_H

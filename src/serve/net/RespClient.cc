@@ -1,0 +1,173 @@
+#include "serve/net/RespClient.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "robust/Errors.h"
+
+namespace csr::serve::net
+{
+
+RespClient::RespClient(const std::string &host, std::uint16_t port,
+                       double timeout_sec)
+{
+    fd_ = ScopedFd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd_.valid())
+        throw NetError("socket() failed: " + errnoText(errno));
+
+    if (timeout_sec > 0.0) {
+        timeval tv{};
+        tv.tv_sec = static_cast<time_t>(timeout_sec);
+        tv.tv_usec = static_cast<suseconds_t>(
+            (timeout_sec - std::floor(timeout_sec)) * 1e6);
+        ::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv,
+                     sizeof(tv));
+        ::setsockopt(fd_.get(), SOL_SOCKET, SO_SNDTIMEO, &tv,
+                     sizeof(tv));
+    }
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        throw ConfigError("bad host '" + host +
+                          "' (expected an IPv4 dotted quad)");
+    if (::connect(fd_.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0)
+        throw NetError("connect(" + host + ":" +
+                       std::to_string(port) +
+                       ") failed: " + errnoText(errno));
+    const int one = 1;
+    ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                 sizeof(one));
+}
+
+void
+RespClient::send(const std::vector<std::string> &argv)
+{
+    sendBuf_ += '*';
+    sendBuf_ += std::to_string(argv.size());
+    sendBuf_ += "\r\n";
+    for (const std::string &arg : argv) {
+        sendBuf_ += '$';
+        sendBuf_ += std::to_string(arg.size());
+        sendBuf_ += "\r\n";
+        sendBuf_ += arg;
+        sendBuf_ += "\r\n";
+    }
+}
+
+void
+RespClient::flush()
+{
+    std::size_t at = 0;
+    while (at < sendBuf_.size()) {
+        const ssize_t n =
+            ::send(fd_.get(), sendBuf_.data() + at,
+                   sendBuf_.size() - at, MSG_NOSIGNAL);
+        if (n > 0) {
+            at += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            throw TimeoutError("send timed out with " +
+                               std::to_string(sendBuf_.size() - at) +
+                               " bytes unsent");
+        throw NetError("send failed: " + errnoText(errno));
+    }
+    sendBuf_.clear();
+}
+
+void
+RespClient::fillBuffer()
+{
+    if (pos_ > 0 && pos_ == buffer_.size()) {
+        buffer_.clear();
+        pos_ = 0;
+    }
+    char chunk[16 * 1024];
+    while (true) {
+        const ssize_t n =
+            ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+            return;
+        }
+        if (n == 0)
+            throw NetError("server closed the connection");
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            throw TimeoutError(
+                "timed out waiting for a server reply");
+        throw NetError("recv failed: " + errnoText(errno));
+    }
+}
+
+std::string
+RespClient::readLine()
+{
+    while (true) {
+        const std::size_t at = buffer_.find("\r\n", pos_);
+        if (at != std::string::npos) {
+            std::string out = buffer_.substr(pos_, at - pos_);
+            pos_ = at + 2;
+            return out;
+        }
+        fillBuffer();
+    }
+}
+
+RespClient::Reply
+RespClient::readReply()
+{
+    const std::string head = readLine();
+    if (head.empty())
+        throw NetError("empty reply line");
+    Reply reply;
+    reply.type = head[0];
+    const std::string rest = head.substr(1);
+    switch (reply.type) {
+      case '+':
+      case '-':
+        reply.text = rest;
+        return reply;
+      case ':':
+        reply.integer = std::strtoll(rest.c_str(), nullptr, 10);
+        return reply;
+      case '$': {
+        const long long len = std::strtoll(rest.c_str(), nullptr, 10);
+        if (len < 0) {
+            reply.isNull = true;
+            return reply;
+        }
+        const std::size_t need = static_cast<std::size_t>(len) + 2;
+        while (buffer_.size() - pos_ < need)
+            fillBuffer();
+        reply.text = buffer_.substr(pos_, static_cast<std::size_t>(len));
+        pos_ += need;
+        return reply;
+      }
+      default:
+        throw NetError("unsupported reply type '" +
+                       std::string(1, reply.type) + "'");
+    }
+}
+
+RespClient::Reply
+RespClient::roundTrip(const std::vector<std::string> &argv)
+{
+    send(argv);
+    flush();
+    return readReply();
+}
+
+} // namespace csr::serve::net

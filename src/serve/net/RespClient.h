@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A small blocking RESP client: what the load harness's --connect
+ * mode and the loopback tests speak to a NetServer with.
+ *
+ * Deliberately synchronous -- the *client* side of the harness wants
+ * bounded, explicit pipelining (send W requests, then read W
+ * replies), not another event loop.  send() only buffers; flush()
+ * writes; readReply() blocks (bounded by the socket timeout) for one
+ * complete reply.  The reply decoder accepts exactly what NetServer
+ * emits: simple strings, errors, integers and bulk strings.
+ */
+
+#ifndef CSR_SERVE_NET_RESPCLIENT_H
+#define CSR_SERVE_NET_RESPCLIENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/net/NetCommon.h"
+
+namespace csr::serve::net
+{
+
+class RespClient
+{
+  public:
+    /** One decoded server reply. */
+    struct Reply
+    {
+        char type = '\0'; ///< '+', '-', ':' or '$'
+        std::string text; ///< payload ('-' includes the message)
+        std::int64_t integer = 0; ///< valid when type == ':'
+        bool isNull = false;      ///< $-1
+
+        bool isError() const { return type == '-'; }
+    };
+
+    /**
+     * Connect to @p host:@p port.  @p timeout_sec bounds connect and
+     * every subsequent read (TimeoutError on expiry); 0 = no bound.
+     * @throws NetError when the peer refuses.
+     */
+    RespClient(const std::string &host, std::uint16_t port,
+               double timeout_sec = 30.0);
+    ~RespClient() = default;
+
+    RespClient(const RespClient &) = delete;
+    RespClient &operator=(const RespClient &) = delete;
+
+    /** Encode @p argv as a multibulk command into the send buffer. */
+    void send(const std::vector<std::string> &argv);
+
+    /** Write the whole send buffer.  @throws NetError. */
+    void flush();
+
+    /** Block for the next reply.  @throws TimeoutError / NetError
+     *  (a malformed or array reply is a NetError). */
+    Reply readReply();
+
+    /** send + flush + readReply, for unpipelined use. */
+    Reply roundTrip(const std::vector<std::string> &argv);
+
+  private:
+    /** Pull more bytes off the socket into buffer_. */
+    void fillBuffer();
+
+    /** Blocking: return one full CRLF-terminated line sans CRLF. */
+    std::string readLine();
+
+    ScopedFd fd_;
+    std::string sendBuf_;
+    std::string buffer_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace csr::serve::net
+
+#endif // CSR_SERVE_NET_RESPCLIENT_H

@@ -1,0 +1,169 @@
+#include "serve/net/RespParser.h"
+
+#include <cstdint>
+
+namespace csr::serve::net
+{
+
+RespParser::RespParser(const RespLimits &limits) : limits_(limits) {}
+
+void
+RespParser::feed(const char *data, std::size_t n)
+{
+    if (broken_)
+        return; // latched: the connection is already condemned
+    // Compact before growing: everything before pos_ is decoded
+    // commands' bytes, dead weight a pipelining client would
+    // otherwise accumulate forever.
+    if (pos_ > 0 && (pos_ == buffer_.size() || pos_ >= 4096)) {
+        buffer_.erase(0, pos_);
+        pos_ = 0;
+    }
+    buffer_.append(data, n);
+}
+
+std::size_t
+RespParser::findCrlf(std::size_t from) const
+{
+    const std::size_t at = buffer_.find("\r\n", from);
+    return at;
+}
+
+bool
+RespParser::parseLength(std::size_t from, std::size_t end,
+                        std::uint64_t &value) const
+{
+    if (from >= end)
+        return false;
+    std::uint64_t v = 0;
+    for (std::size_t i = from; i < end; ++i) {
+        const char c = buffer_[i];
+        if (c < '0' || c > '9')
+            return false;
+        if (v > (UINT64_MAX - 9) / 10)
+            return false; // would overflow; reject rather than wrap
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    value = v;
+    return true;
+}
+
+RespParseStatus
+RespParser::fail(const std::string &why)
+{
+    broken_ = true;
+    error_ = why;
+    return RespParseStatus::ProtocolError;
+}
+
+RespParseStatus
+RespParser::next(RespCommand &out)
+{
+    if (broken_)
+        return RespParseStatus::ProtocolError;
+    // Inline empty lines (bare CRLF) are ignored, so loop past them.
+    while (true) {
+        if (pos_ >= buffer_.size())
+            return RespParseStatus::NeedMore;
+        if (buffer_[pos_] == '*')
+            return nextMultibulk(out);
+        const RespParseStatus status = nextInline(out);
+        if (status != RespParseStatus::Command || !out.argv.empty())
+            return status;
+        // Blank inline line: consumed; try again for a real command.
+    }
+}
+
+RespParseStatus
+RespParser::nextMultibulk(RespCommand &out)
+{
+    std::size_t cursor = pos_; // committed to pos_ only on success
+    const std::size_t header_end = findCrlf(cursor + 1);
+    if (header_end == std::string::npos) {
+        if (buffer_.size() - cursor > limits_.maxInlineBytes)
+            return fail("multibulk header exceeds " +
+                        std::to_string(limits_.maxInlineBytes) +
+                        " bytes without CRLF");
+        return RespParseStatus::NeedMore;
+    }
+    std::uint64_t count = 0;
+    if (!parseLength(cursor + 1, header_end, count))
+        return fail("invalid multibulk length '" +
+                    buffer_.substr(cursor + 1,
+                                   header_end - cursor - 1) +
+                    "'");
+    if (count == 0 || count > limits_.maxArrayElements)
+        return fail("multibulk of " + std::to_string(count) +
+                    " elements outside [1, " +
+                    std::to_string(limits_.maxArrayElements) + "]");
+    cursor = header_end + 2;
+
+    std::vector<std::string> argv;
+    argv.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (cursor >= buffer_.size())
+            return RespParseStatus::NeedMore;
+        if (buffer_[cursor] != '$')
+            return fail(std::string("expected '$' bulk header, got '") +
+                        buffer_[cursor] + "'");
+        const std::size_t len_end = findCrlf(cursor + 1);
+        if (len_end == std::string::npos) {
+            if (buffer_.size() - cursor > 32)
+                return fail("bulk length header without CRLF");
+            return RespParseStatus::NeedMore;
+        }
+        std::uint64_t len = 0;
+        if (!parseLength(cursor + 1, len_end, len))
+            return fail("invalid bulk length '" +
+                        buffer_.substr(cursor + 1,
+                                       len_end - cursor - 1) +
+                        "'");
+        if (len > limits_.maxBulkBytes)
+            return fail("bulk of " + std::to_string(len) +
+                        " bytes exceeds limit " +
+                        std::to_string(limits_.maxBulkBytes));
+        const std::size_t payload = len_end + 2;
+        if (payload + len + 2 > buffer_.size())
+            return RespParseStatus::NeedMore;
+        if (buffer_[payload + len] != '\r' ||
+            buffer_[payload + len + 1] != '\n')
+            return fail("bulk payload not terminated by CRLF");
+        argv.emplace_back(buffer_, payload, len);
+        cursor = payload + len + 2;
+    }
+    out.argv = std::move(argv);
+    pos_ = cursor;
+    return RespParseStatus::Command;
+}
+
+RespParseStatus
+RespParser::nextInline(RespCommand &out)
+{
+    const std::size_t line_end = findCrlf(pos_);
+    if (line_end == std::string::npos) {
+        if (buffer_.size() - pos_ > limits_.maxInlineBytes)
+            return fail("inline command exceeds " +
+                        std::to_string(limits_.maxInlineBytes) +
+                        " bytes without CRLF");
+        return RespParseStatus::NeedMore;
+    }
+    if (line_end - pos_ > limits_.maxInlineBytes)
+        return fail("inline command exceeds " +
+                    std::to_string(limits_.maxInlineBytes) + " bytes");
+    out.argv.clear();
+    std::size_t i = pos_;
+    while (i < line_end) {
+        while (i < line_end &&
+               (buffer_[i] == ' ' || buffer_[i] == '\t'))
+            ++i;
+        std::size_t start = i;
+        while (i < line_end && buffer_[i] != ' ' && buffer_[i] != '\t')
+            ++i;
+        if (i > start)
+            out.argv.emplace_back(buffer_, start, i - start);
+    }
+    pos_ = line_end + 2;
+    return RespParseStatus::Command;
+}
+
+} // namespace csr::serve::net

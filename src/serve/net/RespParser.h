@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Incremental RESP2-subset request parser (DESIGN.md section 3.7).
+ *
+ * Decodes the client->server half of the Redis serialization
+ * protocol: multibulk commands (`*N\r\n` then N bulk strings
+ * `$len\r\n<bytes>\r\n`) plus the space-separated inline form a
+ * human types into `nc`.  The parser is push-based and incremental:
+ * feed() it whatever bytes arrived, then drain complete commands
+ * with next().  A command split across any number of reads costs
+ * nothing extra -- partial input is simply left buffered until the
+ * rest shows up -- and pipelined input yields one command per
+ * next() call with no copying between commands.
+ *
+ * All input is untrusted, so every length field is bounded by
+ * RespLimits before a single payload byte is believed: an oversized
+ * bulk or array is a protocol error at header-parse time, not an
+ * allocation.  After the first protocol error the parser latches --
+ * the server's contract is "reply -ERR, then close", and parsing
+ * past garbage would only manufacture confused commands.
+ */
+
+#ifndef CSR_SERVE_NET_RESPPARSER_H
+#define CSR_SERVE_NET_RESPPARSER_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace csr::serve::net
+{
+
+/** Bounds on untrusted wire input, per connection. */
+struct RespLimits
+{
+    /** Longest accepted bulk-string payload (keys and values here
+     *  are short; 512 KiB matches redis's inline default). */
+    std::size_t maxBulkBytes = 512 * 1024;
+    /** Most elements in one multibulk command. */
+    std::size_t maxArrayElements = 64;
+    /** Longest accepted inline command line (including CRLF). */
+    std::size_t maxInlineBytes = 4096;
+};
+
+/** One decoded request; argv[0] is the verb as sent. */
+struct RespCommand
+{
+    std::vector<std::string> argv;
+};
+
+enum class RespParseStatus
+{
+    Command,       ///< out holds one complete command
+    NeedMore,      ///< no complete command buffered; feed() more
+    ProtocolError, ///< malformed input; error() says how; latched
+};
+
+class RespParser
+{
+  public:
+    explicit RespParser(const RespLimits &limits = {});
+
+    /** Append @p n raw bytes from the socket. */
+    void feed(const char *data, std::size_t n);
+
+    /**
+     * Try to decode the next complete command into @p out.  Consumes
+     * input only on Command (so a half-received frame is re-examined
+     * from its start on the next call -- cheap, the buffer is
+     * contiguous).  Once ProtocolError is returned every later call
+     * returns ProtocolError too.
+     */
+    RespParseStatus next(RespCommand &out);
+
+    /** Human-readable reason, valid after ProtocolError. */
+    const std::string &error() const { return error_; }
+
+    /** Bytes fed but not yet consumed by decoded commands. */
+    std::size_t buffered() const { return buffer_.size() - pos_; }
+
+  private:
+    RespParseStatus fail(const std::string &why);
+    RespParseStatus nextMultibulk(RespCommand &out);
+    RespParseStatus nextInline(RespCommand &out);
+
+    /** Find CRLF at/after @p from; npos when not buffered yet. */
+    std::size_t findCrlf(std::size_t from) const;
+
+    /** Parse a non-negative decimal length at [@p from, @p end).
+     *  Returns false on any non-digit or empty field. */
+    bool parseLength(std::size_t from, std::size_t end,
+                     std::uint64_t &value) const;
+
+    RespLimits limits_;
+    std::string buffer_;
+    std::size_t pos_ = 0; ///< consumed prefix of buffer_
+    bool broken_ = false;
+    std::string error_;
+};
+
+} // namespace csr::serve::net
+
+#endif // CSR_SERVE_NET_RESPPARSER_H

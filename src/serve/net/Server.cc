@@ -1,0 +1,380 @@
+#include "serve/net/Server.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdio>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "robust/Errors.h"
+#include "telemetry/MetricRegistry.h"
+#include "telemetry/Telemetry.h"
+#include "util/CliArgs.h"
+#include "util/Logging.h"
+
+namespace csr::serve::net
+{
+
+namespace
+{
+
+/** Full-precision double, identical to the harness's JSON spelling,
+ *  so a client-side summary reproduces the server's numbers. */
+std::string
+numFull(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+line(std::string &out, const char *key, std::uint64_t v)
+{
+    out += key;
+    out += ':';
+    out += std::to_string(v);
+    out += '\n';
+}
+
+} // namespace
+
+NetServerConfig
+NetServerConfig::fromArgs(const CliArgs &args)
+{
+    NetServerConfig config;
+    const std::string listen = args.get("listen", "");
+    if (!listen.empty()) {
+        const auto [host, port] = parseHostPort(listen);
+        config.host = host;
+        config.port = port;
+    }
+    config.workers = static_cast<unsigned>(
+        args.getUInt("net-workers", config.workers));
+    config.validate();
+    return config;
+}
+
+void
+NetServerConfig::validate() const
+{
+    if (workers > 1024)
+        throw ConfigError("--net-workers " + std::to_string(workers) +
+                          " is absurd (accepted: 0 = one per "
+                          "hardware thread, or 1-1024)");
+    if (backlog <= 0)
+        throw ConfigError("listen backlog must be positive");
+    if (tuning.maxPendingOps == 0)
+        throw ConfigError(
+            "per-connection pending-op bound must be positive");
+    if (tuning.writeWatermark == 0)
+        throw ConfigError("write watermark must be positive");
+}
+
+NetServer::NetServer(CacheService &service,
+                     const NetServerConfig &config)
+    : service_(service), config_(config)
+{
+    config_.validate();
+    if (config_.workers == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        config_.workers = hw ? (hw > 64 ? 64u : hw) : 1u;
+    }
+}
+
+NetServer::~NetServer()
+{
+    stop();
+}
+
+ScopedFd
+NetServer::makeListener(std::uint16_t port)
+{
+    ScopedFd fd(::socket(AF_INET,
+                         SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                         0));
+    if (!fd.valid())
+        throw NetError("socket() failed: " + errnoText(errno));
+    const int one = 1;
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one)) < 0 ||
+        ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one,
+                     sizeof(one)) < 0)
+        throw NetError("setsockopt(SO_REUSEPORT) failed: " +
+                       errnoText(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) !=
+        1)
+        throw ConfigError("bad listen host '" + config_.host + "'");
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0)
+        throw NetError("bind(" + config_.host + ":" +
+                       std::to_string(port) +
+                       ") failed: " + errnoText(errno));
+    if (::listen(fd.get(), config_.backlog) < 0)
+        throw NetError("listen() failed: " + errnoText(errno));
+    return fd;
+}
+
+void
+NetServer::start()
+{
+    if (running_)
+        return;
+    workers_.clear();
+    workers_.reserve(config_.workers);
+
+    for (unsigned w = 0; w < config_.workers; ++w) {
+        auto worker = std::make_unique<Worker>();
+        // Worker 0 may bind port 0; everyone else binds whatever
+        // the kernel resolved it to, sharing via SO_REUSEPORT.
+        worker->listenFd = makeListener(w == 0 ? config_.port : port_);
+        if (w == 0) {
+            sockaddr_in bound{};
+            socklen_t len = sizeof(bound);
+            if (::getsockname(worker->listenFd.get(),
+                              reinterpret_cast<sockaddr *>(&bound),
+                              &len) < 0)
+                throw NetError("getsockname() failed: " +
+                               errnoText(errno));
+            port_ = ntohs(bound.sin_port);
+        }
+        Worker *raw = worker.get();
+        worker->loop.add(worker->listenFd.get(), EPOLLIN,
+                         [this, raw](std::uint32_t) {
+                             onAcceptable(*raw);
+                         });
+        workers_.push_back(std::move(worker));
+    }
+
+    for (auto &worker : workers_) {
+        Worker *raw = worker.get();
+        worker->thread = std::thread([raw] {
+            try {
+                raw->loop.run();
+            } catch (const std::exception &e) {
+                // A worker dying takes its connections with it but
+                // must not take the process: report and bow out.
+                warn("net worker failed: %s", e.what());
+            }
+        });
+    }
+    running_.store(true, std::memory_order_release);
+}
+
+void
+NetServer::onAcceptable(Worker &worker)
+{
+    while (true) {
+        const int fd =
+            ::accept4(worker.listenFd.get(), nullptr, nullptr,
+                      SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return;
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            warn("accept failed: %s", errnoText(errno).c_str());
+            return;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+        worker.stats.connectionsAccepted.fetch_add(
+            1, std::memory_order_relaxed);
+        CSR_TRACE_INSTANT_V("net", "conn.accept", fd);
+
+        ConnectionContext ctx{
+            worker.loop,
+            service_,
+            config_.tuning,
+            worker.stats,
+            [this] { return infoText(); },
+            [&worker](int closed_fd) { worker.conns.erase(closed_fd); },
+        };
+        auto conn = std::make_shared<Connection>(std::move(ctx), fd);
+        worker.conns.emplace(fd, conn);
+        conn->open();
+    }
+}
+
+void
+NetServer::stop()
+{
+    if (!running_.load(std::memory_order_acquire))
+        return;
+    for (auto &worker : workers_)
+        worker->loop.stop();
+    for (auto &worker : workers_)
+        if (worker->thread.joinable())
+            worker->thread.join();
+    // Loops are quiescent now; dropping the connection maps closes
+    // any sockets still open (Connection's destructor).
+    for (auto &worker : workers_)
+        worker->conns.clear();
+    running_.store(false, std::memory_order_release);
+}
+
+NetStats
+NetServer::stats() const
+{
+    NetStats total;
+    for (const auto &worker : workers_) {
+        const WorkerStats &s = worker->stats;
+        total.connectionsAccepted +=
+            s.connectionsAccepted.load(std::memory_order_relaxed);
+        total.connectionsClosed +=
+            s.connectionsClosed.load(std::memory_order_relaxed);
+        total.cmdGet += s.cmdGet.load(std::memory_order_relaxed);
+        total.cmdSet += s.cmdSet.load(std::memory_order_relaxed);
+        total.cmdDel += s.cmdDel.load(std::memory_order_relaxed);
+        total.cmdPing += s.cmdPing.load(std::memory_order_relaxed);
+        total.cmdInfo += s.cmdInfo.load(std::memory_order_relaxed);
+        total.errorReplies +=
+            s.errorReplies.load(std::memory_order_relaxed);
+        total.protocolErrors +=
+            s.protocolErrors.load(std::memory_order_relaxed);
+        total.bytesIn += s.bytesIn.load(std::memory_order_relaxed);
+        total.bytesOut += s.bytesOut.load(std::memory_order_relaxed);
+        total.backpressureStalls +=
+            s.backpressureStalls.load(std::memory_order_relaxed);
+        if (!running_.load(std::memory_order_acquire))
+            total.wireLatencyNs.merge(s.wireLatencyNs);
+    }
+    return total;
+}
+
+std::string
+NetServer::infoText() const
+{
+    const ServeTotals t = service_.totals();
+    const NetStats n = stats();
+    std::string out;
+    out.reserve(768);
+    out += "# serve\n";
+    out += "policy:" + service_.policyName() + "\n";
+    line(out, "shards", service_.numShards());
+    line(out, "stripes", service_.numStripes());
+    out += "hitpath:";
+    out += hitPathName(service_.config().hitPath);
+    out += '\n';
+    line(out, "gets", t.gets);
+    line(out, "hits", t.hits);
+    line(out, "misses", t.misses);
+    out += "hitRatio:" + numFull(t.hitRatio()) + "\n";
+    line(out, "stores", t.stores);
+    line(out, "storeHits", t.storeHits);
+    line(out, "evictions", t.evictions);
+    line(out, "trackedKeys", t.trackedKeys);
+    out += "missCostNs:" + numFull(t.missCostNs) + "\n";
+    out += "storeCostNs:" + numFull(t.storeCostNs) + "\n";
+    line(out, "seqlockHits", t.seqlockHits);
+    line(out, "seqlockRetries", t.seqlockRetries);
+    line(out, "lockedFallbacks", t.lockedFallbacks);
+    line(out, "logFullFallbacks", t.logFullFallbacks);
+    line(out, "backendFetches", t.backendFetches);
+    line(out, "coalescedMisses", t.coalescedMisses);
+    out += "# net\n";
+    line(out, "connectionsAccepted", n.connectionsAccepted);
+    line(out, "connectionsClosed", n.connectionsClosed);
+    line(out, "cmdGet", n.cmdGet);
+    line(out, "cmdSet", n.cmdSet);
+    line(out, "cmdDel", n.cmdDel);
+    line(out, "cmdPing", n.cmdPing);
+    line(out, "cmdInfo", n.cmdInfo);
+    line(out, "errorReplies", n.errorReplies);
+    line(out, "protocolErrors", n.protocolErrors);
+    line(out, "bytesIn", n.bytesIn);
+    line(out, "bytesOut", n.bytesOut);
+    line(out, "backpressureStalls", n.backpressureStalls);
+    return out;
+}
+
+void
+NetServer::exportMetrics(MetricRegistry &registry) const
+{
+    const NetStats n = stats();
+    registry.setCounter("net.connections.accepted",
+                        n.connectionsAccepted);
+    registry.setCounter("net.connections.closed",
+                        n.connectionsClosed);
+    registry.setCounter("net.cmd.get", n.cmdGet);
+    registry.setCounter("net.cmd.set", n.cmdSet);
+    registry.setCounter("net.cmd.del", n.cmdDel);
+    registry.setCounter("net.cmd.ping", n.cmdPing);
+    registry.setCounter("net.cmd.info", n.cmdInfo);
+    registry.setCounter("net.error_replies", n.errorReplies);
+    registry.setCounter("net.protocol_errors", n.protocolErrors);
+    registry.setCounter("net.bytes.in", n.bytesIn);
+    registry.setCounter("net.bytes.out", n.bytesOut);
+    registry.setCounter("net.backpressure_stalls",
+                        n.backpressureStalls);
+    registry.mergeHistogram("net.wire_latency_ns", n.wireLatencyNs);
+}
+
+ServeTotals
+parseInfoTotals(const std::string &info)
+{
+    ServeTotals t;
+    std::size_t at = 0;
+    bool in_serve = false;
+    while (at < info.size()) {
+        std::size_t end = info.find('\n', at);
+        if (end == std::string::npos)
+            end = info.size();
+        const std::string row = info.substr(at, end - at);
+        at = end + 1;
+        if (!row.empty() && row[0] == '#') {
+            in_serve = row == "# serve";
+            continue;
+        }
+        if (!in_serve)
+            continue;
+        const std::size_t colon = row.find(':');
+        if (colon == std::string::npos)
+            continue;
+        const std::string key = row.substr(0, colon);
+        const std::string value = row.substr(colon + 1);
+        const auto u64 = [&value]() -> std::uint64_t {
+            return std::strtoull(value.c_str(), nullptr, 10);
+        };
+        if (key == "gets")
+            t.gets = u64();
+        else if (key == "hits")
+            t.hits = u64();
+        else if (key == "misses")
+            t.misses = u64();
+        else if (key == "stores")
+            t.stores = u64();
+        else if (key == "storeHits")
+            t.storeHits = u64();
+        else if (key == "evictions")
+            t.evictions = u64();
+        else if (key == "trackedKeys")
+            t.trackedKeys = u64();
+        else if (key == "missCostNs")
+            t.missCostNs = std::strtod(value.c_str(), nullptr);
+        else if (key == "storeCostNs")
+            t.storeCostNs = std::strtod(value.c_str(), nullptr);
+        else if (key == "seqlockHits")
+            t.seqlockHits = u64();
+        else if (key == "seqlockRetries")
+            t.seqlockRetries = u64();
+        else if (key == "lockedFallbacks")
+            t.lockedFallbacks = u64();
+        else if (key == "logFullFallbacks")
+            t.logFullFallbacks = u64();
+        else if (key == "backendFetches")
+            t.backendFetches = u64();
+        else if (key == "coalescedMisses")
+            t.coalescedMisses = u64();
+    }
+    return t;
+}
+
+} // namespace csr::serve::net

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * csr::serve::net::NetServer -- the RESP front door of a
+ * CacheService (DESIGN.md section 3.7).
+ *
+ * N workers, each a thread running its own EventLoop, each with its
+ * OWN listening socket bound to the same address via SO_REUSEPORT:
+ * the kernel load-balances accepts across them, so there is no
+ * shared acceptor, no accept mutex, and no cross-worker handoff --
+ * a connection lives its whole life on the worker that accepted it.
+ * The only cross-thread traffic is an asynchronous backend
+ * completion posting itself back to its connection's loop.
+ *
+ * Commands map onto the service surface:
+ *
+ *   GET k    -> CacheService::getAsync  (read-through; never nil)
+ *   SET k v  -> CacheService::put       (write-through; v = uint64)
+ *   DEL k    -> CacheService::del       (:1 resident, :0 not)
+ *   PING     -> +PONG
+ *   INFO     -> bulk of "key:value" lines: ServeTotals + net stats
+ *
+ * The seqlock/striped hit path is untouched: the server is a caller
+ * of CacheService like any other, so every determinism and
+ * concurrency property of the in-process service carries over to
+ * the wire verbatim.
+ */
+
+#ifndef CSR_SERVE_NET_SERVER_H
+#define CSR_SERVE_NET_SERVER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/CacheService.h"
+#include "serve/net/Connection.h"
+#include "serve/net/NetCommon.h"
+
+namespace csr
+{
+class MetricRegistry;
+}
+
+namespace csr::serve::net
+{
+
+/** Listener + worker-pool parameters. */
+struct NetServerConfig
+{
+    std::string host = "127.0.0.1";
+    /** 0 = ephemeral (tests bind port 0, then read port()). */
+    std::uint16_t port = 0;
+    /** Event-loop threads; 0 = one per hardware thread. */
+    unsigned workers = 1;
+    int backlog = 128;
+    NetTuning tuning;
+
+    /**
+     * Read --listen HOST:PORT and --net-workers N out of @p args
+     * (absent --listen leaves host/port at their defaults -- the
+     * driver decides whether that means "no server").  The result
+     * is validate()d.  @throws ConfigError.
+     */
+    static NetServerConfig fromArgs(const CliArgs &args);
+
+    /** @throws ConfigError on a zero bound or absurd worker count. */
+    void validate() const;
+};
+
+/** Aggregated view of every worker's counters. */
+struct NetStats
+{
+    std::uint64_t connectionsAccepted = 0;
+    std::uint64_t connectionsClosed = 0;
+    std::uint64_t cmdGet = 0;
+    std::uint64_t cmdSet = 0;
+    std::uint64_t cmdDel = 0;
+    std::uint64_t cmdPing = 0;
+    std::uint64_t cmdInfo = 0;
+    std::uint64_t errorReplies = 0;
+    std::uint64_t protocolErrors = 0;
+    std::uint64_t bytesIn = 0;
+    std::uint64_t bytesOut = 0;
+    std::uint64_t backpressureStalls = 0;
+    /** Complete only after stop() (loop-thread-local until then). */
+    Histogram wireLatencyNs{0.0, 1.0e7, 512};
+};
+
+class NetServer
+{
+  public:
+    /** @p service must outlive the server.  Does not start. */
+    NetServer(CacheService &service, const NetServerConfig &config);
+    ~NetServer(); ///< stop()s if still running
+
+    NetServer(const NetServer &) = delete;
+    NetServer &operator=(const NetServer &) = delete;
+
+    /** Bind + listen + spawn the workers.  @throws NetError when the
+     *  address is taken, ConfigError on a bad config. */
+    void start();
+
+    /** Stop accepting, drain the loops, join the workers.  Open
+     *  connections are dropped (the protocol has no goodbye).
+     *  Idempotent. */
+    void stop();
+
+    /** Resolved listen port (after start(); useful with port 0). */
+    std::uint16_t port() const { return port_; }
+
+    bool
+    running() const
+    {
+        return running_.load(std::memory_order_acquire);
+    }
+
+    /** Counters are live; the latency histogram only after stop(). */
+    NetStats stats() const;
+
+    /** The INFO payload: "key:value" lines, "#"-prefixed section
+     *  headers, ServeTotals first and net counters second. */
+    std::string infoText() const;
+
+    /** Export net counters + wire latency under "net." (call after
+     *  stop() for a complete histogram). */
+    void exportMetrics(MetricRegistry &registry) const;
+
+  private:
+    struct Worker
+    {
+        EventLoop loop;
+        ScopedFd listenFd;
+        WorkerStats stats;
+        std::unordered_map<int, std::shared_ptr<Connection>> conns;
+        std::thread thread;
+    };
+
+    ScopedFd makeListener(std::uint16_t port);
+    void onAcceptable(Worker &worker);
+
+    CacheService &service_;
+    NetServerConfig config_;
+    std::uint16_t port_ = 0;
+    /** Atomic: INFO handlers on loop threads read it while start()
+     *  and stop() write it from the controlling thread. */
+    std::atomic<bool> running_{false};
+    std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+/**
+ * Parse an INFO payload's "# serve" section back into ServeTotals
+ * (the network client's side of the metrics loop: the harness prints
+ * the same summary table from a wire run as from an in-process one).
+ * Unknown lines are ignored; missing keys stay zero.
+ */
+ServeTotals parseInfoTotals(const std::string &info);
+
+} // namespace csr::serve::net
+
+#endif // CSR_SERVE_NET_SERVER_H

@@ -38,13 +38,17 @@ import math
 import os
 import sys
 
-# Leaves that are pure wall-clock noise on a shared runner.
+# Leaves that are pure wall-clock noise on a shared runner.  The
+# net-mode counters are deterministic for a fixed client stream
+# (per-verb counts, bytes), except backpressure stalls, which depend
+# on scheduling.
 SKIP_KEYS = {
     "wallSec", "qps", "iterations", "p50", "p90", "p99",
     "taskSecTotal", "jobs", "workers",
+    "net.backpressure_stalls",
 }
 # Path components whose whole subtree is wall-clock.
-SKIP_SUBTREES = {"timing"}
+SKIP_SUBTREES = {"timing", "net.wire_latency_ns"}
 # Machine-dependent throughput: compared after within-file
 # normalization, warned about in absolute terms.
 THROUGHPUT_KEYS = {"nsPerAccess", "accessesPerSec", "hitsPerSec"}

@@ -1,21 +1,38 @@
 /**
  * @file
- * csrserve -- load driver for the csr::serve online cache service.
+ * csrserve -- driver for the csr::serve online cache service, in
+ * three modes.
  *
- * Stands up a sharded CacheService over a synthetic
- * latency-distribution backend and replays a deterministic workload
- * against it from N closed-loop workers:
+ * In-process (default): stand up a sharded CacheService over a
+ * synthetic latency-distribution backend and replay a deterministic
+ * workload against it from N closed-loop workers:
  *
  *   csrserve --policy acl --shards 8 --workers 8 --ops 1000000 \
  *            [--workload zipf|hotspot|scan|uniform] [--keys N]
  *            [--zipf-theta F] [--hot-frac F] [--hot-prob F]
  *            [--write-frac F] [--qps N] [--seed N]
  *            [--shard-bytes N] [--assoc N] [--block-bytes N]
- *            [--ewma-alpha F]
+ *            [--ewma-alpha F] [--inflight-wait-ms F]
  *            [--slow-frac F] [--slow-ns N] [--fast-ns N] [--jitter F]
  *            [--spin] [--affinity shard|free] [--validate]
  *            [--hitpath locked|seqlock] [--stripes auto|N]
  *            [--json FILE] [--trace FILE] [--metrics FILE]
+ *
+ * Server (--listen HOST:PORT): same service, but fronted by the RESP
+ * protocol server (csr::serve::net) -- GET/SET/DEL/PING/INFO over N
+ * epoll worker threads -- until SIGINT/SIGTERM, then the summary:
+ *
+ *   csrserve --listen 127.0.0.1:7411 --net-workers 4 \
+ *            --policy acl --hitpath seqlock --stripes auto
+ *
+ * Client (--connect HOST:PORT): replay the same deterministic op
+ * stream over C RESP connections against a remote csrserve; the
+ * summary table is built from the server's INFO totals, so a wire
+ * run of a fresh server prints the same deterministic numbers as an
+ * in-process run with the same flags:
+ *
+ *   csrserve --connect 127.0.0.1:7411 --connections 4 \
+ *            --ops 200000 --seed 7 --shards 8 [--expect-fresh]
  *
  * Output contract, same as csrsim sweep's: the deterministic summary
  * (hits, misses, aggregate miss cost) goes to stdout and the
@@ -30,19 +47,25 @@
  * unaffected.
  *
  * Errors map to the usual exit codes (robust/Errors.h): 0 ok,
- * 2 ConfigError, 6 geometry, 7 invariant violation.
+ * 2 ConfigError, 6 geometry, 7 invariant, 9 timeout, 11 net.
  */
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "cache/PolicyFactory.h"
 #include "robust/Errors.h"
 #include "serve/CacheService.h"
 #include "serve/LoadHarness.h"
 #include "serve/SyntheticBackend.h"
+#include "serve/net/ClientLoad.h"
+#include "serve/net/Server.h"
 #include "telemetry/MetricRegistry.h"
 #include "telemetry/Tracer.h"
 #include "util/CliArgs.h"
@@ -71,78 +94,6 @@ ensureWritable(const std::string &path, const std::string &flag)
     std::fclose(f);
     if (!existed)
         std::remove(path.c_str());
-}
-
-ServeConfig
-serveConfigFromArgs(const CliArgs &args)
-{
-    ServeConfig config;
-    const std::string policy = args.get("policy", "acl");
-    if (auto kind = parsePolicyKind(policy))
-        config.policy = *kind;
-    else
-        throw ConfigError("unknown policy '" + policy + "' (valid: " +
-                          policyNamesJoined(" ") + ")");
-    config.shards =
-        static_cast<unsigned>(args.getUInt("shards", config.shards));
-    config.shardBytes = args.getUInt("shard-bytes", config.shardBytes);
-    config.assoc =
-        static_cast<std::uint32_t>(args.getUInt("assoc", config.assoc));
-    config.blockBytes = static_cast<std::uint32_t>(
-        args.getUInt("block-bytes", config.blockBytes));
-    config.ewmaAlpha = args.getDouble("ewma-alpha", config.ewmaAlpha);
-    config.policyParams.seed = args.seed(1);
-    config.hitPath = requireHitPath(args.get("hitpath", "locked"));
-    config.stripes = requireStripes(args.get("stripes", "auto"));
-    return config;
-}
-
-SyntheticBackendConfig
-backendConfigFromArgs(const CliArgs &args)
-{
-    SyntheticBackendConfig config;
-    config.seed = args.seed(1);
-    config.fastNs = args.getDouble("fast-ns", config.fastNs);
-    config.slowNs = args.getDouble("slow-ns", config.slowNs);
-    config.slowFraction =
-        args.getDouble("slow-frac", config.slowFraction);
-    config.jitterFraction =
-        args.getDouble("jitter", config.jitterFraction);
-    config.spin = args.has("spin");
-    return config;
-}
-
-HarnessConfig
-harnessConfigFromArgs(const CliArgs &args)
-{
-    HarnessConfig config;
-    config.ops = args.getUInt("ops", config.ops);
-    config.workers =
-        static_cast<unsigned>(args.getUInt("workers", 1));
-    config.targetQps = args.getDouble("qps", 0.0);
-    config.seed = args.seed(1);
-    config.backendIsReal = args.has("spin");
-
-    const std::string affinity = args.get("affinity", "shard");
-    if (affinity == "shard")
-        config.shardAffinity = true;
-    else if (affinity == "free")
-        config.shardAffinity = false;
-    else
-        throw ConfigError("unknown affinity '" + affinity +
-                          "' (valid: shard free)");
-
-    config.mix.dist = parseKeyDist(args.get("workload", "zipf"));
-    config.mix.numKeys = args.getUInt("keys", config.mix.numKeys);
-    config.mix.zipfTheta =
-        args.getDouble("zipf-theta", config.mix.zipfTheta);
-    config.mix.hotFraction =
-        args.getDouble("hot-frac", config.mix.hotFraction);
-    config.mix.hotProbability =
-        args.getDouble("hot-prob", config.mix.hotProbability);
-    config.mix.writeFraction =
-        args.getDouble("write-frac", config.mix.writeFraction);
-    return config;
 }
 
 /** RAII --trace recording session (csrsim's). */
@@ -189,6 +140,8 @@ usage()
            "            --hitpath locked|seqlock (lock-free read hits)\n"
            "            --stripes auto|N (pow2 locked sub-shards; 1 =\n"
            "              the single-mutex shard, byte for byte)\n"
+           "            --inflight-wait-ms F (coalesced-miss bound;\n"
+           "              0 = wait forever)\n"
            "  backend:  --fast-ns F --slow-ns F --slow-frac F\n"
            "            --jitter F --spin (burn latency for real)\n"
            "  load:     --ops N --workers N (0=hw) --qps N (0=unpaced)\n"
@@ -196,22 +149,157 @@ usage()
            "            --zipf-theta F --hot-frac F --hot-prob F\n"
            "            --write-frac F --seed N\n"
            "            --affinity shard|free (shard = deterministic)\n"
+           "  network:  --listen HOST:PORT (RESP server until SIGTERM;\n"
+           "              port 0 = ephemeral) --net-workers N (0=hw)\n"
+           "            --connect HOST:PORT (drive a remote server)\n"
+           "            --connections C --pipeline W --net-timeout S\n"
+           "            --expect-fresh (client: fail unless server\n"
+           "              totals == ops sent)\n"
            "  output:   --json FILE --trace FILE --metrics FILE\n"
            "            --validate (check invariants after the run)\n"
-           "  exit codes: 0 ok, 2 config, 6 geometry, 7 invariant\n";
+           "  exit codes: 0 ok, 2 config, 6 geometry, 7 invariant,\n"
+           "              9 timeout, 11 net\n";
 }
 
-int
-run(const CliArgs &args)
+/** Emit the post-run reports every mode shares: deterministic table
+ *  to stdout, timing to stderr, optional JSON and metrics files. */
+void
+report(const CliArgs &args, const HarnessResult &result,
+       const std::string &policy, const std::string &workload,
+       const std::string &title,
+       net::NetServer *server = nullptr)
 {
-    ensureWritable(args.jsonPath(), "json");
-    ensureWritable(args.tracePath(), "trace");
-    ensureWritable(args.metricsPath(), "metrics");
+    result.summaryTable(title).print(std::cout);
+    // Timing to stderr: stdout stays byte-diffable across --workers
+    // under shard affinity.
+    result.timingTable().print(std::cerr);
 
-    const ServeConfig serve_config = serveConfigFromArgs(args);
-    SyntheticBackend backend(backendConfigFromArgs(args));
+    if (!args.jsonPath().empty()) {
+        std::ofstream os(args.jsonPath());
+        result.writeJsonObject(os, policy, workload);
+        os << "\n";
+        inform("wrote JSON to %s", args.jsonPath().c_str());
+    }
+
+    if (!args.metricsPath().empty()) {
+        MetricRegistry registry;
+        result.exportMetrics(registry);
+        if (server)
+            server->exportMetrics(registry);
+        registry.writeJson(args.metricsPath());
+        inform("wrote metrics to %s", args.metricsPath().c_str());
+    }
+}
+
+std::atomic<bool> g_shutdown{false};
+
+void
+onSignal(int)
+{
+    g_shutdown.store(true);
+}
+
+/** --listen: serve RESP until SIGINT/SIGTERM, then summarize. */
+int
+runServer(const CliArgs &args)
+{
+    const ServeConfig serve_config = ServeConfig::fromArgs(args);
+    SyntheticBackend backend(SyntheticBackendConfig::fromArgs(args));
     CacheService service(serve_config, backend);
-    const HarnessConfig harness_config = harnessConfigFromArgs(args);
+
+    net::NetServerConfig net_config =
+        net::NetServerConfig::fromArgs(args);
+    net::NetServer server(service, net_config);
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    {
+        const TraceSession session(args.tracePath());
+        server.start();
+        // The resolved port on stdout so a script driving port 0 can
+        // scrape it; everything else to stderr.
+        std::cout << "listening " << net_config.host << ":"
+                  << server.port() << std::endl;
+        inform("csrserve: RESP server on %s:%u (%u workers), "
+               "SIGINT/SIGTERM to stop",
+               net_config.host.c_str(), server.port(),
+               net_config.workers ? net_config.workers : 0u);
+        while (!g_shutdown.load())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        server.stop();
+    }
+    if (args.has("validate"))
+        service.checkInvariants();
+
+    // The summary is the service's view: the same deterministic
+    // totals an in-process run of the same op stream prints.
+    HarnessResult result(HarnessConfig{}.histMaxNs,
+                         HarnessConfig{}.histBuckets);
+    result.totals = service.totals();
+    result.ops = result.totals.gets + result.totals.stores;
+    result.workers = net_config.workers;
+    const net::NetStats net_stats = server.stats();
+    report(args, result, service.policyName(), "wire",
+           "serve(net): " + service.policyName() + " / " +
+               backend.describe(),
+           &server);
+    std::cerr << "net: " << net_stats.connectionsAccepted
+              << " conns, " << net_stats.cmdGet << " GET, "
+              << net_stats.cmdSet << " SET, " << net_stats.cmdDel
+              << " DEL, " << net_stats.protocolErrors
+              << " protocol errors, " << net_stats.bytesIn
+              << " B in, " << net_stats.bytesOut << " B out\n";
+    return exitcode::kOk;
+}
+
+/** --connect: drive a remote server with the deterministic stream. */
+int
+runClient(const CliArgs &args)
+{
+    const net::ClientConfig config = net::ClientConfig::fromArgs(args);
+    net::ClientResult result(config.harness.histMaxNs,
+                             config.harness.histBuckets);
+    {
+        const TraceSession session(args.tracePath());
+        result = net::runClientLoad(config);
+    }
+
+    const std::string workload = config.harness.mix.describe();
+    report(args, result.harness, "remote", workload,
+           "serve(wire): " + config.host + ":" +
+               std::to_string(config.port) + " / " + workload);
+    std::cerr << "wire: sent " << result.sentGets << " GET + "
+              << result.sentSets << " SET over "
+              << config.connections << " connections; "
+              << result.errorReplies << " error replies, "
+              << result.typeMismatches << " type mismatches\n";
+
+    if (result.errorReplies || result.typeMismatches)
+        throw NetError(std::to_string(result.errorReplies) +
+                       " error replies and " +
+                       std::to_string(result.typeMismatches) +
+                       " type mismatches from the server");
+    if (args.has("expect-fresh") && !result.consistentWithServer())
+        throw InvariantError(
+            "server totals disagree with ops sent (gets " +
+            std::to_string(result.harness.totals.gets) + " vs " +
+            std::to_string(result.sentGets) + ", stores " +
+            std::to_string(result.harness.totals.stores) + " vs " +
+            std::to_string(result.sentSets) +
+            "): the server was not fresh or lost ops");
+    return exitcode::kOk;
+}
+
+/** Default: the in-process load harness. */
+int
+runInProcess(const CliArgs &args)
+{
+    const ServeConfig serve_config = ServeConfig::fromArgs(args);
+    SyntheticBackend backend(SyntheticBackendConfig::fromArgs(args));
+    CacheService service(serve_config, backend);
+    const HarnessConfig harness_config = HarnessConfig::fromArgs(args);
 
     HarnessResult result(harness_config.histMaxNs,
                          harness_config.histBuckets);
@@ -223,12 +311,19 @@ run(const CliArgs &args)
         service.checkInvariants();
 
     const std::string workload = harness_config.mix.describe();
+    // In-process metrics keep the service's export too (the server
+    // path exports through the NetServer instead).
+    if (!args.metricsPath().empty()) {
+        MetricRegistry registry;
+        service.exportMetrics(registry);
+        result.exportMetrics(registry);
+        registry.writeJson(args.metricsPath());
+        inform("wrote metrics to %s", args.metricsPath().c_str());
+    }
     result
         .summaryTable("serve: " + service.policyName() + " / " +
                       workload + " / " + backend.describe())
         .print(std::cout);
-    // Timing to stderr: stdout stays byte-diffable across --workers
-    // under shard affinity.
     result.timingTable().print(std::cerr);
 
     if (!args.jsonPath().empty()) {
@@ -237,15 +332,27 @@ run(const CliArgs &args)
         os << "\n";
         inform("wrote JSON to %s", args.jsonPath().c_str());
     }
-
-    if (!args.metricsPath().empty()) {
-        MetricRegistry registry;
-        service.exportMetrics(registry);
-        result.exportMetrics(registry);
-        registry.writeJson(args.metricsPath());
-        inform("wrote metrics to %s", args.metricsPath().c_str());
-    }
     return exitcode::kOk;
+}
+
+int
+run(const CliArgs &args)
+{
+    ensureWritable(args.jsonPath(), "json");
+    ensureWritable(args.tracePath(), "trace");
+    ensureWritable(args.metricsPath(), "metrics");
+
+    const bool listen = args.has("listen");
+    const bool connect = args.has("connect");
+    if (listen && connect)
+        throw ConfigError("--listen and --connect are mutually "
+                          "exclusive (one process is either the "
+                          "server or a client)");
+    if (listen)
+        return runServer(args);
+    if (connect)
+        return runClient(args);
+    return runInProcess(args);
 }
 
 } // namespace
@@ -255,7 +362,8 @@ main(int argc, char **argv)
 {
     try {
         const CliArgs args(argc, argv, /*first=*/1,
-                           /*valueless=*/{"spin", "validate"});
+                           /*valueless=*/{"spin", "validate",
+                                          "expect-fresh"});
         if (args.helpRequested()) {
             usage();
             return exitcode::kOk;
@@ -266,6 +374,8 @@ main(int argc, char **argv)
             "spin", "ops", "workers", "qps", "workload", "keys",
             "zipf-theta", "hot-frac", "hot-prob", "write-frac",
             "affinity", "validate", "hitpath", "stripes",
+            "inflight-wait-ms", "listen", "net-workers", "connect",
+            "connections", "pipeline", "net-timeout", "expect-fresh",
         });
         return run(args);
     } catch (const Error &e) {
