@@ -45,6 +45,7 @@ constexpr int kTimeout = 9;       ///< TimeoutError
 /** A sweep finished but some cells failed (partial success). */
 constexpr int kSweepPartial = 10;
 constexpr int kNet = 11;          ///< NetError
+constexpr int kCircuitOpen = 12;  ///< CircuitOpenError
 } // namespace exitcode
 
 /**
@@ -179,6 +180,23 @@ class NetError : public Error
   public:
     explicit NetError(const std::string &what)
         : Error("NetError", exitcode::kNet, what)
+    {
+    }
+};
+
+/**
+ * A circuit breaker is open: the serve layer refused to start a
+ * backend fetch because recent fetches against the same shard kept
+ * failing or timing out.  Distinct from TimeoutError -- no wait
+ * happened; the request was failed *fast*, which is the whole point.
+ * Callers holding a stale resident value may prefer serving it
+ * (--stale-while-broken) over surfacing this error.
+ */
+class CircuitOpenError : public Error
+{
+  public:
+    explicit CircuitOpenError(const std::string &what)
+        : Error("CircuitOpenError", exitcode::kCircuitOpen, what)
     {
     }
 };

@@ -1,6 +1,7 @@
 #include "serve/CacheService.h"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <thread>
 #include <tuple>
@@ -37,6 +38,30 @@ autoStripes()
     while (stripes * 2 <= std::min(hw, kMaxAutoStripes))
         stripes *= 2;
     return stripes;
+}
+
+/** Monotonic clock feeding the circuit breakers' state machines. */
+std::uint64_t
+breakerNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Did a backend fetch fail by *timing out* (vs erroring)?  Feeds
+ *  the breaker's consecutive-timeout trip condition. */
+bool
+isTimeoutFailure(const std::exception_ptr &error)
+{
+    try {
+        std::rethrow_exception(error);
+    } catch (const TimeoutError &) {
+        return true;
+    } catch (...) {
+        return false;
+    }
 }
 
 } // namespace
@@ -110,6 +135,8 @@ ServeConfig::fromArgs(const CliArgs &args)
     config.stripes = requireStripes(args.get("stripes", "auto"));
     config.inflightWaitMs =
         args.getDouble("inflight-wait-ms", config.inflightWaitMs);
+    config.breaker = BreakerConfig::fromArgs(args);
+    config.breaker.seed = config.policyParams.seed;
     config.validate();
     return config;
 }
@@ -139,6 +166,7 @@ ServeConfig::validate() const
             "in-flight wait bound must be >= 0 ms (0 = unbounded), "
             "got " +
             std::to_string(inflightWaitMs));
+    breaker.validate();
 }
 
 CacheService::CacheService(const ServeConfig &config, Backend &backend)
@@ -176,6 +204,8 @@ CacheService::CacheService(const ServeConfig &config, Backend &backend)
     shards_.reserve(config_.shards);
     for (unsigned s = 0; s < config_.shards; ++s) {
         auto shard = std::make_unique<Shard>();
+        shard->breaker =
+            std::make_unique<CircuitBreaker>(config_.breaker, s);
         shard->stripes.reserve(config_.stripes);
         for (unsigned t = 0; t < config_.stripes; ++t) {
             // Decorrelate any stochastic policy state across stripes
@@ -322,7 +352,35 @@ CacheService::lockedGet(Stripe &stripe, std::uint32_t set, Addr tag,
     }
 
     stripe.misses.fetch_add(1, std::memory_order_relaxed);
+    CircuitBreaker &breaker = *shards_[shardOf(key)]->breaker;
     auto [flight, leader] = stripe.inflight.claim(key);
+
+    if (leader && breaker.admit(breakerNowNs()) ==
+                      CircuitBreaker::Admit::FailFast) {
+        // The shard's breaker is open and this miss would have
+        // started a fresh fetch: fail fast (the whole point -- no
+        // thread parks on a backend that keeps failing).  A resident
+        // cost estimate with a remembered value may be served stale
+        // instead.  The just-claimed flight has no subscribers yet
+        // (we still hold the stripe mutex), so erasing it is enough.
+        stripe.inflight.erase(key);
+        if (config_.breaker.staleWhileBroken) {
+            const auto it = stripe.keys.find(key);
+            if (it != stripe.keys.end() && it->second.hasValue) {
+                stripe.staleServes.fetch_add(
+                    1, std::memory_order_relaxed);
+                ServeOpResult result;
+                result.hit = false;
+                result.value = it->second.lastValue;
+                return result;
+            }
+        }
+        throw CircuitOpenError(
+            "circuit open on serve shard " +
+            std::to_string(shardOf(key)) +
+            ": backend fetches keep failing, refusing key " +
+            std::to_string(key) + " without a fetch");
+    }
 
     if (!leader) {
         // Another thread's fetch for this key is in flight: park on
@@ -370,12 +428,15 @@ CacheService::lockedGet(Stripe &stripe, std::uint32_t set, Addr tag,
         // failure, so a retrying waiter elects a fresh leader instead
         // of rejoining the dead entry, then wake every waiter with
         // the exception rather than leaving them parked forever.
+        const std::exception_ptr error = std::current_exception();
+        breaker.onFailure(isTimeoutFailure(error), breakerNowNs());
         lock.lock();
         stripe.inflight.erase(key);
         lock.unlock();
-        failFetch(*flight, std::current_exception());
+        failFetch(*flight, error);
         throw;
     }
+    breaker.onSuccess(breakerNowNs());
     installFetched(stripe, set, tag, key, fetched);
     completeFetch(*flight, fetched.value, fetched.latencyNs);
 
@@ -412,6 +473,8 @@ CacheService::installFetched(Stripe &stripe, std::uint32_t set,
     stripe.drainAccessLog();
     Stripe::KeyState &state = stripe.keys[key];
     stripe.observe(state, fetched.latencyNs, config_.ewmaAlpha);
+    state.lastValue = fetched.value;
+    state.hasValue = true;
     stripe.missCostNs += fetched.latencyNs;
 
     const int resident = stripe.model.lookup(set, tag);
@@ -450,6 +513,7 @@ CacheService::getAsync(Addr key, GetCallback done)
     std::shared_ptr<InflightFetch> flight;
     bool leader = false;
     std::uint64_t salt = 0;
+    CircuitBreaker &breaker = *shards_[shardOf(key)]->breaker;
     {
         std::unique_lock<std::mutex> lock(stripe.mutex,
                                           std::defer_lock);
@@ -474,6 +538,39 @@ CacheService::getAsync(Addr key, GetCallback done)
         stripe.misses.fetch_add(1, std::memory_order_relaxed);
         std::tie(flight, leader) = stripe.inflight.claim(key);
         if (leader) {
+            if (breaker.admit(breakerNowNs()) ==
+                CircuitBreaker::Admit::FailFast) {
+                // Same fail-fast protocol as lockedGet: retire the
+                // subscriber-less flight under the mutex, then
+                // complete -- stale value or CircuitOpenError --
+                // without ever touching the backend.
+                stripe.inflight.erase(key);
+                ServeOpResult stale;
+                bool haveStale = false;
+                if (config_.breaker.staleWhileBroken) {
+                    const auto it = stripe.keys.find(key);
+                    if (it != stripe.keys.end() &&
+                        it->second.hasValue) {
+                        stripe.staleServes.fetch_add(
+                            1, std::memory_order_relaxed);
+                        stale.hit = false;
+                        stale.value = it->second.lastValue;
+                        haveStale = true;
+                    }
+                }
+                lock.unlock();
+                if (haveStale)
+                    done(stale, nullptr);
+                else
+                    done(ServeOpResult{},
+                         std::make_exception_ptr(CircuitOpenError(
+                             "circuit open on serve shard " +
+                             std::to_string(shardOf(key)) +
+                             ": backend fetches keep failing, "
+                             "refusing key " + std::to_string(key) +
+                             " without a fetch")));
+                return;
+            }
             salt = stripe.keys[key].samples;
         } else {
             stripe.coalescedMisses.fetch_add(
@@ -509,13 +606,15 @@ CacheService::getAsync(Addr key, GetCallback done)
     // wherever it completes.  The calling thread never blocks.
     backend_.fetchAsync(
         key, salt,
-        [this, &stripe, set, tag, key, flight,
+        [this, &stripe, &breaker, set, tag, key, flight,
          done = std::move(done)](const BackendResult &fetched,
                                  std::exception_ptr error) {
             if (error) {
                 // Same crash protocol as the sync leader: retire the
                 // flight first so retries elect a fresh leader, then
                 // publish the failure to every joiner.
+                breaker.onFailure(isTimeoutFailure(error),
+                                  breakerNowNs());
                 {
                     std::lock_guard<std::mutex> lock(stripe.mutex);
                     stripe.inflight.erase(key);
@@ -524,6 +623,7 @@ CacheService::getAsync(Addr key, GetCallback done)
                 done(ServeOpResult{}, error);
                 return;
             }
+            breaker.onSuccess(breakerNowNs());
             installFetched(stripe, set, tag, key, fetched);
             completeFetch(*flight, fetched.value, fetched.latencyNs);
             ServeOpResult result;
@@ -573,6 +673,8 @@ CacheService::put(Addr key, std::uint64_t value)
     // A write-through round trip is a fresh observation of this key's
     // backend latency, so it refreshes the cost estimate too.
     stripe.observe(state, stored.latencyNs, config_.ewmaAlpha);
+    state.lastValue = value;
+    state.hasValue = true;
     stripe.storeCostNs += stored.latencyNs;
 
     ServeOpResult result;
@@ -639,9 +741,45 @@ CacheService::totals() const
                 stripe.backendFetches.load(std::memory_order_relaxed);
             totals.coalescedMisses += stripe.coalescedMisses.load(
                 std::memory_order_relaxed);
+            totals.staleServes +=
+                stripe.staleServes.load(std::memory_order_relaxed);
         }
+        totals.breakerOpens += shard_ptr->breaker->opens();
+        totals.breakerFastFails += shard_ptr->breaker->fastFails();
     }
     return totals;
+}
+
+CircuitBreaker &
+CacheService::breakerOf(unsigned shard)
+{
+    return *shards_[shard]->breaker;
+}
+
+std::size_t
+CacheService::failInflight(const std::string &why)
+{
+    std::size_t failed = 0;
+    const auto error =
+        std::make_exception_ptr(TimeoutError(why));
+    for (const auto &shard_ptr : shards_) {
+        for (const auto &stripe_ptr : shard_ptr->stripes) {
+            Stripe &stripe = *stripe_ptr;
+            std::vector<std::shared_ptr<InflightFetch>> flights;
+            {
+                std::lock_guard<std::mutex> lock(stripe.mutex);
+                flights = stripe.inflight.takeAll();
+            }
+            // Publish with the stripe mutex released (failFetch's
+            // contract); a late leader completion finds its entry
+            // gone and completes the dead flight harmlessly.
+            for (const auto &flight : flights) {
+                failFetch(*flight, error);
+                ++failed;
+            }
+        }
+    }
+    return failed;
 }
 
 void
@@ -674,6 +812,10 @@ CacheService::exportMetrics(MetricRegistry &registry) const
                         totals.backendFetches);
     registry.setCounter("serve.coalesced_misses",
                         totals.coalescedMisses);
+    registry.setCounter("serve.breaker_opens", totals.breakerOpens);
+    registry.setCounter("serve.breaker_fast_fails",
+                        totals.breakerFastFails);
+    registry.setCounter("serve.stale_serves", totals.staleServes);
 
     RunningStat ewma;
     for (const auto &shard_ptr : shards_) {

@@ -55,6 +55,7 @@
 
 #include "cache/PolicyFactory.h"
 #include "serve/Backend.h"
+#include "serve/CircuitBreaker.h"
 
 namespace csr
 {
@@ -133,13 +134,19 @@ struct ServeConfig
      *  a typed TimeoutError instead of parking a thread (or a network
      *  connection) on a wedged leader. */
     double inflightWaitMs = 10'000.0;
+    /** Per-shard backend circuit breaker (serve/CircuitBreaker.h);
+     *  the seed field is overwritten with the policy seed so jitter
+     *  is a function of the one --seed flag. */
+    BreakerConfig breaker;
 
     /**
      * Read the service flags out of @p args: --policy --shards
      * --shard-bytes --assoc --block-bytes --ewma-alpha --hitpath
-     * --stripes --inflight-wait-ms (and --seed for the policy RNG).
-     * The result is validate()d.  @throws ConfigError with the
-     * accepted values on any bad flag.
+     * --stripes --inflight-wait-ms --breaker[-window/-rate/-timeouts/
+     * -backoff-ms/-backoff-max-ms] --stale-while-broken (and --seed
+     * for the policy RNG + breaker jitter).  The result is
+     * validate()d.  @throws ConfigError with the accepted values on
+     * any bad flag.
      */
     static ServeConfig fromArgs(const CliArgs &args);
 
@@ -198,6 +205,12 @@ struct ServeTotals
     std::uint64_t logFullFallbacks = 0; ///< promotions dropped, log full
     std::uint64_t backendFetches = 0;   ///< actual Backend::fetch calls
     std::uint64_t coalescedMisses = 0;  ///< misses that joined a fetch
+
+    // -- robustness counters (all zero on a healthy, unshed run) ------
+    std::uint64_t shedOps = 0;          ///< commands refused with -BUSY
+    std::uint64_t breakerOpens = 0;     ///< circuit trips (incl. reopens)
+    std::uint64_t breakerFastFails = 0; ///< fetches refused while open
+    std::uint64_t staleServes = 0;      ///< stale values served while open
 
     double
     hitRatio() const
@@ -270,8 +283,22 @@ class CacheService
     /** EWMA sample count of @p key (tests: stampede coalescing). */
     std::uint64_t keySamples(Addr key) const;
 
-    /** Aggregate the per-stripe counters (locks stripe by stripe). */
+    /** Aggregate the per-stripe counters (locks stripe by stripe).
+     *  shedOps stays zero here -- shedding happens in the network
+     *  tier, which folds its count in before reporting. */
     ServeTotals totals() const;
+
+    /** The circuit breaker guarding @p shard's backend fetches. */
+    CircuitBreaker &breakerOf(unsigned shard);
+
+    /**
+     * Drain-path: fail every in-flight fetch across all stripes with
+     * a TimeoutError naming @p why, unparking every waiter and firing
+     * every subscriber.  Late leader completions find their entry
+     * gone and complete a dead flight harmlessly.  @return the number
+     * of flights failed.
+     */
+    std::size_t failInflight(const std::string &why);
 
     /** Export totals + per-key cost-estimate stats into @p registry
      *  under "serve.". */

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Deterministic chaos decorator over any Backend.
+ *
+ * Wraps an inner backend and, per fetch, consults the wire chaos
+ * config (robust/NetChaos.h) to inject a failed fetch or a latency
+ * spike.  Decisions are keyed on (chaos seed, key, per-key attempt
+ * ordinal) -- NOT on thread or wall-clock -- so the set of injected
+ * faults is a pure function of the seeded client stream: under the
+ * serve determinism contract (every fetch of a key happens in a
+ * defined per-key order thanks to single-flight coalescing), two runs
+ * at the same seed inject faults into the same fetches and produce
+ * identical ServeTotals.
+ *
+ * The attempt-ordinal map is the one piece of state; it lives under a
+ * small mutex on the miss path only.  Store traffic passes through
+ * untouched: SET cost accounting is part of the deterministic summary
+ * and write faults belong to a future write-path chaos site.
+ */
+
+#ifndef CSR_SERVE_CHAOSBACKEND_H
+#define CSR_SERVE_CHAOSBACKEND_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "robust/NetChaos.h"
+#include "serve/Backend.h"
+
+namespace csr::serve
+{
+
+class ChaosBackend : public Backend
+{
+  public:
+    /** Latency spikes multiply the inner latency by up to this. */
+    static constexpr double kMaxLatencySpike = 8.0;
+
+    ChaosBackend(Backend &inner, const ChaosConfig &chaos)
+        : inner_(inner), chaos_(chaos)
+    {
+    }
+
+    BackendResult fetch(Addr key, std::uint64_t salt) override
+    {
+        const std::uint64_t attempt = nextAttempt(key);
+        maybeThrow(key, attempt);
+        BackendResult result = inner_.fetch(key, salt);
+        applyLatencySpike(key, attempt, result);
+        return result;
+    }
+
+    void fetchAsync(Addr key, std::uint64_t salt,
+                    FetchCallback done) override
+    {
+        const std::uint64_t attempt = nextAttempt(key);
+        if (chaosDecide(chaos_, ChaosSite::BackendError, key,
+                        attempt)) {
+            ++injectedErrors_;
+            done(BackendResult{},
+                 std::make_exception_ptr(InjectedFaultError(
+                     "chaos: injected backend fetch error (key " +
+                     std::to_string(key) + ", attempt " +
+                     std::to_string(attempt) + ")")));
+            return;
+        }
+        inner_.fetchAsync(
+            key, salt,
+            [this, key, attempt, done = std::move(done)](
+                const BackendResult &result,
+                std::exception_ptr error) {
+                if (error) {
+                    done(result, error);
+                    return;
+                }
+                BackendResult spiked = result;
+                applyLatencySpike(key, attempt, spiked);
+                done(spiked, nullptr);
+            });
+    }
+
+    BackendResult store(Addr key, std::uint64_t value,
+                        std::uint64_t salt) override
+    {
+        return inner_.store(key, value, salt);
+    }
+
+    std::string describe() const override
+    {
+        return inner_.describe() + " + chaos(rate=" +
+               std::to_string(chaos_.rate) +
+               ", seed=" + std::to_string(chaos_.seed) + ")";
+    }
+
+    std::uint64_t injectedErrors() const
+    {
+        return injectedErrors_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t injectedSpikes() const
+    {
+        return injectedSpikes_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::uint64_t nextAttempt(Addr key)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return attempts_[key]++;
+    }
+
+    void maybeThrow(Addr key, std::uint64_t attempt)
+    {
+        if (chaosDecide(chaos_, ChaosSite::BackendError, key,
+                        attempt)) {
+            ++injectedErrors_;
+            throw InjectedFaultError(
+                "chaos: injected backend fetch error (key " +
+                std::to_string(key) + ", attempt " +
+                std::to_string(attempt) + ")");
+        }
+    }
+
+    void applyLatencySpike(Addr key, std::uint64_t attempt,
+                           BackendResult &result)
+    {
+        if (!chaosDecide(chaos_, ChaosSite::BackendLatency, key,
+                         attempt))
+            return;
+        ++injectedSpikes_;
+        const double draw =
+            chaosDraw(chaos_, ChaosSite::BackendLatency,
+                      key ^ 0x5B1CEull, attempt);
+        result.latencyNs *= 1.0 + draw * (kMaxLatencySpike - 1.0);
+    }
+
+    Backend &inner_;
+    const ChaosConfig chaos_;
+    std::mutex mutex_;
+    std::unordered_map<Addr, std::uint64_t> attempts_;
+    std::atomic<std::uint64_t> injectedErrors_{0};
+    std::atomic<std::uint64_t> injectedSpikes_{0};
+};
+
+} // namespace csr::serve
+
+#endif // CSR_SERVE_CHAOSBACKEND_H

@@ -187,6 +187,24 @@ class InflightTable
         map_.erase(key);
     }
 
+    /**
+     * Drain-path: remove and return every entry at once.  The caller
+     * (holding the stripe mutex) then failFetch()es each one with the
+     * mutex released, unparking all waiters -- how a draining server
+     * guarantees no connection stays parked on a flight whose leader
+     * will never complete.
+     */
+    std::vector<std::shared_ptr<InflightFetch>>
+    takeAll()
+    {
+        std::vector<std::shared_ptr<InflightFetch>> flights;
+        flights.reserve(map_.size());
+        for (auto &[key, flight] : map_)
+            flights.push_back(std::move(flight));
+        map_.clear();
+        return flights;
+    }
+
     std::size_t size() const { return map_.size(); }
 
   private:

@@ -180,7 +180,14 @@ HarnessResult::writeJsonObject(std::ostream &os,
        << in2 << "\"lockedFallbacks\": " << totals.lockedFallbacks << ",\n"
        << in2 << "\"logFullFallbacks\": " << totals.logFullFallbacks << ",\n"
        << in2 << "\"backendFetches\": " << totals.backendFetches << ",\n"
-       << in2 << "\"coalescedMisses\": " << totals.coalescedMisses << "\n"
+       << in2 << "\"coalescedMisses\": " << totals.coalescedMisses << ",\n"
+       // Robustness counters: all zero on a healthy, unshed run with
+       // the backend behaving, so the deterministic baselines carry
+       // them as zeroes.
+       << in2 << "\"shedOps\": " << totals.shedOps << ",\n"
+       << in2 << "\"breakerOpens\": " << totals.breakerOpens << ",\n"
+       << in2 << "\"breakerFastFails\": " << totals.breakerFastFails << ",\n"
+       << in2 << "\"staleServes\": " << totals.staleServes << "\n"
        << in << "},\n"
        << in << "\"timing\": {\n"
        << in2 << "\"wallSec\": " << numShort(wallSec) << ",\n"

@@ -46,6 +46,7 @@
 
 #include "cache/CacheModel.h"
 #include "serve/AccessLog.h"
+#include "serve/CircuitBreaker.h"
 #include "serve/InflightTable.h"
 #include "serve/Seqlock.h"
 #include "util/Atomics.h"
@@ -77,6 +78,11 @@ struct Stripe
     {
         double ewmaNs = 0.0;
         std::uint64_t samples = 0;
+        /** Last value installed for this key (fetch or store); kept
+         *  past eviction so --stale-while-broken can serve it while
+         *  the shard's circuit breaker is open. */
+        std::uint64_t lastValue = 0;
+        bool hasValue = false;
     };
 
     std::size_t
@@ -178,17 +184,22 @@ struct Stripe
     std::atomic<std::uint64_t> backendFetches{0};
     /** Misses that joined another thread's in-flight fetch. */
     std::atomic<std::uint64_t> coalescedMisses{0};
+    /** Misses served a stale resident value while the shard's
+     *  circuit breaker was open (--stale-while-broken). */
+    std::atomic<std::uint64_t> staleServes{0};
 
     double missCostNs = 0.0;  // under mutex
     double storeCostNs = 0.0; // under mutex
 };
 
-/** One CacheService shard: an array of independently locked
- *  stripes.  The shard itself holds no lock and no mutable state --
- *  all serialization is per stripe. */
+/** One CacheService shard: an array of independently locked stripes
+ *  plus the circuit breaker guarding its backend fetches.  The shard
+ *  itself holds no lock -- stripe state serializes per stripe, the
+ *  breaker carries its own (miss-path-only) mutex. */
 struct Shard
 {
     std::vector<std::unique_ptr<Stripe>> stripes;
+    std::unique_ptr<CircuitBreaker> breaker;
 };
 
 } // namespace csr::serve

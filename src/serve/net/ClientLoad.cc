@@ -32,6 +32,7 @@ struct ConnOutput
     std::uint64_t gets = 0;
     std::uint64_t sets = 0;
     std::uint64_t errors = 0;
+    std::uint64_t busy = 0;
     std::uint64_t mismatches = 0;
     Histogram opLatencyNs;
 };
@@ -79,6 +80,14 @@ ClientConfig::validate() const
         throw ConfigError("--pipeline must be at least 1");
     if (timeoutSec < 0.0)
         throw ConfigError("--net-timeout must be non-negative");
+    // Plumb-through check: SO_RCVTIMEO rounds a positive-but-tiny
+    // bound down to zero microseconds, which the kernel reads as
+    // "no timeout" -- the exact opposite of what was asked for.
+    if (timeoutSec > 0.0 && timeoutSec < 1.0e-3)
+        throw ConfigError(
+            "--net-timeout must be 0 (unbounded) or >= 0.001 s; " +
+            std::to_string(timeoutSec) +
+            " would silently become unbounded");
     if (serverShards == 0 ||
         (serverShards & (serverShards - 1)) != 0)
         throw ConfigError("--shards must be a power of two (it is "
@@ -134,11 +143,16 @@ runClientLoad(const ClientConfig &config)
                 std::chrono::duration<double, std::nano>(
                     Clock::now() - sent_at)
                     .count());
-            if (reply.isError())
-                ++out.errors;
-            else if (was_write ? reply.type != '+'
-                               : (reply.type != '$' || reply.isNull))
+            if (reply.isError()) {
+                if (reply.text.rfind("BUSY", 0) == 0)
+                    ++out.busy;
+                else
+                    ++out.errors;
+            } else if (was_write
+                           ? reply.type != '+'
+                           : (reply.type != '$' || reply.isNull)) {
                 ++out.mismatches;
+            }
         };
 
         for (const Op &op : plan[c]) {
@@ -194,6 +208,7 @@ runClientLoad(const ClientConfig &config)
         result.sentGets += out.gets;
         result.sentSets += out.sets;
         result.errorReplies += out.errors;
+        result.busyReplies += out.busy;
         result.typeMismatches += out.mismatches;
     }
 

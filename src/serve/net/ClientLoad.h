@@ -66,6 +66,10 @@ struct ClientResult
     std::uint64_t sentSets = 0;
     /** '-ERR' replies (0 in a healthy run). */
     std::uint64_t errorReplies = 0;
+    /** '-BUSY' replies -- the server shed those commands under
+     *  overload; counted apart from errors because the client
+     *  contract says they are retryable, not broken. */
+    std::uint64_t busyReplies = 0;
     /** Replies whose type did not match the verb (0 expected). */
     std::uint64_t typeMismatches = 0;
 

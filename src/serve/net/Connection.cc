@@ -1,6 +1,8 @@
 #include "serve/net/Connection.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -17,6 +19,21 @@ namespace
 {
 
 constexpr std::size_t kReadChunk = 16 * 1024;
+
+std::uint64_t
+monotonicNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::uint64_t
+msToNs(double ms)
+{
+    return static_cast<std::uint64_t>(ms * 1.0e6);
+}
 
 std::string
 upperOf(const std::string &s)
@@ -116,6 +133,8 @@ Connection::open()
     interest_ = EPOLLIN;
     ctx_.loop.add(fd_, interest_,
                   [self](std::uint32_t events) { self->onEvents(events); });
+    lastActivityNs_ = monotonicNowNs();
+    armDeadlineTimer();
     CSR_TRACE_INSTANT_V("net", "conn.open", fd_);
 }
 
@@ -147,9 +166,11 @@ void
 Connection::onReadable()
 {
     char chunk[kReadChunk];
+    bool sawBytes = false;
     while (true) {
         const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
         if (n > 0) {
+            sawBytes = true;
             ctx_.stats.bytesIn.fetch_add(
                 static_cast<std::uint64_t>(n),
                 std::memory_order_relaxed);
@@ -170,6 +191,8 @@ Connection::onReadable()
         return;
     }
 
+    if (sawBytes)
+        lastActivityNs_ = monotonicNowNs();
     processBuffered();
     if (closed_)
         return;
@@ -204,12 +227,35 @@ Connection::processBuffered()
         execute(std::move(cmd));
     }
     processing_ = false;
+    if (!closed_)
+        notePartialFrame();
 }
 
 void
 Connection::execute(RespCommand &&cmd)
 {
+    const std::uint64_t cmdIndex = cmdSeq_++;
+    if (chaosDecide(ctx_.chaos, ChaosSite::ConnReset, ctx_.serial,
+                    cmdIndex)) {
+        // Mid-command reset: the peer's connection dies with this
+        // command unanswered.  Lossy by design -- only fires behind
+        // --chaos-resets (chaosDecide gates it).
+        ctx_.stats.chaosResets.fetch_add(1,
+                                         std::memory_order_relaxed);
+        closeNow();
+        return;
+    }
     const std::string verb = upperOf(cmd.argv.at(0));
+    if ((verb == "GET" || verb == "SET" || verb == "DEL") &&
+        shouldShed()) {
+        // Admission control: refuse data commands while the
+        // server-wide aggregates sit past their watermarks.  PING and
+        // INFO stay exempt so health checks and operators can still
+        // get through to a struggling server.
+        ctx_.stats.shedOps.fetch_add(1, std::memory_order_relaxed);
+        reply("-BUSY shed: server overloaded, retry later\r\n");
+        return;
+    }
     if (verb == "GET" && cmd.argv.size() == 2) {
         ctx_.stats.cmdGet.fetch_add(1, std::memory_order_relaxed);
         executeGet(cmd.argv[1]);
@@ -300,6 +346,7 @@ Connection::allocSlot()
 {
     slots_.push_back(ReplySlot{std::string(), Clock::now(), false});
     ++unfilled_;
+    ctx_.load.pendingOps.fetch_add(1, std::memory_order_relaxed);
     return nextSlot_++;
 }
 
@@ -320,6 +367,7 @@ Connection::fillSlot(std::uint64_t slot, std::string reply_text)
     s.data = std::move(reply_text);
     s.ready = true;
     --unfilled_;
+    ctx_.load.pendingOps.fetch_sub(1, std::memory_order_relaxed);
     ctx_.stats.wireLatencyNs.add(
         std::chrono::duration<double, std::nano>(Clock::now() -
                                                  s.start)
@@ -348,6 +396,8 @@ void
 Connection::flushReady()
 {
     while (!slots_.empty() && slots_.front().ready) {
+        ctx_.load.bufferedBytes.fetch_add(slots_.front().data.size(),
+                                          std::memory_order_relaxed);
         outBuf_ += slots_.front().data;
         slots_.pop_front();
         ++baseSlot_;
@@ -358,14 +408,38 @@ void
 Connection::flushOutput()
 {
     while (outPos_ < outBuf_.size()) {
-        const ssize_t n = ::send(fd_, outBuf_.data() + outPos_,
-                                 outBuf_.size() - outPos_,
-                                 MSG_NOSIGNAL);
+        std::size_t len = outBuf_.size() - outPos_;
+        bool shortWrite = false;
+        if (ctx_.chaos.enabled() &&
+            chaosDecide(ctx_.chaos, ChaosSite::ShortWrite,
+                        ctx_.serial, writeSeq_)) {
+            // TIMING fault: send at most half of what is queued (but
+            // at least one byte) and stop -- the remainder waits for
+            // EPOLLOUT, exercising the partial-flush resume paths.
+            const double draw =
+                chaosDraw(ctx_.chaos, ChaosSite::ShortWrite,
+                          ctx_.serial ^ 0x5Cu, writeSeq_);
+            len = std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       static_cast<double>(len) * 0.5 * draw));
+            shortWrite = true;
+        }
+        ++writeSeq_;
+        const ssize_t n =
+            ::send(fd_, outBuf_.data() + outPos_, len, MSG_NOSIGNAL);
         if (n > 0) {
             ctx_.stats.bytesOut.fetch_add(
                 static_cast<std::uint64_t>(n),
                 std::memory_order_relaxed);
+            ctx_.load.bufferedBytes.fetch_sub(
+                static_cast<std::uint64_t>(n),
+                std::memory_order_relaxed);
             outPos_ += static_cast<std::size_t>(n);
+            if (shortWrite) {
+                ctx_.stats.chaosShortWrites.fetch_add(
+                    1, std::memory_order_relaxed);
+                break;
+            }
             continue;
         }
         if (errno == EAGAIN || errno == EWOULDBLOCK)
@@ -445,6 +519,18 @@ Connection::closeNow()
     // ourselves alive until this frame unwinds.
     auto self = shared_from_this();
     closed_ = true;
+    if (deadlineTimer_ != 0) {
+        ctx_.loop.cancelTimer(deadlineTimer_);
+        deadlineTimer_ = 0;
+    }
+    // Return our outstanding charges to the server-wide aggregates:
+    // slots that will never fill, reply bytes that will never send.
+    if (unfilled_ > 0)
+        ctx_.load.pendingOps.fetch_sub(unfilled_,
+                                       std::memory_order_relaxed);
+    if (outPos_ < outBuf_.size())
+        ctx_.load.bufferedBytes.fetch_sub(outBuf_.size() - outPos_,
+                                          std::memory_order_relaxed);
     const int fd = fd_;
     fd_ = -1;
     ctx_.loop.del(fd);
@@ -453,6 +539,132 @@ Connection::closeNow()
     ctx_.stats.connectionsClosed.fetch_add(1,
                                            std::memory_order_relaxed);
     ctx_.onClosed(fd);
+}
+
+void
+Connection::beginDrain()
+{
+    if (closed_)
+        return;
+    // closeAfterReply_ is exactly the drain contract the reply path
+    // already honours: stop decoding new commands (processBuffered's
+    // loop condition), keep filling + flushing claimed slots, close
+    // once everything queued has hit the socket.
+    closeAfterReply_ = true;
+    partialSinceNs_ = 0;
+    updateInterest();
+    maybeClose();
+}
+
+void
+Connection::abort()
+{
+    closeNow();
+}
+
+bool
+Connection::drainPending() const
+{
+    return unfilled_ != 0 || !slots_.empty() ||
+           outPos_ != outBuf_.size();
+}
+
+bool
+Connection::shouldShed() const
+{
+    const NetTuning &t = ctx_.tuning;
+    if (t.shedPendingOps != 0 &&
+        ctx_.load.pendingOps.load(std::memory_order_relaxed) >=
+            t.shedPendingOps)
+        return true;
+    if (t.shedWriteBytes != 0 &&
+        ctx_.load.bufferedBytes.load(std::memory_order_relaxed) >=
+            t.shedWriteBytes)
+        return true;
+    return false;
+}
+
+void
+Connection::notePartialFrame()
+{
+    // A partial frame only counts against the peer while the parser
+    // is genuinely waiting on it: bytes held back by our own
+    // backpressure or a latched close are not the peer's fault.
+    if (parser_.buffered() > 0 && !stalled() && !closeAfterReply_) {
+        if (partialSinceNs_ == 0) {
+            partialSinceNs_ = monotonicNowNs();
+            // The read deadline may be nearer than whatever the timer
+            // was armed for (typically the idle check); re-arm.
+            if (deadlineTimer_ != 0) {
+                ctx_.loop.cancelTimer(deadlineTimer_);
+                deadlineTimer_ = 0;
+            }
+            armDeadlineTimer();
+        }
+    } else {
+        partialSinceNs_ = 0;
+    }
+}
+
+void
+Connection::checkDeadlines()
+{
+    deadlineTimer_ = 0;
+    if (closed_)
+        return;
+    const std::uint64_t now = monotonicNowNs();
+    const NetTuning &t = ctx_.tuning;
+    if (t.readDeadlineMs > 0 && partialSinceNs_ != 0 &&
+        now - partialSinceNs_ >= msToNs(t.readDeadlineMs)) {
+        ctx_.stats.deadlineClosed.fetch_add(
+            1, std::memory_order_relaxed);
+        closeNow();
+        return;
+    }
+    if (t.idleTimeoutMs > 0 && !drainPending() &&
+        parser_.buffered() == 0 &&
+        now - lastActivityNs_ >= msToNs(t.idleTimeoutMs)) {
+        ctx_.stats.idleClosed.fetch_add(1, std::memory_order_relaxed);
+        closeNow();
+        return;
+    }
+    armDeadlineTimer();
+}
+
+void
+Connection::armDeadlineTimer()
+{
+    if (deadlineTimer_ != 0 || closed_)
+        return;
+    const NetTuning &t = ctx_.tuning;
+    if (t.idleTimeoutMs <= 0 && t.readDeadlineMs <= 0)
+        return;
+    // Fire at the earliest applicable deadline, computed from the
+    // timestamps as of now.  Activity after arming just makes the
+    // timer fire early; checkDeadlines() then re-arms with the
+    // remaining time, so nothing needs cancelling on the hot path.
+    const std::uint64_t now = monotonicNowNs();
+    std::uint64_t delay = UINT64_MAX;
+    if (t.idleTimeoutMs > 0) {
+        const std::uint64_t deadline =
+            lastActivityNs_ + msToNs(t.idleTimeoutMs);
+        delay = deadline > now ? deadline - now : 0;
+    }
+    if (t.readDeadlineMs > 0) {
+        const std::uint64_t since =
+            partialSinceNs_ != 0 ? partialSinceNs_ : now;
+        const std::uint64_t deadline =
+            since + msToNs(t.readDeadlineMs);
+        delay = std::min(delay,
+                         deadline > now ? deadline - now : 0);
+    }
+    // Floor keeps a just-expired deadline from hot-looping the timer.
+    delay = std::max<std::uint64_t>(delay, 1'000'000);
+    auto self = weak_from_this();
+    deadlineTimer_ = ctx_.loop.addTimer(delay, [self] {
+        if (auto conn = self.lock())
+            conn->checkDeadlines();
+    });
 }
 
 } // namespace csr::serve::net

@@ -38,6 +38,7 @@
 #include <memory>
 #include <string>
 
+#include "robust/NetChaos.h"
 #include "serve/CacheService.h"
 #include "serve/net/EventLoop.h"
 #include "serve/net/RespParser.h"
@@ -53,7 +54,34 @@ struct NetTuning
     std::size_t maxPendingOps = 128;
     /** Buffered reply bytes before reads pause. */
     std::size_t writeWatermark = 1 << 20;
+    /** Close a connection with no traffic and no pending work after
+     *  this long (0 = never).  Keeps idle-forever peers from pinning
+     *  fds. */
+    double idleTimeoutMs = 60'000.0;
+    /** Close a connection that started a command frame but has not
+     *  finished it after this long (0 = never) -- the slow-loris
+     *  defense: a peer trickling one byte per second cannot hold a
+     *  partial frame open indefinitely. */
+    double readDeadlineMs = 30'000.0;
+    /** Server-wide pending-op count past which new data commands are
+     *  answered -BUSY instead of queued (0 = never shed). */
+    std::size_t shedPendingOps = 4096;
+    /** Server-wide buffered reply bytes past which new data commands
+     *  are answered -BUSY (0 = never shed). */
+    std::size_t shedWriteBytes = 32u << 20;
     RespLimits limits;
+};
+
+/**
+ * Server-wide load aggregates feeding admission control.  Relaxed
+ * atomics: every worker's connections bump them, and the shed
+ * decision tolerates a momentarily stale read -- the watermark is a
+ * pressure valve, not an exact bound.
+ */
+struct WorkerLoad
+{
+    std::atomic<std::uint64_t> pendingOps{0};
+    std::atomic<std::uint64_t> bufferedBytes{0};
 };
 
 /**
@@ -76,6 +104,19 @@ struct WorkerStats
     std::atomic<std::uint64_t> bytesIn{0};
     std::atomic<std::uint64_t> bytesOut{0};
     std::atomic<std::uint64_t> backpressureStalls{0};
+    /** Data commands answered -BUSY by admission control. */
+    std::atomic<std::uint64_t> shedOps{0};
+    /** Connections closed by the idle timeout. */
+    std::atomic<std::uint64_t> idleClosed{0};
+    /** Connections closed by the partial-frame read deadline. */
+    std::atomic<std::uint64_t> deadlineClosed{0};
+    /** Accepts refused at --max-conns with "-ERR server at
+     *  capacity". */
+    std::atomic<std::uint64_t> capacityRejections{0};
+    /** Chaos-injected short writes / deferred accepts / resets. */
+    std::atomic<std::uint64_t> chaosShortWrites{0};
+    std::atomic<std::uint64_t> chaosDeferredAccepts{0};
+    std::atomic<std::uint64_t> chaosResets{0};
     /** Decode-to-reply-ready time per request; loop thread only. */
     Histogram wireLatencyNs{0.0, 1.0e7, 512};
 };
@@ -87,6 +128,12 @@ struct ConnectionContext
     CacheService &service;
     const NetTuning &tuning;
     WorkerStats &stats;
+    /** Server-wide admission-control aggregates. */
+    WorkerLoad &load;
+    /** Wire chaos config (rate 0 = off). */
+    const ChaosConfig &chaos;
+    /** Server-unique connection ordinal; keys chaos draws. */
+    std::uint64_t serial = 0;
     /** Builds the INFO payload (server-wide view). */
     std::function<std::string()> infoText;
     /** Called once, on the loop thread, after the fd is closed; the
@@ -107,6 +154,24 @@ class Connection : public std::enable_shared_from_this<Connection>
     /** Register with the loop.  Call once, after shared_ptr
      *  construction (the handler keeps the connection alive). */
     void open();
+
+    /**
+     * Graceful-drain entry (loop thread only): stop reading, let
+     * every claimed reply slot complete and flush, then close.  Bytes
+     * already received but not yet decoded into a command are
+     * dropped -- the drain contract is one reply per *accepted*
+     * command, and a command is accepted when its frame decodes.
+     * Idempotent.
+     */
+    void beginDrain();
+
+    /** Hard-deadline close (loop thread only): drop everything,
+     *  close the fd now.  Idempotent. */
+    void abort();
+
+    /** Pending work that beginDrain() would wait for (loop thread
+     *  only): unflushed replies or unfinished async completions. */
+    bool drainPending() const;
 
   private:
     using Clock = std::chrono::steady_clock;
@@ -148,6 +213,15 @@ class Connection : public std::enable_shared_from_this<Connection>
     void maybeClose();
     void closeNow();
 
+    /** Should this data command be refused with -BUSY right now? */
+    bool shouldShed() const;
+
+    /** Fire/re-arm the idle + read-deadline watcher. */
+    void checkDeadlines();
+    void armDeadlineTimer();
+    /** Start/stop the partial-frame clock after a decode pass. */
+    void notePartialFrame();
+
     ConnectionContext ctx_;
     int fd_;
     RespParser parser_;
@@ -162,6 +236,14 @@ class Connection : public std::enable_shared_from_this<Connection>
     bool closeAfterReply_ = false;
     bool closed_ = false;
     bool processing_ = false;     ///< inside processBuffered()
+
+    std::uint64_t lastActivityNs_ = 0;
+    /** Monotonic time the current partial frame started; 0 = no
+     *  partial frame outstanding. */
+    std::uint64_t partialSinceNs_ = 0;
+    EventLoop::TimerId deadlineTimer_ = 0; ///< 0 = not armed
+    std::uint64_t cmdSeq_ = 0;   ///< commands executed (chaos key)
+    std::uint64_t writeSeq_ = 0; ///< send() attempts (chaos key)
 };
 
 } // namespace csr::serve::net

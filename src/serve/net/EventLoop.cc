@@ -1,7 +1,9 @@
 #include "serve/net/EventLoop.h"
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <unistd.h>
@@ -11,6 +13,18 @@
 
 namespace csr::serve::net
 {
+
+namespace
+{
+std::uint64_t
+monotonicNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+} // namespace
 
 EventLoop::EventLoop()
 {
@@ -108,6 +122,110 @@ EventLoop::inLoopThread() const
            std::this_thread::get_id();
 }
 
+EventLoop::TimerId
+EventLoop::addTimer(std::uint64_t delay_ns, std::function<void()> fn)
+{
+    const TimerId id = nextTimerId_++;
+    const std::uint64_t deadline = monotonicNs() + delay_ns;
+    const std::size_t slot =
+        (deadline / kWheelTickNs) & (kWheelSlots - 1);
+    wheel_[slot].push_back(TimerEntry{id, deadline, std::move(fn)});
+    ++timerCount_;
+    if (earliestDeadlineNs_ == 0 || deadline < earliestDeadlineNs_)
+        earliestDeadlineNs_ = deadline;
+    return id;
+}
+
+void
+EventLoop::cancelTimer(TimerId id)
+{
+    // Timers are few (per-connection deadline watchers, chaos accept
+    // delays) and short-lived, so a wheel scan on the cold cancel
+    // path beats carrying an id->slot index on the arm path.
+    for (auto &slot : wheel_) {
+        for (auto it = slot.begin(); it != slot.end(); ++it) {
+            if (it->id != id)
+                continue;
+            slot.erase(it);
+            --timerCount_;
+            // earliestDeadlineNs_ may now be stale (pointing at the
+            // cancelled timer); that only causes one early wakeup,
+            // after which fireDueTimers() recomputes it.
+            return;
+        }
+    }
+}
+
+void
+EventLoop::fireDueTimers(std::uint64_t now_ns)
+{
+    if (timerCount_ == 0) {
+        earliestDeadlineNs_ = 0;
+        wheelCursorTick_ = now_ns / kWheelTickNs;
+        return;
+    }
+    const std::uint64_t nowTick = now_ns / kWheelTickNs;
+    // Sweep every tick since the last pass, capped at one full
+    // rotation (the wheel aliases past that anyway).  The current
+    // tick is re-swept each call so sub-tick delays fire promptly;
+    // re-sweeping is harmless because only due entries leave.
+    std::uint64_t firstTick = wheelCursorTick_;
+    if (nowTick >= kWheelSlots - 1 &&
+        firstTick < nowTick - (kWheelSlots - 1))
+        firstTick = nowTick - (kWheelSlots - 1);
+    std::vector<TimerEntry> due;
+    for (std::uint64_t tick = firstTick; tick <= nowTick; ++tick) {
+        auto &slot = wheel_[tick & (kWheelSlots - 1)];
+        for (std::size_t i = 0; i < slot.size();) {
+            if (slot[i].deadlineNs <= now_ns) {
+                due.push_back(std::move(slot[i]));
+                slot[i] = std::move(slot.back());
+                slot.pop_back();
+                --timerCount_;
+            } else {
+                ++i;
+            }
+        }
+    }
+    wheelCursorTick_ = nowTick;
+    if (!due.empty()) {
+        // Deterministic fire order within one pass.
+        std::sort(due.begin(), due.end(),
+                  [](const TimerEntry &a, const TimerEntry &b) {
+                      return a.deadlineNs != b.deadlineNs
+                                 ? a.deadlineNs < b.deadlineNs
+                                 : a.id < b.id;
+                  });
+        // Recompute the earliest remaining deadline before running
+        // callbacks; addTimer() from inside a callback folds its own
+        // deadline in via the min() on the arm path.
+        earliestDeadlineNs_ = 0;
+        for (const auto &slot : wheel_) {
+            for (const auto &entry : slot) {
+                if (earliestDeadlineNs_ == 0 ||
+                    entry.deadlineNs < earliestDeadlineNs_)
+                    earliestDeadlineNs_ = entry.deadlineNs;
+            }
+        }
+        for (auto &entry : due)
+            entry.fn();
+    }
+}
+
+int
+EventLoop::epollTimeoutMs(std::uint64_t now_ns) const
+{
+    constexpr int kIdleTimeoutMs = 200;
+    if (timerCount_ == 0 || earliestDeadlineNs_ == 0)
+        return kIdleTimeoutMs;
+    if (earliestDeadlineNs_ <= now_ns)
+        return 1;
+    const std::uint64_t waitMs =
+        (earliestDeadlineNs_ - now_ns) / 1'000'000 + 1;
+    return static_cast<int>(
+        std::min<std::uint64_t>(waitMs, kIdleTimeoutMs));
+}
+
 void
 EventLoop::run()
 {
@@ -115,9 +233,10 @@ EventLoop::run()
                       std::memory_order_release);
     std::array<epoll_event, 64> events;
     while (!stop_.load(std::memory_order_acquire)) {
-        const int n = ::epoll_wait(epollFd_, events.data(),
-                                   static_cast<int>(events.size()),
-                                   /*timeout_ms=*/200);
+        const int n =
+            ::epoll_wait(epollFd_, events.data(),
+                         static_cast<int>(events.size()),
+                         epollTimeoutMs(monotonicNs()));
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -132,6 +251,7 @@ EventLoop::run()
             const std::shared_ptr<FdHandler> handler = it->second;
             (*handler)(events[i].events);
         }
+        fireDueTimers(monotonicNs());
         drainPosted();
     }
     // Final drain so a completion posted concurrently with stop()

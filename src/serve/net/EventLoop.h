@@ -17,12 +17,21 @@
  * connection from inside its read callback) while later events for
  * that fd are still queued in the same epoll_wait batch: the lookup
  * simply misses and the stale event is dropped.
+ *
+ * The loop also owns a hashed timer wheel (addTimer/cancelTimer,
+ * loop-thread-only like add/mod/del): coarse 10ms ticks over 128
+ * slots, which is plenty for connection idle/read deadlines and
+ * chaos-injected accept delays -- none of which need sub-tick
+ * precision.  The epoll_wait timeout tightens to the earliest armed
+ * deadline so a timer never waits out the full idle period.
  */
 
 #ifndef CSR_SERVE_NET_EVENTLOOP_H
 #define CSR_SERVE_NET_EVENTLOOP_H
 
+#include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -38,6 +47,7 @@ class EventLoop
 {
   public:
     using FdHandler = std::function<void(std::uint32_t events)>;
+    using TimerId = std::uint64_t;
 
     /** @throws NetError when epoll/eventfd creation fails. */
     EventLoop();
@@ -72,9 +82,37 @@ class EventLoop
     /** True when called from inside run() on the loop thread. */
     bool inLoopThread() const;
 
+    /**
+     * Arm a one-shot timer: @p fn runs on the loop thread once at
+     * least @p delay_ns have elapsed (10ms tick granularity).  Loop
+     * thread only (or before run()); cross-thread callers go through
+     * post().  The callback may arm further timers.  Returns an id
+     * for cancelTimer(); ids are never reused.
+     */
+    TimerId addTimer(std::uint64_t delay_ns, std::function<void()> fn);
+
+    /** Disarm @p id if it has not fired (loop thread only).  Unknown
+     *  or already-fired ids are ignored. */
+    void cancelTimer(TimerId id);
+
+    /** Armed, not-yet-fired timer count (loop thread only; tests). */
+    std::size_t pendingTimers() const { return timerCount_; }
+
   private:
+    struct TimerEntry
+    {
+        TimerId id;
+        std::uint64_t deadlineNs;
+        std::function<void()> fn;
+    };
+
+    static constexpr std::size_t kWheelSlots = 128; // power of two
+    static constexpr std::uint64_t kWheelTickNs = 10'000'000; // 10ms
+
     void wake();
     void drainPosted();
+    void fireDueTimers(std::uint64_t now_ns);
+    int epollTimeoutMs(std::uint64_t now_ns) const;
 
     int epollFd_ = -1;
     int wakeFd_ = -1;
@@ -83,6 +121,13 @@ class EventLoop
     std::mutex postMutex_;
     std::vector<std::function<void()>> posted_;
     std::unordered_map<int, std::shared_ptr<FdHandler>> handlers_;
+
+    // Timer wheel state: loop-thread-only, no locks.
+    std::array<std::vector<TimerEntry>, kWheelSlots> wheel_;
+    TimerId nextTimerId_ = 1;
+    std::size_t timerCount_ = 0;
+    std::uint64_t wheelCursorTick_ = 0; ///< last tick fully fired
+    std::uint64_t earliestDeadlineNs_ = 0; ///< 0 = no timers armed
 };
 
 } // namespace csr::serve::net

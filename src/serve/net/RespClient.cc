@@ -16,6 +16,7 @@ namespace csr::serve::net
 
 RespClient::RespClient(const std::string &host, std::uint16_t port,
                        double timeout_sec)
+    : timeoutSec_(timeout_sec)
 {
     fd_ = ScopedFd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
     if (!fd_.valid())
@@ -38,11 +39,14 @@ RespClient::RespClient(const std::string &host, std::uint16_t port,
     if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
         throw ConfigError("bad host '" + host +
                           "' (expected an IPv4 dotted quad)");
-    if (::connect(fd_.get(), reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) < 0)
+    while (::connect(fd_.get(), reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)) < 0) {
+        if (errno == EINTR)
+            continue; // a signal is not a refusal; retry
         throw NetError("connect(" + host + ":" +
                        std::to_string(port) +
                        ") failed: " + errnoText(errno));
+    }
     const int one = 1;
     ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &one,
                  sizeof(one));
@@ -101,13 +105,26 @@ RespClient::fillBuffer()
             buffer_.append(chunk, static_cast<std::size_t>(n));
             return;
         }
-        if (n == 0)
-            throw NetError("server closed the connection");
+        if (n == 0) {
+            // Peer close and timeout are different failures: one says
+            // the server went away, the other that it is (still)
+            // there but slow.  Say which, and how much of a reply was
+            // already buffered when it happened.
+            const std::size_t partial = buffer_.size() - pos_;
+            throw NetError(
+                partial == 0
+                    ? "server closed the connection between replies"
+                    : "server closed the connection mid-reply (" +
+                          std::to_string(partial) +
+                          " bytes of a partial reply buffered)");
+        }
         if (errno == EINTR)
             continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK)
             throw TimeoutError(
-                "timed out waiting for a server reply");
+                "no server reply within the --net-timeout bound (" +
+                std::to_string(timeoutSec_) +
+                " s); the peer is still connected, just slow");
         throw NetError("recv failed: " + errnoText(errno));
     }
 }

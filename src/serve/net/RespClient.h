@@ -73,6 +73,9 @@ class RespClient
     std::string sendBuf_;
     std::string buffer_;
     std::size_t pos_ = 0;
+    /** Configured socket timeout, kept for error messages (so a
+     *  timeout names the bound that expired, not just "timed out"). */
+    double timeoutSec_ = 0.0;
 };
 
 } // namespace csr::serve::net

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -54,6 +55,19 @@ NetServerConfig::fromArgs(const CliArgs &args)
     }
     config.workers = static_cast<unsigned>(
         args.getUInt("net-workers", config.workers));
+    config.maxConns = static_cast<std::size_t>(
+        args.getUInt("max-conns", config.maxConns));
+    config.tuning.idleTimeoutMs = args.getDouble(
+        "idle-timeout-ms", config.tuning.idleTimeoutMs);
+    config.tuning.readDeadlineMs = args.getDouble(
+        "read-deadline-ms", config.tuning.readDeadlineMs);
+    config.tuning.shedPendingOps = static_cast<std::size_t>(
+        args.getUInt("shed-pending-ops",
+                     config.tuning.shedPendingOps));
+    config.tuning.shedWriteBytes = static_cast<std::size_t>(
+        args.getUInt("shed-write-bytes",
+                     config.tuning.shedWriteBytes));
+    config.chaos = ChaosConfig::fromArgs(args);
     config.validate();
     return config;
 }
@@ -72,6 +86,13 @@ NetServerConfig::validate() const
             "per-connection pending-op bound must be positive");
     if (tuning.writeWatermark == 0)
         throw ConfigError("write watermark must be positive");
+    if (tuning.idleTimeoutMs < 0.0)
+        throw ConfigError(
+            "--idle-timeout-ms must be >= 0 (0 disables)");
+    if (tuning.readDeadlineMs < 0.0)
+        throw ConfigError(
+            "--read-deadline-ms must be >= 0 (0 disables)");
+    chaos.validate();
 }
 
 NetServer::NetServer(CacheService &service,
@@ -128,6 +149,9 @@ NetServer::start()
         return;
     workers_.clear();
     workers_.reserve(config_.workers);
+    draining_.store(false, std::memory_order_release);
+    liveConns_.store(0, std::memory_order_relaxed);
+    connSerial_.store(0, std::memory_order_relaxed);
 
     for (unsigned w = 0; w < config_.workers; ++w) {
         auto worker = std::make_unique<Worker>();
@@ -182,25 +206,90 @@ NetServer::onAcceptable(Worker &worker)
             warn("accept failed: %s", errnoText(errno).c_str());
             return;
         }
+        if (config_.maxConns != 0 &&
+            liveConns_.load(std::memory_order_relaxed) >=
+                config_.maxConns) {
+            // Refuse *before* spending a Connection on it.  The reply
+            // is best-effort -- a freshly accepted socket's buffer is
+            // empty, so the short send virtually always lands whole.
+            static const char kAtCapacity[] =
+                "-ERR server at capacity\r\n";
+            (void)::send(fd, kAtCapacity, sizeof(kAtCapacity) - 1,
+                         MSG_NOSIGNAL);
+            ::close(fd);
+            worker.stats.capacityRejections.fetch_add(
+                1, std::memory_order_relaxed);
+            continue;
+        }
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
                      sizeof(one));
         worker.stats.connectionsAccepted.fetch_add(
             1, std::memory_order_relaxed);
+        liveConns_.fetch_add(1, std::memory_order_relaxed);
         CSR_TRACE_INSTANT_V("net", "conn.accept", fd);
 
-        ConnectionContext ctx{
-            worker.loop,
-            service_,
-            config_.tuning,
-            worker.stats,
-            [this] { return infoText(); },
-            [&worker](int closed_fd) { worker.conns.erase(closed_fd); },
-        };
-        auto conn = std::make_shared<Connection>(std::move(ctx), fd);
-        worker.conns.emplace(fd, conn);
-        conn->open();
+        const std::uint64_t serial =
+            connSerial_.fetch_add(1, std::memory_order_relaxed);
+        if (chaosDecide(config_.chaos, ChaosSite::DeferAccept,
+                        serial)) {
+            // TIMING fault: the socket sits accepted-but-unserviced
+            // for 1-10 ms before its Connection exists, so the first
+            // commands pile into the kernel buffer and arrive as one
+            // burst.  The holder owns the fd until adoption in case
+            // the loop dies with the timer still pending.
+            worker.stats.chaosDeferredAccepts.fetch_add(
+                1, std::memory_order_relaxed);
+            const double draw = chaosDraw(
+                config_.chaos, ChaosSite::DeferAccept, serial, 1);
+            const std::uint64_t delayNs =
+                1'000'000 +
+                static_cast<std::uint64_t>(draw * 9.0e6);
+            Worker *raw = &worker;
+            auto holder = std::make_shared<ScopedFd>(fd);
+            worker.loop.addTimer(
+                delayNs, [this, raw, holder, serial] {
+                    adoptConnection(*raw, holder->release(), serial);
+                });
+            continue;
+        }
+        adoptConnection(worker, fd, serial);
     }
+}
+
+void
+NetServer::adoptConnection(Worker &worker, int fd,
+                           std::uint64_t serial)
+{
+    if (draining_.load(std::memory_order_acquire)) {
+        // A deferred accept can land after drain() already swept the
+        // connection map; it never decoded a command, so closing it
+        // unanswered keeps the one-reply-per-accepted-command
+        // contract intact.
+        ::close(fd);
+        worker.stats.connectionsClosed.fetch_add(
+            1, std::memory_order_relaxed);
+        liveConns_.fetch_sub(1, std::memory_order_relaxed);
+        return;
+    }
+    Worker *raw = &worker;
+    ConnectionContext ctx{
+        worker.loop,
+        service_,
+        config_.tuning,
+        worker.stats,
+        load_,
+        config_.chaos,
+        serial,
+        [this] { return infoText(); },
+        [this, raw](int closed_fd) {
+            raw->conns.erase(closed_fd);
+            liveConns_.fetch_sub(1, std::memory_order_relaxed);
+        },
+    };
+    auto conn = std::make_shared<Connection>(std::move(ctx), fd);
+    worker.conns.emplace(fd, conn);
+    conn->open();
 }
 
 void
@@ -218,6 +307,88 @@ NetServer::stop()
     for (auto &worker : workers_)
         worker->conns.clear();
     running_.store(false, std::memory_order_release);
+}
+
+DrainReport
+NetServer::drain(double deadline_ms)
+{
+    DrainReport report;
+    if (!running_.load(std::memory_order_acquire) ||
+        draining_.exchange(true, std::memory_order_acq_rel)) {
+        return lastDrain_;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const auto elapsedMs = [start] {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+    report.drainedConns =
+        liveConns_.load(std::memory_order_relaxed);
+
+    // Phase 1, on each worker's own loop thread: stop accepting and
+    // start draining every connection it owns.  beginDrain() may
+    // close (and erase) synchronously, so iterate over a copy.
+    for (auto &worker : workers_) {
+        Worker *raw = worker.get();
+        raw->loop.post([raw] {
+            if (raw->listenFd.valid()) {
+                raw->loop.del(raw->listenFd.get());
+                raw->listenFd.reset();
+            }
+            std::vector<std::shared_ptr<Connection>> open;
+            open.reserve(raw->conns.size());
+            for (auto &[fd, conn] : raw->conns)
+                open.push_back(conn);
+            for (auto &conn : open)
+                conn->beginDrain();
+        });
+    }
+
+    // Phase 2: wait for the flush to finish everywhere.
+    while (liveConns_.load(std::memory_order_relaxed) != 0 &&
+           elapsedMs() < deadline_ms)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    if (liveConns_.load(std::memory_order_relaxed) != 0) {
+        // Phase 3, deadline expired.  Most stragglers are parked on
+        // a backend fetch that will never finish in time: fail every
+        // in-flight fetch fast (completions become -ERR replies),
+        // grant a short grace to flush those, then abort the rest.
+        report.deadlineExpired = true;
+        report.failedFetches = service_.failInflight(
+            "server draining: backend fetch abandoned at the drain "
+            "deadline");
+        const double graceUntilMs = elapsedMs() + 250.0;
+        while (liveConns_.load(std::memory_order_relaxed) != 0 &&
+               elapsedMs() < graceUntilMs)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+
+        report.forcedCloses =
+            liveConns_.load(std::memory_order_relaxed);
+        for (auto &worker : workers_) {
+            Worker *raw = worker.get();
+            raw->loop.post([raw] {
+                std::vector<std::shared_ptr<Connection>> open;
+                open.reserve(raw->conns.size());
+                for (auto &[fd, conn] : raw->conns)
+                    open.push_back(conn);
+                for (auto &conn : open)
+                    conn->abort();
+            });
+        }
+        // Aborts are synchronous once the post runs; bounded wait.
+        const double abortUntilMs = elapsedMs() + 250.0;
+        while (liveConns_.load(std::memory_order_relaxed) != 0 &&
+               elapsedMs() < abortUntilMs)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+    }
+
+    report.drainMs = elapsedMs();
+    lastDrain_ = report;
+    return report;
 }
 
 NetStats
@@ -243,6 +414,19 @@ NetServer::stats() const
         total.bytesOut += s.bytesOut.load(std::memory_order_relaxed);
         total.backpressureStalls +=
             s.backpressureStalls.load(std::memory_order_relaxed);
+        total.shedOps += s.shedOps.load(std::memory_order_relaxed);
+        total.idleClosed +=
+            s.idleClosed.load(std::memory_order_relaxed);
+        total.deadlineClosed +=
+            s.deadlineClosed.load(std::memory_order_relaxed);
+        total.capacityRejections +=
+            s.capacityRejections.load(std::memory_order_relaxed);
+        total.chaosShortWrites +=
+            s.chaosShortWrites.load(std::memory_order_relaxed);
+        total.chaosDeferredAccepts +=
+            s.chaosDeferredAccepts.load(std::memory_order_relaxed);
+        total.chaosResets +=
+            s.chaosResets.load(std::memory_order_relaxed);
         if (!running_.load(std::memory_order_acquire))
             total.wireLatencyNs.merge(s.wireLatencyNs);
     }
@@ -279,6 +463,13 @@ NetServer::infoText() const
     line(out, "logFullFallbacks", t.logFullFallbacks);
     line(out, "backendFetches", t.backendFetches);
     line(out, "coalescedMisses", t.coalescedMisses);
+    // The robustness block: shedOps is folded in from the net tier
+    // (the service itself never sheds), the rest come from the
+    // service's breakers and stale-serve counters.
+    line(out, "shedOps", n.shedOps);
+    line(out, "breakerOpens", t.breakerOpens);
+    line(out, "breakerFastFails", t.breakerFastFails);
+    line(out, "staleServes", t.staleServes);
     out += "# net\n";
     line(out, "connectionsAccepted", n.connectionsAccepted);
     line(out, "connectionsClosed", n.connectionsClosed);
@@ -292,6 +483,12 @@ NetServer::infoText() const
     line(out, "bytesIn", n.bytesIn);
     line(out, "bytesOut", n.bytesOut);
     line(out, "backpressureStalls", n.backpressureStalls);
+    line(out, "idleClosed", n.idleClosed);
+    line(out, "deadlineClosed", n.deadlineClosed);
+    line(out, "capacityRejections", n.capacityRejections);
+    line(out, "chaosShortWrites", n.chaosShortWrites);
+    line(out, "chaosDeferredAccepts", n.chaosDeferredAccepts);
+    line(out, "chaosResets", n.chaosResets);
     return out;
 }
 
@@ -314,6 +511,26 @@ NetServer::exportMetrics(MetricRegistry &registry) const
     registry.setCounter("net.bytes.out", n.bytesOut);
     registry.setCounter("net.backpressure_stalls",
                         n.backpressureStalls);
+    registry.setCounter("net.sheds", n.shedOps);
+    registry.setCounter("net.idle_closed", n.idleClosed);
+    registry.setCounter("net.deadline_closed", n.deadlineClosed);
+    registry.setCounter("net.capacity_rejections",
+                        n.capacityRejections);
+    registry.setCounter("net.chaos.short_writes",
+                        n.chaosShortWrites);
+    registry.setCounter("net.chaos.deferred_accepts",
+                        n.chaosDeferredAccepts);
+    registry.setCounter("net.chaos.resets", n.chaosResets);
+    registry.setCounter("net.drain.drained_conns",
+                        lastDrain_.drainedConns);
+    registry.setCounter("net.drain.forced_closes",
+                        lastDrain_.forcedCloses);
+    registry.setCounter("net.drain.failed_fetches",
+                        lastDrain_.failedFetches);
+    registry.setCounter("net.drain.deadline_expired",
+                        lastDrain_.deadlineExpired ? 1 : 0);
+    registry.recordTimerSec("net.drain.duration",
+                            lastDrain_.drainMs / 1000.0);
     registry.mergeHistogram("net.wire_latency_ns", n.wireLatencyNs);
 }
 
@@ -373,6 +590,14 @@ parseInfoTotals(const std::string &info)
             t.backendFetches = u64();
         else if (key == "coalescedMisses")
             t.coalescedMisses = u64();
+        else if (key == "shedOps")
+            t.shedOps = u64();
+        else if (key == "breakerOpens")
+            t.breakerOpens = u64();
+        else if (key == "breakerFastFails")
+            t.breakerFastFails = u64();
+        else if (key == "staleServes")
+            t.staleServes = u64();
     }
     return t;
 }

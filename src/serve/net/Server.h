@@ -56,13 +56,20 @@ struct NetServerConfig
     /** Event-loop threads; 0 = one per hardware thread. */
     unsigned workers = 1;
     int backlog = 128;
+    /** Live-connection cap; accepts past it are refused with
+     *  "-ERR server at capacity" (0 = unlimited). */
+    std::size_t maxConns = 0;
     NetTuning tuning;
+    /** Deterministic wire chaos (rate 0 = off). */
+    ChaosConfig chaos;
 
     /**
-     * Read --listen HOST:PORT and --net-workers N out of @p args
-     * (absent --listen leaves host/port at their defaults -- the
-     * driver decides whether that means "no server").  The result
-     * is validate()d.  @throws ConfigError.
+     * Read --listen HOST:PORT, --net-workers N, --max-conns N, the
+     * --idle-timeout-ms / --read-deadline-ms / --shed-pending-ops /
+     * --shed-write-bytes tuning knobs, and the --chaos-* family out
+     * of @p args (absent --listen leaves host/port at their defaults
+     * -- the driver decides whether that means "no server").  The
+     * result is validate()d.  @throws ConfigError.
      */
     static NetServerConfig fromArgs(const CliArgs &args);
 
@@ -85,8 +92,28 @@ struct NetStats
     std::uint64_t bytesIn = 0;
     std::uint64_t bytesOut = 0;
     std::uint64_t backpressureStalls = 0;
+    std::uint64_t shedOps = 0;
+    std::uint64_t idleClosed = 0;
+    std::uint64_t deadlineClosed = 0;
+    std::uint64_t capacityRejections = 0;
+    std::uint64_t chaosShortWrites = 0;
+    std::uint64_t chaosDeferredAccepts = 0;
+    std::uint64_t chaosResets = 0;
     /** Complete only after stop() (loop-thread-local until then). */
     Histogram wireLatencyNs{0.0, 1.0e7, 512};
+};
+
+/** What one graceful drain accomplished (the net.drain.* block). */
+struct DrainReport
+{
+    /** Connections open when the drain began. */
+    std::uint64_t drainedConns = 0;
+    /** Of those, how many had to be aborted at the hard deadline. */
+    std::uint64_t forcedCloses = 0;
+    /** In-flight backend fetches failed fast at the deadline. */
+    std::uint64_t failedFetches = 0;
+    double drainMs = 0.0;
+    bool deadlineExpired = false;
 };
 
 class NetServer
@@ -107,6 +134,22 @@ class NetServer
      *  connections are dropped (the protocol has no goodbye).
      *  Idempotent. */
     void stop();
+
+    /**
+     * Graceful shutdown, phase one (call before stop()): close every
+     * listener, ask each open connection to flush its queued replies
+     * and close, and wait up to @p deadline_ms for all of them to
+     * finish.  If the deadline expires, every in-flight backend
+     * fetch is failed fast (so parked completions turn into -ERR
+     * replies), stragglers get a short grace to flush those, and
+     * whatever is still open is aborted.  The report is also kept as
+     * lastDrain() for exportMetrics().  Idempotent; safe to call
+     * from a signal-handling thread (not from a worker loop).
+     */
+    DrainReport drain(double deadline_ms);
+
+    /** Report of the most recent drain() (zeroes if none ran). */
+    const DrainReport &lastDrain() const { return lastDrain_; }
 
     /** Resolved listen port (after start(); useful with port 0). */
     std::uint16_t port() const { return port_; }
@@ -140,6 +183,11 @@ class NetServer
 
     ScopedFd makeListener(std::uint16_t port);
     void onAcceptable(Worker &worker);
+    /** Wrap an accepted @p fd in a Connection on @p worker's loop
+     *  (the tail of onAcceptable; deferred-accept chaos lands here
+     *  from a timer). */
+    void adoptConnection(Worker &worker, int fd,
+                         std::uint64_t serial);
 
     CacheService &service_;
     NetServerConfig config_;
@@ -147,6 +195,17 @@ class NetServer
     /** Atomic: INFO handlers on loop threads read it while start()
      *  and stop() write it from the controlling thread. */
     std::atomic<bool> running_{false};
+    /** Set once drain() begins; late deferred-accept adoptions just
+     *  close their socket instead of joining a draining server. */
+    std::atomic<bool> draining_{false};
+    /** Open connections across all workers (accept++ / close--);
+     *  drives --max-conns and the drain wait. */
+    std::atomic<std::uint64_t> liveConns_{0};
+    /** Server-unique connection ordinal; keys chaos draws. */
+    std::atomic<std::uint64_t> connSerial_{0};
+    /** Server-wide admission-control aggregates (shed watermarks). */
+    WorkerLoad load_;
+    DrainReport lastDrain_;
     std::vector<std::unique_ptr<Worker>> workers_;
 };
 

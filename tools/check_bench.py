@@ -41,14 +41,23 @@ import sys
 # Leaves that are pure wall-clock noise on a shared runner.  The
 # net-mode counters are deterministic for a fixed client stream
 # (per-verb counts, bytes), except backpressure stalls, which depend
-# on scheduling.
+# on scheduling.  The robustness counters (sheds, breaker trips,
+# deadline evictions, chaos injections, drain accounting) are zero on
+# a healthy bench run and only move under fault injection or load
+# races -- never a perf signal, so they are skipped rather than
+# compared.
 SKIP_KEYS = {
     "wallSec", "qps", "iterations", "p50", "p90", "p99",
     "taskSecTotal", "jobs", "workers",
     "net.backpressure_stalls",
+    "shedOps", "breakerOpens", "breakerFastFails", "staleServes",
+    "net.sheds", "net.idle_closed", "net.deadline_closed",
+    "net.capacity_rejections",
 }
-# Path components whose whole subtree is wall-clock.
-SKIP_SUBTREES = {"timing", "net.wire_latency_ns"}
+# Path components whose whole subtree is wall-clock (or, for the
+# drain/chaos trees, fault-injection bookkeeping).
+SKIP_SUBTREES = {"timing", "net.wire_latency_ns", "net.drain",
+                 "net.chaos"}
 # Machine-dependent throughput: compared after within-file
 # normalization, warned about in absolute terms.
 THROUGHPUT_KEYS = {"nsPerAccess", "accessesPerSec", "hitsPerSec"}
@@ -80,7 +89,11 @@ def label_of(array, index):
 
 
 def classify(path):
-    if any(part in SKIP_SUBTREES for part in path):
+    # Subtree entries match both a literal path component and, because
+    # exported metric names are flat dotted keys ("net.drain.duration"),
+    # a dotted-prefix of one.
+    if any(part == tree or part.startswith(tree + ".")
+           for part in path for tree in SKIP_SUBTREES):
         return "skip"
     leaf = path[-1]
     if leaf in SKIP_KEYS:

@@ -62,6 +62,7 @@
 #include "cache/PolicyFactory.h"
 #include "robust/Errors.h"
 #include "serve/CacheService.h"
+#include "serve/ChaosBackend.h"
 #include "serve/LoadHarness.h"
 #include "serve/SyntheticBackend.h"
 #include "serve/net/ClientLoad.h"
@@ -151,14 +152,31 @@ usage()
            "            --affinity shard|free (shard = deterministic)\n"
            "  network:  --listen HOST:PORT (RESP server until SIGTERM;\n"
            "              port 0 = ephemeral) --net-workers N (0=hw)\n"
+           "            --max-conns N (0=unlimited; refuse past it)\n"
+           "            --drain-ms F (graceful-drain deadline, 5000)\n"
+           "            --idle-timeout-ms F --read-deadline-ms F\n"
+           "              (0 disables either)\n"
+           "            --shed-pending-ops N --shed-write-bytes N\n"
+           "              (server-wide -BUSY watermarks; 0 disables)\n"
            "            --connect HOST:PORT (drive a remote server)\n"
            "            --connections C --pipeline W --net-timeout S\n"
            "            --expect-fresh (client: fail unless server\n"
            "              totals == ops sent)\n"
+           "            --allow-errors (client: count -ERR/-BUSY\n"
+           "              replies instead of failing on them)\n"
+           "  breaker:  --breaker 0|1 --breaker-window N\n"
+           "            --breaker-rate F --breaker-timeouts N\n"
+           "            --breaker-backoff-ms F --breaker-backoff-max-ms F\n"
+           "            --stale-while-broken (serve last-known values\n"
+           "              while a shard's breaker is open)\n"
+           "  chaos:    --chaos-rate F --chaos-seed N (deterministic\n"
+           "              wire+backend fault injection)\n"
+           "            --chaos-resets (enable lossy connection\n"
+           "              resets; breaks the summary contract)\n"
            "  output:   --json FILE --trace FILE --metrics FILE\n"
            "            --validate (check invariants after the run)\n"
            "  exit codes: 0 ok, 2 config, 6 geometry, 7 invariant,\n"
-           "              9 timeout, 11 net\n";
+           "              9 timeout, 11 net, 12 circuit open\n";
 }
 
 /** Emit the post-run reports every mode shares: deterministic table
@@ -199,16 +217,31 @@ onSignal(int)
     g_shutdown.store(true);
 }
 
-/** --listen: serve RESP until SIGINT/SIGTERM, then summarize. */
+/** --listen: serve RESP until SIGINT/SIGTERM, then drain and
+ *  summarize (both signals take the same path, so either produces
+ *  the identical deterministic table). */
 int
 runServer(const CliArgs &args)
 {
     const ServeConfig serve_config = ServeConfig::fromArgs(args);
-    SyntheticBackend backend(SyntheticBackendConfig::fromArgs(args));
-    CacheService service(serve_config, backend);
-
+    SyntheticBackend synthetic(
+        SyntheticBackendConfig::fromArgs(args));
     net::NetServerConfig net_config =
         net::NetServerConfig::fromArgs(args);
+    const double drain_ms = args.getDouble("drain-ms", 5000.0);
+    if (drain_ms <= 0.0)
+        throw ConfigError("--drain-ms must be positive");
+
+    // Chaos wraps the backend only when enabled, so a --chaos-rate 0
+    // run is structurally identical to one without the flags.
+    Backend *backend = &synthetic;
+    std::unique_ptr<ChaosBackend> chaos_backend;
+    if (net_config.chaos.enabled()) {
+        chaos_backend = std::make_unique<ChaosBackend>(
+            synthetic, net_config.chaos);
+        backend = chaos_backend.get();
+    }
+    CacheService service(serve_config, *backend);
     net::NetServer server(service, net_config);
 
     std::signal(SIGINT, onSignal);
@@ -228,22 +261,35 @@ runServer(const CliArgs &args)
         while (!g_shutdown.load())
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(50));
+        const net::DrainReport drained = server.drain(drain_ms);
         server.stop();
+        std::cerr << "drain: " << drained.drainedConns
+                  << " conns flushed (" << drained.forcedCloses
+                  << " forced), " << drained.failedFetches
+                  << " in-flight fetches failed, " << drained.drainMs
+                  << " ms"
+                  << (drained.deadlineExpired
+                          ? " (DEADLINE EXPIRED)"
+                          : "")
+                  << "\n";
     }
     if (args.has("validate"))
         service.checkInvariants();
 
     // The summary is the service's view: the same deterministic
-    // totals an in-process run of the same op stream prints.
+    // totals an in-process run of the same op stream prints.  The
+    // shed count is the net tier's -- the service never sees a shed
+    // command, so the fold happens here.
     HarnessResult result(HarnessConfig{}.histMaxNs,
                          HarnessConfig{}.histBuckets);
     result.totals = service.totals();
+    const net::NetStats net_stats = server.stats();
+    result.totals.shedOps = net_stats.shedOps;
     result.ops = result.totals.gets + result.totals.stores;
     result.workers = net_config.workers;
-    const net::NetStats net_stats = server.stats();
     report(args, result, service.policyName(), "wire",
            "serve(net): " + service.policyName() + " / " +
-               backend.describe(),
+               backend->describe(),
            &server);
     std::cerr << "net: " << net_stats.connectionsAccepted
               << " conns, " << net_stats.cmdGet << " GET, "
@@ -251,6 +297,15 @@ runServer(const CliArgs &args)
               << " DEL, " << net_stats.protocolErrors
               << " protocol errors, " << net_stats.bytesIn
               << " B in, " << net_stats.bytesOut << " B out\n";
+    // Report first, fail second: the drain summary above is still
+    // printed, but an expired deadline is a typed failure (exit 9).
+    if (server.lastDrain().deadlineExpired)
+        throw TimeoutError(
+            "graceful drain missed its --drain-ms deadline (" +
+            std::to_string(server.lastDrain().forcedCloses) +
+            " connections aborted, " +
+            std::to_string(server.lastDrain().failedFetches) +
+            " in-flight fetches failed fast)");
     return exitcode::kOk;
 }
 
@@ -274,13 +329,22 @@ runClient(const CliArgs &args)
               << result.sentSets << " SET over "
               << config.connections << " connections; "
               << result.errorReplies << " error replies, "
+              << result.busyReplies << " busy (shed), "
               << result.typeMismatches << " type mismatches\n";
 
-    if (result.errorReplies || result.typeMismatches)
+    // --allow-errors: a chaos/overload run *expects* -ERR and -BUSY
+    // replies; count them (above) instead of failing on them.  Type
+    // mismatches are protocol bugs and fail regardless.
+    if (result.typeMismatches)
+        throw NetError(std::to_string(result.typeMismatches) +
+                       " type mismatches from the server");
+    if (!args.has("allow-errors") &&
+        (result.errorReplies || result.busyReplies))
         throw NetError(std::to_string(result.errorReplies) +
                        " error replies and " +
-                       std::to_string(result.typeMismatches) +
-                       " type mismatches from the server");
+                       std::to_string(result.busyReplies) +
+                       " busy replies from the server "
+                       "(--allow-errors to tolerate)");
     if (args.has("expect-fresh") && !result.consistentWithServer())
         throw InvariantError(
             "server totals disagree with ops sent (gets " +
@@ -363,7 +427,10 @@ main(int argc, char **argv)
     try {
         const CliArgs args(argc, argv, /*first=*/1,
                            /*valueless=*/{"spin", "validate",
-                                          "expect-fresh"});
+                                          "expect-fresh",
+                                          "stale-while-broken",
+                                          "chaos-resets",
+                                          "allow-errors"});
         if (args.helpRequested()) {
             usage();
             return exitcode::kOk;
@@ -376,6 +443,13 @@ main(int argc, char **argv)
             "affinity", "validate", "hitpath", "stripes",
             "inflight-wait-ms", "listen", "net-workers", "connect",
             "connections", "pipeline", "net-timeout", "expect-fresh",
+            "max-conns", "drain-ms", "idle-timeout-ms",
+            "read-deadline-ms", "shed-pending-ops",
+            "shed-write-bytes", "breaker", "breaker-window",
+            "breaker-rate", "breaker-timeouts", "breaker-backoff-ms",
+            "breaker-backoff-max-ms", "stale-while-broken",
+            "chaos-rate", "chaos-seed", "chaos-resets",
+            "allow-errors",
         });
         return run(args);
     } catch (const Error &e) {
