@@ -11,6 +11,7 @@
 #include "cache/LfuPolicy.h"
 #include "cache/LruPolicy.h"
 #include "cache/RandomPolicy.h"
+#include "robust/Errors.h"
 #include "util/Logging.h"
 
 namespace csr
@@ -78,8 +79,8 @@ requirePolicyKind(const std::string &name)
 {
     if (auto kind = parsePolicyKind(name))
         return *kind;
-    csr_fatal("unknown replacement policy '%s' (valid: %s)",
-              name.c_str(), policyNamesJoined().c_str());
+    throw ConfigError("unknown replacement policy '" + name +
+                      "' (valid: " + policyNamesJoined() + ")");
 }
 
 const std::vector<std::string> &

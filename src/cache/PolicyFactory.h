@@ -51,9 +51,9 @@ PolicyPtr makePolicy(PolicyKind kind, const CacheGeometry &geom,
  *  diagnostic (CLIs print listPolicyNames()). */
 std::optional<PolicyKind> parsePolicyKind(const std::string &name);
 
-/** Like parsePolicyKind but fatal on unknown names, with the valid
- *  names in the diagnostic.  For contexts with no better recovery
- *  than exiting (grid specs, bench flags). */
+/** Like parsePolicyKind but throws ConfigError on unknown names,
+ *  with the valid names in the diagnostic (grid specs, replay and
+ *  bench flags -- drivers map it to exitcode::kConfig). */
 PolicyKind requirePolicyKind(const std::string &name);
 
 /** The accepted canonical policy names, parse order

@@ -1,0 +1,288 @@
+#include "replay/Ingest.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <istream>
+
+#include "replay/TraceWriter.h"
+#include "robust/Errors.h"
+#include "util/CliArgs.h"
+
+namespace csr::replay
+{
+
+namespace
+{
+
+/** Split @p line on @p delim into @p out (reused across lines). */
+void
+splitLine(const std::string &line, char delim,
+          std::vector<std::string> &out)
+{
+    out.clear();
+    std::size_t begin = 0;
+    for (;;) {
+        const std::size_t end = line.find(delim, begin);
+        if (end == std::string::npos) {
+            out.push_back(line.substr(begin));
+            return;
+        }
+        out.push_back(line.substr(begin, end - begin));
+        begin = end + 1;
+    }
+}
+
+[[noreturn]] void
+badLine(std::uint64_t line_no, const std::string &what)
+{
+    throw TraceFormatError("input line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+std::uint64_t
+parseU64(const std::string &token, std::uint64_t line_no,
+         const char *column)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(token.c_str(), &end, 10);
+    if (token.empty() || end != token.c_str() + token.size() ||
+        errno == ERANGE)
+        badLine(line_no, std::string("bad number '") + token +
+                             "' in the " + column + " column");
+    return v;
+}
+
+/** Timestamp: integral nanoseconds parse exactly; coarser units may
+ *  be fractional (e.g. "12.5" seconds) and go through a double. */
+std::uint64_t
+parseTs(const std::string &token, TsUnit unit, std::uint64_t line_no)
+{
+    if (unit == TsUnit::Ns)
+        return parseU64(token, line_no, "timestamp");
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size() ||
+        errno == ERANGE || v < 0.0)
+        badLine(line_no, "bad timestamp '" + token + "'");
+    return static_cast<std::uint64_t>(
+        v * static_cast<double>(tsUnitToNs(unit)) + 0.5);
+}
+
+std::uint32_t
+clampU32(std::uint64_t v)
+{
+    return v > 0xFFFFFFFFull ? 0xFFFFFFFFu
+                             : static_cast<std::uint32_t>(v);
+}
+
+int
+colFlag(const CliArgs &args, const char *key, int preset_value)
+{
+    if (!args.has(key))
+        return preset_value;
+    return static_cast<int>(args.getUInt(key, 0));
+}
+
+} // namespace
+
+TsUnit
+requireTsUnit(const std::string &name)
+{
+    if (name == "ns")
+        return TsUnit::Ns;
+    if (name == "us")
+        return TsUnit::Us;
+    if (name == "ms")
+        return TsUnit::Ms;
+    if (name == "s")
+        return TsUnit::S;
+    throw ConfigError("unknown --ts-unit '" + name +
+                      "'; valid: ns us ms s");
+}
+
+std::uint64_t
+tsUnitToNs(TsUnit unit)
+{
+    switch (unit) {
+      case TsUnit::Ns:
+        return 1;
+      case TsUnit::Us:
+        return 1000;
+      case TsUnit::Ms:
+        return 1000 * 1000;
+      case TsUnit::S:
+        return 1000ull * 1000 * 1000;
+    }
+    return 1;
+}
+
+IngestConfig
+IngestConfig::fromArgs(const CliArgs &args)
+{
+    IngestConfig config;
+    const std::string preset = args.get("preset", "generic");
+    if (preset == "twitter") {
+        // ts(s),key,keySize,valueSize,client,op,ttl
+        config.colTs = 0;
+        config.colKey = 1;
+        config.colSize = 3;
+        config.colOp = 5;
+        config.tsUnit = TsUnit::S;
+    } else if (preset == "meta") {
+        // ts(s),key,keySize,op,opCount,valueSize
+        config.colTs = 0;
+        config.colKey = 1;
+        config.colOp = 3;
+        config.colSize = 5;
+        config.tsUnit = TsUnit::S;
+    } else if (preset != "generic") {
+        throw ConfigError("unknown --preset '" + preset +
+                          "'; valid: twitter meta generic");
+    }
+
+    config.colTs = colFlag(args, "col-ts", config.colTs);
+    config.colKey = colFlag(args, "col-key", config.colKey);
+    config.colOp = colFlag(args, "col-op", config.colOp);
+    config.colSize = colFlag(args, "col-size", config.colSize);
+    config.colCost = colFlag(args, "col-cost", config.colCost);
+
+    if (args.has("delim")) {
+        const std::string d = args.get("delim", ",");
+        if (d == "tab" || d == "\\t")
+            config.delim = '\t';
+        else if (d.size() == 1)
+            config.delim = d[0];
+        else
+            throw ConfigError("--delim wants one character or 'tab'");
+    }
+    if (args.has("ts-unit"))
+        config.tsUnit = requireTsUnit(args.get("ts-unit", ""));
+    config.skipLines = static_cast<unsigned>(
+        args.getUInt("skip-lines", config.skipLines));
+
+    config.validate();
+    return config;
+}
+
+void
+IngestConfig::validate() const
+{
+    if (colKey < 0)
+        throw ConfigError(
+            "the input must have a key column (--col-key N)");
+}
+
+bool
+parseOpToken(const std::string &token, std::uint8_t &op_out)
+{
+    std::string t;
+    t.reserve(token.size());
+    for (const char c : token)
+        t.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    if (t == "get" || t == "gets" || t == "read") {
+        op_out = static_cast<std::uint8_t>(TraceOp::Get);
+        return true;
+    }
+    if (t == "set" || t == "put" || t == "add" || t == "replace" ||
+        t == "cas" || t == "append" || t == "prepend" ||
+        t == "write" || t == "update") {
+        op_out = static_cast<std::uint8_t>(TraceOp::Set);
+        return true;
+    }
+    if (t == "del" || t == "delete" || t == "remove") {
+        op_out = static_cast<std::uint8_t>(TraceOp::Del);
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+keyOf(const std::string &token)
+{
+    if (!token.empty()) {
+        bool decimal = true;
+        for (const char c : token) {
+            if (c < '0' || c > '9') {
+                decimal = false;
+                break;
+            }
+        }
+        // Pure decimal keys round-trip verbatim (<= 20 digits parses
+        // or saturates deterministically; hash anything longer).
+        if (decimal && token.size() <= 20) {
+            errno = 0;
+            char *end = nullptr;
+            const unsigned long long v =
+                std::strtoull(token.c_str(), &end, 10);
+            if (end == token.c_str() + token.size() &&
+                errno != ERANGE)
+                return v;
+        }
+    }
+    return format::fnv1aString(token);
+}
+
+IngestStats
+ingestText(std::istream &in, const IngestConfig &config,
+           TraceWriter &writer)
+{
+    config.validate();
+    IngestStats stats;
+    int max_col = config.colKey;
+    for (const int c : {config.colTs, config.colOp, config.colSize,
+                        config.colCost})
+        if (c > max_col)
+            max_col = c;
+
+    std::string line;
+    std::vector<std::string> fields;
+    while (std::getline(in, line)) {
+        ++stats.lines;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (stats.lines <= config.skipLines || line.empty() ||
+            line[0] == '#') {
+            ++stats.skipped;
+            continue;
+        }
+        splitLine(line, config.delim, fields);
+        if (fields.size() <= static_cast<std::size_t>(max_col))
+            badLine(stats.lines,
+                    "expected at least " +
+                        std::to_string(max_col + 1) + " columns, got " +
+                        std::to_string(fields.size()));
+
+        ReplayRecord rec;
+        rec.tsNs = config.colTs >= 0
+                       ? parseTs(fields[config.colTs], config.tsUnit,
+                                 stats.lines)
+                       : stats.records * 1000; // synthetic 1us spacing
+        rec.key = keyOf(fields[config.colKey]);
+        if (config.colOp >= 0) {
+            std::uint8_t op = 0;
+            if (!parseOpToken(fields[config.colOp], op))
+                badLine(stats.lines, "unknown op '" +
+                                         fields[config.colOp] +
+                                         "' (valid: get set del and "
+                                         "their aliases)");
+            rec.op = static_cast<TraceOp>(op);
+        }
+        if (config.colSize >= 0)
+            rec.valueSize = clampU32(parseU64(
+                fields[config.colSize], stats.lines, "value-size"));
+        if (config.colCost >= 0)
+            rec.costHint = clampU32(parseU64(
+                fields[config.colCost], stats.lines, "cost-hint"));
+
+        writer.append(rec);
+        ++stats.records;
+    }
+    return stats;
+}
+
+} // namespace csr::replay

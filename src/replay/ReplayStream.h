@@ -1,0 +1,73 @@
+/**
+ * @file
+ * BatchStream adapter over a .csrt trace.
+ *
+ * Lets any driver written against ProcAccessStream (the trace
+ * simulator, the sweep engine's study machinery) pull a recorded KV
+ * trace as if it were a synthetic workload program: blocks are
+ * decoded one at a time into the BatchStream buffer, keys become
+ * block-granular byte addresses (key * blockBytes), SETs become
+ * writes and GETs loads.  DELs carry no address-stream meaning (a
+ * MemAccess cannot express an invalidation) and are skipped; drivers
+ * that model invalidations replay through Replayer instead.
+ */
+
+#ifndef CSR_REPLAY_REPLAYSTREAM_H
+#define CSR_REPLAY_REPLAYSTREAM_H
+
+#include <cstdint>
+
+#include "replay/TraceReader.h"
+#include "trace/BatchStream.h"
+
+namespace csr::replay
+{
+
+class ReplayStream : public BatchStream
+{
+  public:
+    /**
+     * @param reader      open trace (not owned; must outlive the
+     *                    stream; a stream is the reader's only user)
+     * @param block_bytes cache block size the keys are scaled by
+     * @param cap_refs    stop after this many accesses (0 = all)
+     */
+    ReplayStream(TraceReader &reader, std::uint32_t block_bytes,
+                 std::uint64_t cap_refs = 0)
+        : BatchStream(cap_refs), reader_(reader),
+          blockBytes_(block_bytes)
+    {
+    }
+
+  protected:
+    void
+    refill() override
+    {
+        while (nextBlock_ < reader_.blockCount()) {
+            reader_.readBlock(nextBlock_++, block_);
+            bool emitted = false;
+            for (std::size_t i = 0; i < block_.size(); ++i) {
+                const auto op = static_cast<TraceOp>(block_.op[i]);
+                if (op == TraceOp::Del)
+                    continue; // no MemAccess equivalent
+                emit(block_.key[i] * blockBytes_, op == TraceOp::Set);
+                emitted = true;
+            }
+            if (emitted)
+                return;
+            // All-DEL block: keep decoding, refill() must emit or
+            // finish.
+        }
+        finish();
+    }
+
+  private:
+    TraceReader &reader_;
+    std::uint64_t blockBytes_;
+    std::uint64_t nextBlock_ = 0;
+    ReplayBlock block_;
+};
+
+} // namespace csr::replay
+
+#endif // CSR_REPLAY_REPLAYSTREAM_H

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Bridge from .csrt traces into the sweep engine's SampledTrace form,
+ * so recorded KV workloads can occupy grid cells next to the paper's
+ * synthetic benchmarks (csrsim sweep ... traces=foo.csrt).
+ */
+
+#ifndef CSR_REPLAY_SWEEPTRACE_H
+#define CSR_REPLAY_SWEEPTRACE_H
+
+#include <cstdint>
+#include <string>
+
+#include "trace/SampledTrace.h"
+
+namespace csr::replay
+{
+
+/** The benchmark label a trace file occupies a sweep cell under:
+ *  the basename without the .csrt suffix. */
+std::string traceCellName(const std::string &path);
+
+/**
+ * Decode @p path into a SampledTrace: keys become block-granular
+ * addresses (key * block_bytes), SETs stores, GETs loads, DELs
+ * skipped.  Every record is attributed to the sampled processor 0.
+ * KV traces carry no NUMA placement, so homeOf is synthesized
+ * deterministically (hashMix64(block) % 16) as a stand-in that gives
+ * the first-touch cost mapping something stable to chew on; studies
+ * that need real homes must use the synthetic benchmarks.
+ *
+ * @throws ConfigError / TraceFormatError from TraceReader.
+ */
+SampledTrace loadReplaySampledTrace(const std::string &path,
+                                    std::uint32_t block_bytes);
+
+} // namespace csr::replay
+
+#endif // CSR_REPLAY_SWEEPTRACE_H

@@ -1,0 +1,234 @@
+#include "replay/TraceWriter.h"
+
+#include <cstring>
+
+#include "robust/Errors.h"
+#include "util/Logging.h"
+
+namespace csr::replay
+{
+
+namespace
+{
+
+using namespace format;
+
+/**
+ * Encode one integer column as zig-zag varint deltas into @p out,
+ * falling back to raw fixed-width values when that is no smaller
+ * (random 64-bit keys varint to ~10 bytes each; raw caps them at 8).
+ * @return the encoding chosen.
+ */
+template <typename T>
+Encoding
+encodeColumn(const std::vector<T> &values, std::vector<std::uint8_t> &out)
+{
+    const std::size_t raw_bytes = values.size() * sizeof(T);
+    std::vector<std::uint8_t> varint;
+    varint.reserve(values.size() * 2);
+    std::uint8_t buf[kMaxVarintBytes];
+    std::uint64_t prev = 0;
+    for (const T v : values) {
+        const std::uint64_t cur = static_cast<std::uint64_t>(v);
+        const std::uint64_t zz = zigzag(
+            static_cast<std::int64_t>(cur - prev));
+        const unsigned n = putVarint(buf, zz);
+        varint.insert(varint.end(), buf, buf + n);
+        prev = cur;
+        if (varint.size() >= raw_bytes)
+            break; // already no better than raw
+    }
+    if (varint.size() < raw_bytes) {
+        out = std::move(varint);
+        return kEncodingVarint;
+    }
+    out.resize(raw_bytes);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if constexpr (sizeof(T) == 8)
+            put64(out.data() + i * 8,
+                  static_cast<std::uint64_t>(values[i]));
+        else
+            put32(out.data() + i * 4,
+                  static_cast<std::uint32_t>(values[i]));
+    }
+    return kEncodingRaw;
+}
+
+void
+appendColumn(std::vector<std::uint8_t> &block, Encoding encoding,
+             const std::vector<std::uint8_t> &payload)
+{
+    block.push_back(static_cast<std::uint8_t>(encoding));
+    std::uint8_t len[4];
+    put32(len, static_cast<std::uint32_t>(payload.size()));
+    block.insert(block.end(), len, len + 4);
+    block.insert(block.end(), payload.begin(), payload.end());
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path,
+                         std::uint32_t block_size)
+    : path_(path), blockSize_(block_size)
+{
+    if (blockSize_ == 0)
+        throw ConfigError("csrt block size must be >= 1 record");
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr)
+        throw ConfigError("cannot open '" + path +
+                          "' for writing a .csrt trace");
+    // Header placeholder; finish() seeks back and writes the real one.
+    const std::uint8_t zero[kHeaderBytes] = {};
+    writeOrThrow(zero, sizeof(zero));
+    ts_.reserve(blockSize_);
+    key_.reserve(blockSize_);
+    op_.reserve(blockSize_);
+    valueSize_.reserve(blockSize_);
+    costHint_.reserve(blockSize_);
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (finished_)
+        return;
+    try {
+        finish();
+    } catch (const Error &e) {
+        // A destructor must not throw; an unfinished writer whose
+        // flush fails leaves a file verify() will reject.
+        warn("TraceWriter(%s): finish failed in destructor: %s",
+             path_.c_str(), e.what());
+    }
+}
+
+void
+TraceWriter::writeOrThrow(const std::uint8_t *data, std::size_t n)
+{
+    if (std::fwrite(data, 1, n, file_) != n)
+        throw TraceFormatError("short write to '" + path_ + "'",
+                               nextOffset_);
+}
+
+void
+TraceWriter::append(const ReplayRecord &record)
+{
+    if (finished_)
+        throw TraceFormatError("append to a finished .csrt writer",
+                               nextOffset_);
+    ts_.push_back(record.tsNs);
+    key_.push_back(record.key);
+    op_.push_back(static_cast<std::uint8_t>(record.op));
+    valueSize_.push_back(record.valueSize);
+    costHint_.push_back(record.costHint);
+    ++recordCount_;
+    if (ts_.size() >= blockSize_)
+        flushBlock();
+}
+
+void
+TraceWriter::flushBlock()
+{
+    if (ts_.empty())
+        return;
+    using namespace format;
+
+    // The timestamp column stores per-record deltas against the
+    // previous record (record 0 against the block's base timestamp,
+    // so its delta is 0); the block is then self-contained.
+    const std::uint64_t base_ts = ts_.front();
+    std::vector<std::uint64_t> ts_delta(ts_.size());
+    std::uint64_t prev = base_ts;
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+        ts_delta[i] = ts_[i] - prev;
+        prev = ts_[i];
+    }
+
+    scratch_.clear();
+    scratch_.resize(kBlockHeaderBytes);
+    put64(scratch_.data(), base_ts);
+    put32(scratch_.data() + 8, static_cast<std::uint32_t>(ts_.size()));
+
+    std::vector<std::uint8_t> payload;
+    // The delta transform above already made the ts column small and
+    // zero-based, so it goes through the generic delta coder too (its
+    // deltas-of-deltas squeeze jittered-but-regular arrival times).
+    appendColumn(scratch_, encodeColumn(ts_delta, payload), payload);
+    appendColumn(scratch_, encodeColumn(key_, payload), payload);
+    {
+        // The op column is one byte per record already; raw always.
+        payload.assign(op_.begin(), op_.end());
+        appendColumn(scratch_, kEncodingRaw, payload);
+    }
+    appendColumn(scratch_, encodeColumn(valueSize_, payload), payload);
+    appendColumn(scratch_, encodeColumn(costHint_, payload), payload);
+
+    index_.push_back({nextOffset_,
+                      static_cast<std::uint32_t>(ts_.size())});
+    checksum_ = fnv1a(checksum_, scratch_.data(), scratch_.size());
+    writeOrThrow(scratch_.data(), scratch_.size());
+    nextOffset_ += scratch_.size();
+
+    ts_.clear();
+    key_.clear();
+    op_.clear();
+    valueSize_.clear();
+    costHint_.clear();
+}
+
+void
+TraceWriter::finish()
+{
+    if (finished_)
+        return;
+    using namespace format;
+    flushBlock();
+
+    const std::uint64_t index_offset = nextOffset_;
+    std::vector<std::uint8_t> footer(index_.size() * kIndexEntryBytes,
+                                     0);
+    for (std::size_t i = 0; i < index_.size(); ++i) {
+        std::uint8_t *entry = footer.data() + i * kIndexEntryBytes;
+        put64(entry, index_[i].offset);
+        put32(entry + 8, index_[i].records);
+    }
+    if (!footer.empty())
+        writeOrThrow(footer.data(), footer.size());
+
+    std::uint8_t header[kHeaderBytes] = {};
+    std::memcpy(header, kMagic, sizeof(kMagic));
+    put32(header + 8, kVersion);
+    put32(header + 12, kHeaderBytes);
+    put32(header + 16, blockSize_);
+    put32(header + 20, 0); // flags, reserved
+    put64(header + 24, recordCount_);
+    put64(header + 32, index_.size());
+    put64(header + 40, index_offset);
+    put64(header + 48, checksum_);
+    if (std::fseek(file_, 0, SEEK_SET) != 0)
+        throw TraceFormatError("cannot seek '" + path_ +
+                               "' to patch the header");
+    writeOrThrow(header, sizeof(header));
+
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    finished_ = true;
+    if (rc != 0)
+        throw TraceFormatError("close failed for '" + path_ + "'",
+                               nextOffset_);
+}
+
+const char *
+traceOpName(TraceOp op)
+{
+    switch (op) {
+      case TraceOp::Get:
+        return "get";
+      case TraceOp::Set:
+        return "set";
+      case TraceOp::Del:
+        return "del";
+    }
+    return "?";
+}
+
+} // namespace csr::replay

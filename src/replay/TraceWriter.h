@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Buffered .csrt writer.
+ *
+ * append() accumulates records into in-memory SoA columns; every
+ * blockSize records the block is delta/varint encoded (with a raw
+ * fallback per column) and written out in one fwrite.  finish()
+ * flushes the tail block, writes the footer block index, and patches
+ * the header with the final counts and payload checksum -- so the
+ * output path must be seekable (a regular file, not a pipe).
+ */
+
+#ifndef CSR_REPLAY_TRACEWRITER_H
+#define CSR_REPLAY_TRACEWRITER_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "replay/Format.h"
+
+namespace csr::replay
+{
+
+class TraceWriter
+{
+  public:
+    /**
+     * Open @p path for writing (truncating).  @p block_size is the
+     * record capacity of one block.  @throws ConfigError on an
+     * unopenable path or a zero block size.
+     */
+    explicit TraceWriter(const std::string &path,
+                         std::uint32_t block_size =
+                             format::kDefaultBlockSize);
+
+    /** finish()es if the caller did not (best effort: errors on this
+     *  path panic rather than throw). */
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Buffer one record; flushes a block when full.  @throws
+     *  TraceFormatError on a write failure. */
+    void append(const ReplayRecord &record);
+
+    /** Flush the tail, write the index, patch the header, close.
+     *  Idempotent.  @throws TraceFormatError on a write failure. */
+    void finish();
+
+    std::uint64_t recordCount() const { return recordCount_; }
+    std::uint64_t blockCount() const { return index_.size(); }
+
+  private:
+    void flushBlock();
+    void writeOrThrow(const std::uint8_t *data, std::size_t n);
+
+    struct IndexEntry
+    {
+        std::uint64_t offset = 0;
+        std::uint32_t records = 0;
+    };
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::uint32_t blockSize_;
+    std::uint64_t recordCount_ = 0;
+    std::uint64_t nextOffset_ = format::kHeaderBytes;
+    std::uint64_t checksum_ = format::kFnvOffset;
+    bool finished_ = false;
+
+    // The pending block, SoA.
+    std::vector<std::uint64_t> ts_;
+    std::vector<std::uint64_t> key_;
+    std::vector<std::uint8_t> op_;
+    std::vector<std::uint32_t> valueSize_;
+    std::vector<std::uint32_t> costHint_;
+
+    std::vector<IndexEntry> index_;
+    std::vector<std::uint8_t> scratch_; ///< encoded-block staging
+};
+
+} // namespace csr::replay
+
+#endif // CSR_REPLAY_TRACEWRITER_H

@@ -235,6 +235,12 @@ CacheService::shardOf(Addr key) const
     return static_cast<unsigned>(hashMix64(key) >> shardShift_);
 }
 
+void
+CacheService::setRecorder(OpRecorder recorder)
+{
+    recorder_ = std::move(recorder);
+}
+
 Stripe &
 CacheService::stripeFor(Addr key)
 {
@@ -319,6 +325,8 @@ CacheService::tryOptimisticGet(Stripe &stripe, std::uint32_t set,
 ServeOpResult
 CacheService::get(Addr key)
 {
+    if (recorder_)
+        recorder_(key, 0);
     Stripe &stripe = stripeFor(key);
     const std::uint32_t set = stripe.setOf(key);
     const Addr tag = stripe.tagOf(key);
@@ -499,6 +507,8 @@ CacheService::installFetched(Stripe &stripe, std::uint32_t set,
 void
 CacheService::getAsync(Addr key, GetCallback done)
 {
+    if (recorder_)
+        recorder_(key, 0);
     Stripe &stripe = stripeFor(key);
     const std::uint32_t set = stripe.setOf(key);
     const Addr tag = stripe.tagOf(key);
@@ -637,6 +647,8 @@ CacheService::getAsync(Addr key, GetCallback done)
 bool
 CacheService::del(Addr key)
 {
+    if (recorder_)
+        recorder_(key, 2);
     Stripe &stripe = stripeFor(key);
     const std::uint32_t set = stripe.setOf(key);
     const Addr tag = stripe.tagOf(key);
@@ -652,6 +664,8 @@ CacheService::del(Addr key)
 ServeOpResult
 CacheService::put(Addr key, std::uint64_t value)
 {
+    if (recorder_)
+        recorder_(key, 1);
     Stripe &stripe = stripeFor(key);
     const std::uint32_t set = stripe.setOf(key);
     const Addr tag = stripe.tagOf(key);

@@ -273,6 +273,20 @@ class CacheService
      *  this to keep runs deterministic for any worker count). */
     unsigned shardOf(Addr key) const;
 
+    /**
+     * Live-capture hook: called at the top of every get()/getAsync()
+     * (op 0), put() (op 1) and del() (op 2) with the key, BEFORE the
+     * op executes, in per-thread arrival order.  The callable must be
+     * thread-safe (csrserve --record wraps a TraceWriter in a mutex).
+     * Capture order across threads is the lock-acquisition order of
+     * that mutex, so a recorded stream is deterministic only for
+     * single-threaded drivers (--workers 1 / --net-workers 1).  Pass
+     * an empty function to detach.  Not safe to change while ops are
+     * in flight.
+     */
+    using OpRecorder = std::function<void(Addr key, unsigned op)>;
+    void setRecorder(OpRecorder recorder);
+
     unsigned numShards() const { return config_.shards; }
     /** Resolved stripes per shard (auto is resolved at
      *  construction, so this is never kStripesAuto). */
@@ -333,6 +347,7 @@ class CacheService
 
     ServeConfig config_;
     Backend &backend_;
+    OpRecorder recorder_; ///< optional live-capture hook (see above)
     std::uint64_t inflightWaitNs_; ///< resolved from inflightWaitMs
     unsigned shardShift_;  ///< hash bits above this select the shard
     unsigned stripeMask_;  ///< stripes - 1; low key bits pick the stripe

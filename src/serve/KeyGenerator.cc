@@ -1,7 +1,11 @@
 #include "serve/KeyGenerator.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <utility>
 
 #include "robust/Errors.h"
 
@@ -30,7 +34,49 @@ zeta(std::uint64_t n, double theta)
     return sum;
 }
 
+// zeta(numKeys, theta) is an O(numKeys) sum -- for the default 2^20
+// keyspace that was tens of milliseconds of setup burned once per
+// KeyGenerator, i.e. once per worker/connection in drivers that give
+// each thread its own generator.  The value depends only on
+// (n, theta), so one process-wide cache serves every construction.
+// Keyed on theta's bit pattern: exact-equality semantics, no epsilon.
+std::mutex zetaCacheMutex;
+std::map<std::pair<std::uint64_t, std::uint64_t>, double> &
+zetaCacheMap()
+{
+    static std::map<std::pair<std::uint64_t, std::uint64_t>, double>
+        cache;
+    return cache;
+}
+
+double
+cachedZeta(std::uint64_t n, double theta)
+{
+    const std::pair<std::uint64_t, std::uint64_t> key{
+        n, std::bit_cast<std::uint64_t>(theta)};
+    {
+        const std::lock_guard<std::mutex> lock(zetaCacheMutex);
+        const auto it = zetaCacheMap().find(key);
+        if (it != zetaCacheMap().end())
+            return it->second;
+    }
+    // Compute outside the lock: concurrent first builders duplicate
+    // the work but insert the identical value (the sum is a pure
+    // function of the key), which beats serializing every ctor
+    // behind one O(n) loop.
+    const double value = zeta(n, theta);
+    const std::lock_guard<std::mutex> lock(zetaCacheMutex);
+    return zetaCacheMap().emplace(key, value).first->second;
+}
+
 } // namespace
+
+std::size_t
+zetaCacheEntries()
+{
+    const std::lock_guard<std::mutex> lock(zetaCacheMutex);
+    return zetaCacheMap().size();
+}
 
 KeyDist
 parseKeyDist(const std::string &name)
@@ -108,7 +154,7 @@ KeyGenerator::KeyGenerator(const WorkloadMix &mix, std::uint64_t seed)
             throw ConfigError("zipf theta must be in (0,1)");
         const double theta = mix_.zipfTheta;
         const auto n = static_cast<double>(mix_.numKeys);
-        zetaN_ = zeta(mix_.numKeys, theta);
+        zetaN_ = cachedZeta(mix_.numKeys, theta);
         zipfAlpha_ = 1.0 / (1.0 - theta);
         zipfEta_ = (1.0 - std::pow(2.0 / n, 1.0 - theta)) /
                    (1.0 - zeta(2, theta) / zetaN_);

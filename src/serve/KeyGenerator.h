@@ -19,6 +19,7 @@
 #ifndef CSR_SERVE_KEYGENERATOR_H
 #define CSR_SERVE_KEYGENERATOR_H
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -65,7 +66,15 @@ struct Op
 {
     Addr key = 0;
     bool write = false;
+    /** Invalidate instead of read/write (trace replay only; the
+     *  synthetic generators never emit deletes). */
+    bool del = false;
 };
+
+/** Distinct (numKeys, theta) pairs whose Zipfian normalizer has been
+ *  computed so far (the O(numKeys) zeta sum is cached process-wide;
+ *  tests assert repeated constructions share one entry). */
+std::size_t zetaCacheEntries();
 
 /**
  * Stateful generator of the op stream.  Draws come from one Rng, so

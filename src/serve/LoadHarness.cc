@@ -1,11 +1,14 @@
 #include "serve/LoadHarness.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <ostream>
 #include <thread>
 #include <vector>
 
+#include "replay/Format.h"
+#include "replay/TraceReader.h"
 #include "robust/Errors.h"
 #include "telemetry/MetricRegistry.h"
 #include "telemetry/Telemetry.h"
@@ -62,7 +65,11 @@ HarnessConfig
 HarnessConfig::fromArgs(const CliArgs &args)
 {
     HarnessConfig config;
-    config.ops = args.getUInt("ops", config.ops);
+    config.replayPath = args.get("replay", "");
+    // Replay runs default to the whole trace; synthetic runs need an
+    // explicit length (with its usual default).
+    config.ops = args.getUInt(
+        "ops", config.replayPath.empty() ? config.ops : 0);
     config.workers = static_cast<unsigned>(args.getUInt("workers", 1));
     config.targetQps = args.getDouble("qps", 0.0);
     config.seed = args.seed(1);
@@ -223,24 +230,54 @@ runLoad(CacheService &service, const HarnessConfig &config)
     const unsigned workers =
         config.workers ? config.workers : ThreadPool::defaultThreads();
 
-    // Generate the whole op stream up front, then partition it.  With
-    // shard affinity every op lands with the worker that owns its
-    // shard, so per-shard op order is the global stream order for any
-    // worker count; the strided split instead makes workers contend
-    // on the shard locks.
+    // Generate (or decode) the whole op stream up front, then
+    // partition it.  With shard affinity every op lands with the
+    // worker that owns its shard, so per-shard op order is the global
+    // stream order for any worker count; the strided split instead
+    // makes workers contend on the shard locks.
+    std::uint64_t total_ops = config.ops;
     std::vector<std::vector<Op>> plan(workers);
-    for (auto &ops : plan)
-        ops.reserve(static_cast<std::size_t>(config.ops / workers + 1));
-    {
+    const auto place = [&](std::uint64_t i, const Op &op) {
+        const std::size_t w =
+            config.shardAffinity
+                ? service.shardOf(op.key) % workers
+                : static_cast<std::size_t>(i) % workers;
+        plan[w].push_back(op);
+    };
+    if (config.replayPath.empty()) {
         CSR_TRACE_SPAN("serve", "harness.generate");
+        for (auto &ops : plan)
+            ops.reserve(
+                static_cast<std::size_t>(total_ops / workers + 1));
         KeyGenerator gen(config.mix, config.seed);
-        for (std::uint64_t i = 0; i < config.ops; ++i) {
-            const Op op = gen.next();
-            const std::size_t w =
-                config.shardAffinity
-                    ? service.shardOf(op.key) % workers
-                    : static_cast<std::size_t>(i) % workers;
-            plan[w].push_back(op);
+        for (std::uint64_t i = 0; i < total_ops; ++i)
+            place(i, gen.next());
+    } else {
+        CSR_TRACE_SPAN("serve", "harness.load_trace");
+        replay::TraceReader reader(config.replayPath);
+        total_ops = config.ops
+                        ? std::min(config.ops, reader.recordCount())
+                        : reader.recordCount();
+        for (auto &ops : plan)
+            ops.reserve(
+                static_cast<std::size_t>(total_ops / workers + 1));
+        replay::ReplayBlock block;
+        std::uint64_t i = 0;
+        for (std::uint64_t b = 0;
+             b < reader.blockCount() && i < total_ops; ++b) {
+            reader.readBlock(b, block);
+            for (std::size_t r = 0;
+                 r < block.size() && i < total_ops; ++r, ++i) {
+                Op op;
+                op.key = block.key[r];
+                op.write = block.op[r] ==
+                           static_cast<std::uint8_t>(
+                               replay::TraceOp::Set);
+                op.del = block.op[r] ==
+                         static_cast<std::uint8_t>(
+                             replay::TraceOp::Del);
+                place(i, op);
+            }
         }
     }
 
@@ -273,11 +310,15 @@ runLoad(CacheService &service, const HarnessConfig &config)
                 std::this_thread::sleep_until(deadline);
             }
             const auto t0 = std::chrono::steady_clock::now();
-            const ServeOpResult result =
-                op.write ? service.put(op.key,
-                                       harnessPayload(config.seed,
-                                                      op.key))
-                         : service.get(op.key);
+            ServeOpResult result;
+            if (op.del)
+                service.del(op.key); // invalidation; no backend
+            else
+                result = op.write
+                             ? service.put(op.key,
+                                           harnessPayload(config.seed,
+                                                          op.key))
+                             : service.get(op.key);
             const double real_ns =
                 std::chrono::duration<double, std::nano>(
                     std::chrono::steady_clock::now() - t0)
@@ -289,7 +330,7 @@ runLoad(CacheService &service, const HarnessConfig &config)
                 real_ns +
                 (config.backendIsReal ? 0.0 : result.backendNs);
             out.opLatencyNs.add(op_ns);
-            if (!op.write && !result.hit)
+            if (!op.write && !op.del && !result.hit)
                 out.missLatencyNs.add(result.backendNs);
             ++n;
         }
@@ -305,10 +346,10 @@ runLoad(CacheService &service, const HarnessConfig &config)
 
     HarnessResult result(config.histMaxNs, config.histBuckets);
     result.wallSec = wall.elapsedSec();
-    result.ops = config.ops;
+    result.ops = total_ops;
     result.workers = workers;
     result.qps = result.wallSec > 0.0
-                     ? static_cast<double>(config.ops) / result.wallSec
+                     ? static_cast<double>(total_ops) / result.wallSec
                      : 0.0;
     for (const WorkerOutput &out : outputs) {
         result.opLatencyNs.merge(out.opLatencyNs);

@@ -2,14 +2,16 @@
  * @file
  * Closed-loop load harness for CacheService.
  *
- * Replays a deterministic op stream (KeyGenerator) against a service
- * from N worker threads and reports throughput, hit ratio and
+ * Replays a deterministic op stream -- synthetic (KeyGenerator) or a
+ * recorded .csrt trace (HarnessConfig::replayPath) -- against a
+ * service from N worker threads and reports throughput, hit ratio and
  * end-to-end latency percentiles.  Reproducibility contract, same as
  * the sweep engine's: with shard affinity on (the default), the
  * deterministic outputs -- hit counts, miss counts, aggregate miss
  * cost -- are bit-identical for ANY worker count, because
  *
- *   1. the op stream is a pure function of (mix, seed),
+ *   1. the op stream is a pure function of (mix, seed), or of the
+ *      trace file's bytes when replaying,
  *   2. ops are partitioned by owning shard, whole shards are assigned
  *      to workers round-robin, and each worker replays its share in
  *      global stream order -- so every shard sees the same op
@@ -48,6 +50,12 @@ namespace csr::serve
 struct HarnessConfig
 {
     std::uint64_t ops = 1'000'000;
+    /** Non-empty: replay this .csrt trace (replay/TraceReader.h)
+     *  instead of generating a synthetic stream -- Get/Set/Del
+     *  records become get/put/del ops in trace order, and the mix
+     *  flags are ignored.  ops then bounds the replay (0 = the whole
+     *  trace, the --replay default). */
+    std::string replayPath;
     /** Worker threads; 0 = one per hardware thread. */
     unsigned workers = 1;
     /** Aggregate target throughput; 0 = unpaced (closed loop at full
@@ -67,10 +75,11 @@ struct HarnessConfig
     std::size_t histBuckets = 1024;
 
     /**
-     * Read --ops --workers --qps --affinity --spin plus the
+     * Read --ops --workers --qps --affinity --spin --replay plus the
      * workload-mix flags (--workload --keys --zipf-theta --hot-frac
      * --hot-prob --write-frac --seed) out of @p args; the result is
-     * validate()d.  @throws ConfigError listing accepted values.
+     * validate()d.  With --replay, an omitted --ops means the whole
+     * trace.  @throws ConfigError listing accepted values.
      */
     static HarnessConfig fromArgs(const CliArgs &args);
 

@@ -1,11 +1,14 @@
 #include "serve/net/ClientLoad.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <deque>
 #include <thread>
 #include <vector>
 
+#include "replay/Format.h"
+#include "replay/TraceReader.h"
 #include "robust/Errors.h"
 #include "serve/net/NetCommon.h"
 #include "serve/net/RespClient.h"
@@ -31,6 +34,7 @@ struct ConnOutput
 
     std::uint64_t gets = 0;
     std::uint64_t sets = 0;
+    std::uint64_t dels = 0;
     std::uint64_t errors = 0;
     std::uint64_t busy = 0;
     std::uint64_t mismatches = 0;
@@ -103,16 +107,42 @@ runClientLoad(const ClientConfig &config)
     // Same stream, same order as runLoad() -- then partitioned by
     // owning server shard so each shard's subsequence arrives in
     // global stream order over exactly one connection.
+    std::uint64_t total_ops = config.harness.ops;
     std::vector<std::vector<Op>> plan(config.connections);
-    {
+    const auto place = [&](const Op &op) {
+        plan[wireShardOf(op.key, config.serverShards) %
+             config.connections]
+            .push_back(op);
+    };
+    if (config.harness.replayPath.empty()) {
         CSR_TRACE_SPAN("net", "client.generate");
         KeyGenerator gen(config.harness.mix, config.harness.seed);
-        for (std::uint64_t i = 0; i < config.harness.ops; ++i) {
-            const Op op = gen.next();
-            const std::size_t c =
-                wireShardOf(op.key, config.serverShards) %
-                config.connections;
-            plan[c].push_back(op);
+        for (std::uint64_t i = 0; i < total_ops; ++i)
+            place(gen.next());
+    } else {
+        CSR_TRACE_SPAN("net", "client.load_trace");
+        replay::TraceReader reader(config.harness.replayPath);
+        total_ops =
+            config.harness.ops
+                ? std::min(config.harness.ops, reader.recordCount())
+                : reader.recordCount();
+        replay::ReplayBlock block;
+        std::uint64_t i = 0;
+        for (std::uint64_t b = 0;
+             b < reader.blockCount() && i < total_ops; ++b) {
+            reader.readBlock(b, block);
+            for (std::size_t r = 0;
+                 r < block.size() && i < total_ops; ++r, ++i) {
+                Op op;
+                op.key = block.key[r];
+                op.write = block.op[r] ==
+                           static_cast<std::uint8_t>(
+                               replay::TraceOp::Set);
+                op.del = block.op[r] ==
+                         static_cast<std::uint8_t>(
+                             replay::TraceOp::Del);
+                place(op);
+            }
         }
     }
 
@@ -133,11 +163,11 @@ runClientLoad(const ClientConfig &config)
         ConnOutput &out = outputs[c];
         RespClient client(config.host, config.port,
                           config.timeoutSec);
-        std::deque<std::pair<bool, Clock::time_point>> window;
+        std::deque<std::pair<char, Clock::time_point>> window;
 
         const auto drainOne = [&] {
             const RespClient::Reply reply = client.readReply();
-            const auto [was_write, sent_at] = window.front();
+            const auto [verb, sent_at] = window.front();
             window.pop_front();
             out.opLatencyNs.add(
                 std::chrono::duration<double, std::nano>(
@@ -148,24 +178,39 @@ runClientLoad(const ClientConfig &config)
                     ++out.busy;
                 else
                     ++out.errors;
-            } else if (was_write
-                           ? reply.type != '+'
-                           : (reply.type != '$' || reply.isNull)) {
-                ++out.mismatches;
+                return;
             }
+            // SET replies +OK, DEL replies :0/:1, GET replies a
+            // non-null bulk (a replayed GET may legitimately miss a
+            // deleted key, but the server still fetches and returns
+            // it -- a null bulk is a protocol bug).
+            const bool ok = verb == 'S'
+                                ? reply.type == '+'
+                                : verb == 'D'
+                                      ? reply.type == ':'
+                                      : (reply.type == '$' &&
+                                         !reply.isNull);
+            if (!ok)
+                ++out.mismatches;
         };
 
         for (const Op &op : plan[c]) {
-            if (op.write) {
+            char verb = 'G';
+            if (op.del) {
+                client.send({"DEL", std::to_string(op.key)});
+                ++out.dels;
+                verb = 'D';
+            } else if (op.write) {
                 client.send({"SET", std::to_string(op.key),
                              std::to_string(harnessPayload(
                                  config.harness.seed, op.key))});
                 ++out.sets;
+                verb = 'S';
             } else {
                 client.send({"GET", std::to_string(op.key)});
                 ++out.gets;
             }
-            window.emplace_back(op.write, Clock::now());
+            window.emplace_back(verb, Clock::now());
             client.flush();
             while (window.size() >= config.pipeline)
                 drainOne();
@@ -196,17 +241,18 @@ runClientLoad(const ClientConfig &config)
     ClientResult result(config.harness.histMaxNs,
                         config.harness.histBuckets);
     result.harness.wallSec = wall.elapsedSec();
-    result.harness.ops = config.harness.ops;
+    result.harness.ops = total_ops;
     result.harness.workers = config.connections;
     result.harness.qps =
         result.harness.wallSec > 0.0
-            ? static_cast<double>(config.harness.ops) /
+            ? static_cast<double>(total_ops) /
                   result.harness.wallSec
             : 0.0;
     for (const ConnOutput &out : outputs) {
         result.harness.opLatencyNs.merge(out.opLatencyNs);
         result.sentGets += out.gets;
         result.sentSets += out.sets;
+        result.sentDels += out.dels;
         result.errorReplies += out.errors;
         result.busyReplies += out.busy;
         result.typeMismatches += out.mismatches;

@@ -6,15 +6,17 @@
  *
  * The comparability contract extends the harness's shard-affinity
  * discipline across the wire.  The op stream is a pure function of
- * (mix, seed); ops are partitioned over C connections by OWNING
- * SERVER SHARD (shard % C), each connection pipelines its share in
- * global stream order, and a connection's requests are executed by
- * the server in arrival order -- so every server shard sees the same
- * op subsequence in the same order as an in-process run with the
- * same flags, and the server's deterministic ServeTotals (fetched
- * via INFO at the end) are the ones `csrserve` would print locally.
- * That requires the client's --shards and --seed to match the
- * server's, which the driver forwards.
+ * (mix, seed) -- or of a recorded .csrt trace's bytes with --replay
+ * (HarnessConfig::replayPath; Get/Set/Del records become
+ * GET/SET/DEL commands); ops are partitioned over C connections by
+ * OWNING SERVER SHARD (shard % C), each connection pipelines its
+ * share in global stream order, and a connection's requests are
+ * executed by the server in arrival order -- so every server shard
+ * sees the same op subsequence in the same order as an in-process
+ * run with the same flags, and the server's deterministic
+ * ServeTotals (fetched via INFO at the end) are the ones `csrserve`
+ * would print locally.  That requires the client's --shards and
+ * --seed to match the server's, which the driver forwards.
  */
 
 #ifndef CSR_SERVE_NET_CLIENTLOAD_H
@@ -64,6 +66,7 @@ struct ClientResult
     HarnessResult harness;
     std::uint64_t sentGets = 0;
     std::uint64_t sentSets = 0;
+    std::uint64_t sentDels = 0;
     /** '-ERR' replies (0 in a healthy run). */
     std::uint64_t errorReplies = 0;
     /** '-BUSY' replies -- the server shed those commands under

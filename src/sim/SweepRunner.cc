@@ -11,6 +11,8 @@
 #include <utility>
 
 #include "cost/StaticCostModels.h"
+#include "replay/Format.h"
+#include "replay/SweepTrace.h"
 #include "robust/CheckpointLog.h"
 #include "robust/FaultInjector.h"
 #include "sim/SweepCheckpoint.h"
@@ -100,13 +102,51 @@ parseScaleName(const std::string &name)
     throw ConfigError("unknown scale '" + name + "' (test|small|full)");
 }
 
-/** (benchmark, l2Bytes, assoc): what a TraceStudy is keyed by. */
-using StudyKey = std::tuple<BenchmarkId, std::uint64_t, std::uint32_t>;
+/** (workload source, l2Bytes, assoc): what a TraceStudy is keyed by.
+ *  The source is the benchmark for synthetic cells and the trace path
+ *  for .csrt cells. */
+using StudyKey = std::tuple<BenchmarkId, std::string, std::uint64_t,
+                            std::uint32_t>;
 
 StudyKey
 studyKeyOf(const SweepCell &cell)
 {
-    return {cell.benchmark, cell.l2Bytes, cell.l2Assoc};
+    return {cell.benchmark, cell.traceFile, cell.l2Bytes, cell.l2Assoc};
+}
+
+/** Human label of a cell's workload source (tables, JSON). */
+std::string
+sourceNameOf(const SweepCell &cell)
+{
+    return cell.traceFile.empty() ? benchmarkName(cell.benchmark)
+                                  : replay::traceCellName(cell.traceFile);
+}
+
+/** Loaded .csrt traces, keyed by path. */
+using FileTraceMap =
+    std::map<std::string, std::shared_ptr<const SampledTrace>>;
+
+FileTraceMap
+buildFileTracesWith(ThreadPool &pool,
+                    const std::vector<std::string> &paths,
+                    std::uint32_t block_bytes)
+{
+    std::vector<std::string> unique = paths;
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()),
+                 unique.end());
+
+    std::vector<std::shared_ptr<const SampledTrace>> built(
+        unique.size());
+    parallelFor(pool, unique.size(), [&](std::size_t i) {
+        built[i] = std::make_shared<const SampledTrace>(
+            replay::loadReplaySampledTrace(unique[i], block_bytes));
+    });
+
+    FileTraceMap traces;
+    for (std::size_t i = 0; i < unique.size(); ++i)
+        traces.emplace(unique[i], std::move(built[i]));
+    return traces;
 }
 
 SweepRunner::TraceMap
@@ -163,6 +203,10 @@ SweepCell::mappingHash() const
 {
     std::uint64_t h = 0xC0517B10ull;
     h = mixInto(h, static_cast<std::uint64_t>(benchmark));
+    // Only trace cells mix the path in, so the fingerprints of every
+    // pre-existing synthetic grid (and their checkpoints) are stable.
+    if (!traceFile.empty())
+        h = mixInto(h, replay::format::fnv1aString(traceFile));
     h = mixInto(h, static_cast<std::uint64_t>(mapping));
     h = mixDouble(h, ratio.low);
     h = mixDouble(h, ratio.high);
@@ -187,7 +231,7 @@ SweepCell::hash() const
 std::string
 SweepCell::label() const
 {
-    std::string out = benchmarkName(benchmark) + "/" +
+    std::string out = sourceNameOf(*this) + "/" +
                       policyKindName(policy) + "/" +
                       costMappingName(mapping) + "/" + ratio.label();
     if (mapping == CostMapping::Random)
@@ -202,8 +246,13 @@ SweepGrid::expand() const
     // for first-touch cells instead of emitting duplicates.
     const std::vector<double> one_haf = {0.0};
 
+    // A non-empty traceFiles list replaces the benchmarks axis: the
+    // workload-source loop runs over recorded traces instead.
+    const std::size_t num_sources =
+        traceFiles.empty() ? benchmarks.size() : traceFiles.size();
+
     std::vector<SweepCell> cells;
-    for (BenchmarkId benchmark : benchmarks) {
+    for (std::size_t source = 0; source < num_sources; ++source) {
         for (PolicyKind policy : policies) {
             for (CostMapping mapping : mappings) {
                 const auto &mapping_hafs =
@@ -215,7 +264,12 @@ SweepGrid::expand() const
                                 for (unsigned alias : aliasBits) {
                                     for (double depr : depreciations) {
                                         SweepCell cell;
-                                        cell.benchmark = benchmark;
+                                        if (traceFiles.empty())
+                                            cell.benchmark =
+                                                benchmarks[source];
+                                        else
+                                            cell.traceFile =
+                                                traceFiles[source];
                                         cell.policy = policy;
                                         cell.mapping = mapping;
                                         cell.ratio = ratio;
@@ -250,7 +304,7 @@ SweepResult::toTable(const std::string &title) const
         const SweepCell &cell = res.cell;
         table.addRow({
             std::to_string(res.index),
-            benchmarkName(cell.benchmark),
+            sourceNameOf(cell),
             policyKindName(cell.policy),
             costMappingName(cell.mapping),
             cell.ratio.label(),
@@ -360,7 +414,7 @@ SweepResult::writeJson(const std::string &path,
             " \"sampledRefs\": %llu, \"l2Hits\": %llu,"
             " \"l2Misses\": %llu, \"aggregateCost\": %.6f,"
             " \"lruCost\": %.6f, \"savingsPct\": %.6f}%s\n",
-            res.index, benchmarkName(cell.benchmark).c_str(),
+            res.index, jsonEscape(sourceNameOf(cell)).c_str(),
             policyKindName(cell.policy).c_str(),
             costMappingName(cell.mapping).c_str(),
             cell.ratio.label().c_str(), cell.haf,
@@ -479,33 +533,43 @@ SweepRunner::run(const SweepGrid &grid, const SweepOptions &options) const
     // Setup covers only cells that still have to run -- resuming a
     // finished sweep rebuilds nothing.
     std::vector<BenchmarkId> pending_benchmarks;
+    std::vector<std::string> pending_trace_files;
     std::vector<StudyKey> study_keys;
     for (std::size_t i = 0; i < cells.size(); ++i) {
         if (slots[i].outcome != Outcome::Pending)
             continue;
-        pending_benchmarks.push_back(cells[i].benchmark);
+        if (cells[i].traceFile.empty())
+            pending_benchmarks.push_back(cells[i].benchmark);
+        else
+            pending_trace_files.push_back(cells[i].traceFile);
         const StudyKey key = studyKeyOf(cells[i]);
         if (std::find(study_keys.begin(), study_keys.end(), key) ==
             study_keys.end())
             study_keys.push_back(key);
     }
 
-    // Setup phase 1: one sampled trace per benchmark.
+    // Setup phase 1: one sampled trace per workload source --
+    // synthesized per benchmark, decoded per .csrt file.
     const TraceMap traces =
         buildTracesWith(pool, pending_benchmarks, grid.scale);
+    const FileTraceMap file_traces = buildFileTracesWith(
+        pool, pending_trace_files, TraceSimConfig{}.blockBytes);
 
     // Setup phase 2: one TraceStudy (LRU replay + miss profile) per
     // unique (benchmark, geometry).  Cells only read these afterward.
     std::vector<std::shared_ptr<const TraceStudy>> built(
         study_keys.size());
     parallelFor(pool, study_keys.size(), [&](std::size_t i) {
-        const auto &[benchmark, l2_bytes, assoc] = study_keys[i];
+        const auto &[benchmark, trace_file, l2_bytes, assoc] =
+            study_keys[i];
         TraceSimConfig config;
         config.l2Bytes = l2_bytes;
         config.l2Assoc = assoc;
         config.validateEveryRefs = options.validateEveryRefs;
-        built[i] = std::make_shared<const TraceStudy>(
-            *traces.at(benchmark), config);
+        const SampledTrace &trace = trace_file.empty()
+                                        ? *traces.at(benchmark)
+                                        : *file_traces.at(trace_file);
+        built[i] = std::make_shared<const TraceStudy>(trace, config);
     });
     std::map<StudyKey, std::shared_ptr<const TraceStudy>> studies;
     for (std::size_t i = 0; i < study_keys.size(); ++i)
@@ -548,7 +612,9 @@ SweepRunner::run(const SweepGrid &grid, const SweepOptions &options) const
                 const TraceStudy &study =
                     *studies.at(studyKeyOf(cell));
                 const SampledTrace &trace =
-                    *traces.at(cell.benchmark);
+                    cell.traceFile.empty()
+                        ? *traces.at(cell.benchmark)
+                        : *file_traces.at(cell.traceFile);
 
                 PolicyParams params;
                 params.etdAliasBits = cell.etdAliasBits;
@@ -759,6 +825,10 @@ parseGridSpec(const std::string &spec)
             grid.depreciations.clear();
             for (const auto &v : values)
                 grid.depreciations.push_back(parseNumberFor(key, v));
+        } else if (key == "traces") {
+            grid.traceFiles.clear();
+            for (const auto &v : values)
+                grid.traceFiles.push_back(v);
         } else if (key == "scale") {
             grid.scale = parseScaleName(values.front());
         } else {

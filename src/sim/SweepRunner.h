@@ -58,6 +58,10 @@ CostMapping parseCostMapping(const std::string &name);
 struct SweepCell
 {
     BenchmarkId benchmark = BenchmarkId::Barnes;
+    /** Non-empty: this cell simulates a recorded .csrt trace instead
+     *  of the synthetic benchmark (the benchmark field is then
+     *  ignored; see SweepGrid::traceFiles). */
+    std::string traceFile;
     PolicyKind policy = PolicyKind::Dcl;
     CostMapping mapping = CostMapping::Random;
     CostRatio ratio = CostRatio::finite(4);
@@ -98,6 +102,13 @@ struct SweepGrid
 {
     WorkloadScale scale = WorkloadScale::Small;
     std::vector<BenchmarkId> benchmarks = paperBenchmarks();
+    /** Recorded .csrt traces (grid key "traces=a.csrt,b.csrt").  When
+     *  non-empty this REPLACES the benchmarks axis: each file becomes
+     *  a workload source cell, loaded via
+     *  replay::loadReplaySampledTrace.  Empty (the default) leaves
+     *  synthetic grids -- and their checkpoint fingerprints --
+     *  untouched. */
+    std::vector<std::string> traceFiles;
     std::vector<PolicyKind> policies = paperPolicies();
     std::vector<CostMapping> mappings = {CostMapping::Random};
     std::vector<CostRatio> ratios = {CostRatio::finite(4)};

@@ -531,10 +531,17 @@ TEST(PolicyFactoryApi, ListedNamesAllParse)
     EXPECT_NE(policyNamesJoined().find("dcl"), std::string::npos);
 }
 
-TEST(PolicyFactoryApiDeathTest, RequireFatalsWithValidList)
+TEST(PolicyFactoryApi, RequireThrowsConfigErrorWithValidList)
 {
-    EXPECT_DEATH(requirePolicyKind("bogus"),
-                 "unknown replacement policy 'bogus'.*valid");
+    try {
+        requirePolicyKind("bogus");
+        FAIL() << "unknown policy accepted";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("bogus"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("valid"),
+                  std::string::npos);
+    }
 }
 
 // ---------------------------------------------------------------------------

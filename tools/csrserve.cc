@@ -34,6 +34,14 @@
  *   csrserve --connect 127.0.0.1:7411 --connections 4 \
  *            --ops 200000 --seed 7 --shards 8 [--expect-fresh]
  *
+ * Trace replay/capture (src/replay): the in-process and --connect
+ * modes accept --replay T.csrt to drive a recorded .csrt trace
+ * (Get/Set/Del records) instead of the synthetic generator, and the
+ * in-process and --listen modes accept --record T.csrt to capture
+ * the live op stream into one -- so a production-shaped workload can
+ * be captured once and replayed bit-identically against any policy,
+ * in-process or over the wire (`csrtrace` converts/inspects traces).
+ *
  * Output contract, same as csrsim sweep's: the deterministic summary
  * (hits, misses, aggregate miss cost) goes to stdout and the
  * wall-clock timing (QPS, latency percentiles) to stderr, so under
@@ -56,10 +64,13 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
 #include "cache/PolicyFactory.h"
+#include "replay/TraceWriter.h"
 #include "robust/Errors.h"
 #include "serve/CacheService.h"
 #include "serve/ChaosBackend.h"
@@ -130,6 +141,77 @@ class TraceSession
     std::string path_;
 };
 
+/**
+ * RAII --record capture: a replay::TraceWriter behind a mutex,
+ * attached as the service's op recorder so every live get/put/del --
+ * harness-driven or arriving over the wire -- lands in a .csrt trace
+ * that `csrserve --replay` / `csrsim replay` can play back.  Capture
+ * order is the recorder mutex's acquisition order, so the file is
+ * deterministic only for single-threaded drivers (--workers 1 /
+ * --net-workers 1).  Call finish() after the run (it throws on I/O
+ * errors); the destructor seals best-effort on error paths.
+ */
+class RecordSession
+{
+  public:
+    RecordSession(CacheService &service, const std::string &path)
+        : service_(service), path_(path)
+    {
+        if (path_.empty())
+            return;
+        writer_ = std::make_unique<replay::TraceWriter>(path_);
+        service_.setRecorder([this](Addr key, unsigned op) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            replay::ReplayRecord rec;
+            rec.tsNs = seq_ * 1000; // synthetic 1us monotone clock
+            ++seq_;
+            rec.key = key;
+            rec.op = static_cast<replay::TraceOp>(op);
+            rec.valueSize = 8;
+            writer_->append(rec);
+        });
+    }
+
+    ~RecordSession()
+    {
+        if (!writer_)
+            return;
+        service_.setRecorder({});
+        try {
+            writer_->finish();
+        } catch (const std::exception &e) {
+            warn("--record: %s", e.what());
+        }
+    }
+
+    RecordSession(const RecordSession &) = delete;
+    RecordSession &operator=(const RecordSession &) = delete;
+
+    /** Detach the hook and seal the file.  @throws TraceFormatError
+     *  on a failed write/close. */
+    void
+    finish()
+    {
+        if (!writer_)
+            return;
+        service_.setRecorder({});
+        writer_->finish();
+        inform("recorded %llu ops (%llu blocks) to %s",
+               static_cast<unsigned long long>(
+                   writer_->recordCount()),
+               static_cast<unsigned long long>(writer_->blockCount()),
+               path_.c_str());
+        writer_.reset();
+    }
+
+  private:
+    CacheService &service_;
+    std::string path_;
+    std::mutex mutex_;
+    std::uint64_t seq_ = 0;
+    std::unique_ptr<replay::TraceWriter> writer_;
+};
+
 void
 usage()
 {
@@ -150,6 +232,9 @@ usage()
            "            --zipf-theta F --hot-frac F --hot-prob F\n"
            "            --write-frac F --seed N\n"
            "            --affinity shard|free (shard = deterministic)\n"
+           "            --replay T.csrt (replay a recorded trace\n"
+           "              instead of the synthetic workload; --ops\n"
+           "              bounds it, default = the whole trace)\n"
            "  network:  --listen HOST:PORT (RESP server until SIGTERM;\n"
            "              port 0 = ephemeral) --net-workers N (0=hw)\n"
            "            --max-conns N (0=unlimited; refuse past it)\n"
@@ -174,6 +259,9 @@ usage()
            "            --chaos-resets (enable lossy connection\n"
            "              resets; breaks the summary contract)\n"
            "  output:   --json FILE --trace FILE --metrics FILE\n"
+           "            --record T.csrt (capture the live op stream\n"
+           "              as a replayable trace; deterministic at\n"
+           "              --workers 1 / --net-workers 1)\n"
            "            --validate (check invariants after the run)\n"
            "  exit codes: 0 ok, 2 config, 6 geometry, 7 invariant,\n"
            "              9 timeout, 11 net, 12 circuit open\n";
@@ -242,6 +330,7 @@ runServer(const CliArgs &args)
         backend = chaos_backend.get();
     }
     CacheService service(serve_config, *backend);
+    RecordSession recorder(service, args.get("record", ""));
     net::NetServer server(service, net_config);
 
     std::signal(SIGINT, onSignal);
@@ -273,6 +362,7 @@ runServer(const CliArgs &args)
                           : "")
                   << "\n";
     }
+    recorder.finish();
     if (args.has("validate"))
         service.checkInvariants();
 
@@ -321,12 +411,16 @@ runClient(const CliArgs &args)
         result = net::runClientLoad(config);
     }
 
-    const std::string workload = config.harness.mix.describe();
+    const std::string workload =
+        config.harness.replayPath.empty()
+            ? config.harness.mix.describe()
+            : "replay:" + config.harness.replayPath;
     report(args, result.harness, "remote", workload,
            "serve(wire): " + config.host + ":" +
                std::to_string(config.port) + " / " + workload);
     std::cerr << "wire: sent " << result.sentGets << " GET + "
-              << result.sentSets << " SET over "
+              << result.sentSets << " SET + " << result.sentDels
+              << " DEL over "
               << config.connections << " connections; "
               << result.errorReplies << " error replies, "
               << result.busyReplies << " busy (shed), "
@@ -363,6 +457,7 @@ runInProcess(const CliArgs &args)
     const ServeConfig serve_config = ServeConfig::fromArgs(args);
     SyntheticBackend backend(SyntheticBackendConfig::fromArgs(args));
     CacheService service(serve_config, backend);
+    RecordSession recorder(service, args.get("record", ""));
     const HarnessConfig harness_config = HarnessConfig::fromArgs(args);
 
     HarnessResult result(harness_config.histMaxNs,
@@ -371,10 +466,14 @@ runInProcess(const CliArgs &args)
         const TraceSession session(args.tracePath());
         result = runLoad(service, harness_config);
     }
+    recorder.finish();
     if (args.has("validate"))
         service.checkInvariants();
 
-    const std::string workload = harness_config.mix.describe();
+    const std::string workload =
+        harness_config.replayPath.empty()
+            ? harness_config.mix.describe()
+            : "replay:" + harness_config.replayPath;
     // In-process metrics keep the service's export too (the server
     // path exports through the NetServer instead).
     if (!args.metricsPath().empty()) {
@@ -405,6 +504,7 @@ run(const CliArgs &args)
     ensureWritable(args.jsonPath(), "json");
     ensureWritable(args.tracePath(), "trace");
     ensureWritable(args.metricsPath(), "metrics");
+    ensureWritable(args.get("record", ""), "record");
 
     const bool listen = args.has("listen");
     const bool connect = args.has("connect");
@@ -412,6 +512,14 @@ run(const CliArgs &args)
         throw ConfigError("--listen and --connect are mutually "
                           "exclusive (one process is either the "
                           "server or a client)");
+    if (listen && args.has("replay"))
+        throw ConfigError("--replay drives load (in-process or "
+                          "--connect); a --listen server only "
+                          "receives it");
+    if (connect && args.has("record"))
+        throw ConfigError("--record captures server-side ops; pass "
+                          "it to the --listen or in-process run, "
+                          "not the client");
     if (listen)
         return runServer(args);
     if (connect)
@@ -441,6 +549,7 @@ main(int argc, char **argv)
             "spin", "ops", "workers", "qps", "workload", "keys",
             "zipf-theta", "hot-frac", "hot-prob", "write-frac",
             "affinity", "validate", "hitpath", "stripes",
+            "replay", "record",
             "inflight-wait-ms", "listen", "net-workers", "connect",
             "connections", "pipeline", "net-timeout", "expect-fresh",
             "max-conns", "drain-ms", "idle-timeout-ms",

@@ -24,6 +24,17 @@
  *       spinning forever; --max-cycles adds a hard simulated-time
  *       budget on top of the stall watchdog.
  *
+ *   csrsim replay --file trace.csrt --policy acl \
+ *                [--cache-bytes N] [--assoc N] [--block-bytes N]
+ *                [--jobs N] [--max-ops N] [--default-cost NS]
+ *                [--read-mode mmap|buffered] [--alias-bits N]
+ *                [--depreciation F] [--seed N] [--json FILE]
+ *       Replays a recorded KV trace (.csrt, see csrtrace) straight
+ *       through CacheModel under any online policy.  The summary on
+ *       stdout is byte-identical for every --jobs value (the replay
+ *       partitions by cache set, see replay/Replayer.h); timing goes
+ *       to stderr.
+ *
  *   csrsim sweep --grid table1|fig3|ablation-*|"key=v1,v2;..." \
  *                [--jobs N] [--scale test|small|full] [--csv 0|1]
  *                [--json FILE] [--json-timing 0|1]
@@ -66,11 +77,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "cache/CacheGeometry.h"
 #include "cost/StaticCostModels.h"
+#include "replay/Replayer.h"
 #include "numa/NumaSystem.h"
 #include "robust/Errors.h"
 #include "robust/FaultInjector.h"
@@ -382,6 +395,56 @@ runNuma(const CliArgs &args)
 }
 
 int
+runReplay(const CliArgs &args)
+{
+    const replay::ReplayConfig config =
+        replay::ReplayConfig::fromArgs(args);
+    replay::ReplayResult result;
+    {
+        const TraceSession session(args.tracePath());
+        result = replay::replayTrace(config);
+    }
+
+    // Deterministic summary to stdout (CI diffs it across --jobs
+    // and against the committed golden, so the title must not leak
+    // the invocation directory -- basename only), wall clock to
+    // stderr.
+    const std::size_t slash = config.path.find_last_of('/');
+    const std::string base = slash == std::string::npos
+                                 ? config.path
+                                 : config.path.substr(slash + 1);
+    result
+        .summaryTable("replay: " + base + " / " +
+                      policyKindName(config.policy))
+        .print(std::cout);
+    result.timingTable().print(std::cerr);
+
+    if (args.has("json")) {
+        std::ofstream os(args.jsonPath());
+        result.writeJsonObject(os, policyKindName(config.policy));
+        os << "\n";
+        if (!os)
+            throw ConfigError("--json: cannot write '" +
+                              args.jsonPath() + "'");
+    }
+
+    if (!args.metricsPath().empty()) {
+        MetricRegistry registry;
+        registry.setCounter("replay.ops", result.totals.ops);
+        registry.setCounter("replay.hits", result.totals.hits);
+        registry.setCounter("replay.misses", result.totals.misses);
+        registry.setCounter("replay.evictions",
+                            result.totals.evictions);
+        registry.setCounter("replay.miss_cost_ns",
+                            result.totals.missCostNs);
+        registry.setCounter("replay.jobs", result.jobs);
+        registry.recordTimerSec("replay.wall", result.wallSec);
+        writeMetricsIfRequested(args, registry);
+    }
+    return exitcode::kOk;
+}
+
+int
 runSweep(const CliArgs &args)
 {
     SweepGrid grid = parseGridSpec(args.get("grid", "table1"));
@@ -447,7 +510,7 @@ void
 usage()
 {
     std::cerr
-        << "usage: csrsim trace|numa|sweep [--key value ...]\n"
+        << "usage: csrsim trace|numa|sweep|replay [--key value ...]\n"
            "  common: --benchmark barnes|lu|ocean|raytrace\n"
            "          --policy " << policyNamesJoined() << "\n"
         << "          --scale test|small|full  --alias-bits N\n"
@@ -460,6 +523,10 @@ usage()
            "          --save-trace FILE --load-trace FILE\n"
            "  numa:   --clock 500|1000 --hints 0|1 --store-weight W\n"
            "          --max-cycles NS --stall-window NS\n"
+           "  replay: --file T.csrt --cache-bytes N --assoc N\n"
+           "          --block-bytes N --jobs N --max-ops N\n"
+           "          --default-cost NS --read-mode mmap|buffered\n"
+           "          --depreciation F --json FILE\n"
            "  sweep:  --grid PRESET|\"key=v1,v2;...\" --jobs N --csv 0|1\n"
            "          --json FILE --json-timing 0|1\n"
            "          --checkpoint FILE [--resume] --retries N\n"
@@ -468,6 +535,7 @@ usage()
            "            ablation-etd smoke\n"
            "          keys: benchmarks policies mappings ratios hafs\n"
            "            l2 assocs alias-bits depreciations scale\n"
+           "            traces (.csrt files; replaces benchmarks)\n"
            "  exit codes: 0 ok, 2 config, 3 trace format, 4 checkpoint,\n"
            "    5 stall, 6 geometry, 7 invariant, 8 injected fault,\n"
            "    10 sweep finished with failed cells\n";
@@ -502,6 +570,8 @@ main(int argc, char **argv)
             return runNuma(args);
         if (mode == "sweep")
             return runSweep(args);
+        if (mode == "replay")
+            return runReplay(args);
     } catch (const Error &e) {
         std::cerr << "csrsim: " << e.kind() << ": " << e.what() << "\n";
         return e.exitCode();
